@@ -1,0 +1,77 @@
+"""Helpers shared by the benchmark modules.
+
+The benchmarks are scaled-down reproductions: the paper's vectors have up to
+5·10^8 coordinates and sketch widths up to ~10^5; here the dimensions are a
+few tens of thousands and the widths a few thousand, chosen so every figure
+regenerates in seconds while preserving the comparisons the paper reports
+(who wins and by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.eval.harness import width_sweep
+from repro.eval.results import ResultTable
+
+#: directory the reproduced series are written to (referenced by EXPERIMENTS.md)
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+#: sketch widths used by the scaled-down width sweeps (the paper varies s up
+#: to tens of thousands against n up to 5·10^8; the ratio s/n here is similar)
+DEFAULT_WIDTHS = (512, 1_024, 2_048)
+
+#: depth convention of Section 5.1: d = 9 data rows for the bias-aware
+#: sketches, d + 1 = 10 rows for the baselines
+PAPER_DEPTH = 9
+
+
+def print_table(table: ResultTable, metrics: Sequence[str] = ("average_error",
+                                                              "maximum_error")) -> None:
+    """Print a result table (pytest shows it with -s or on benchmark runs)."""
+    print()
+    print(table.to_text(metrics=metrics))
+
+
+def save_table(table: ResultTable, name: str,
+               metrics: Sequence[str] = ("average_error", "maximum_error")) -> None:
+    """Persist the reproduced series under ``benchmarks/results/<name>.txt``.
+
+    The benchmark run is usually invoked without ``-s``, so stdout is
+    captured; the saved files are the durable record the experiment log
+    (EXPERIMENTS.md) points to.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(table.to_text(metrics=metrics) + "\n" + table.to_csv())
+
+
+def report(table: ResultTable, name: str,
+           metrics: Sequence[str] = ("average_error", "maximum_error")) -> None:
+    """Print and persist a reproduced series."""
+    print_table(table, metrics=metrics)
+    save_table(table, name, metrics=metrics)
+
+
+def error_by_algorithm(table: ResultTable, metric: str = "average_error",
+                       width: Optional[int] = None) -> Dict[str, float]:
+    """Extract {algorithm: metric} at a given width (default: the largest)."""
+    widths = sorted({row.width for row in table})
+    target = width if width is not None else widths[-1]
+    selected = table.filter(width=target)
+    return {row.algorithm: getattr(row, metric) for row in selected}
+
+
+def run_width_sweep(dataset, algorithms=None, widths: Iterable[int] = DEFAULT_WIDTHS,
+                    depth: int = PAPER_DEPTH, seed: int = 2017,
+                    title: str = "") -> ResultTable:
+    """The standard sweep behind Figures 1-5, 8 and 9."""
+    return width_sweep(
+        dataset,
+        widths=list(widths),
+        algorithms=algorithms,
+        depth=depth,
+        seed=seed,
+        title=title,
+    )

@@ -1,0 +1,21 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark module regenerates one table/figure of the paper's evaluation
+(Section 5) at laptop scale and prints the same series the paper plots
+(algorithm × sketch size → average error / maximum error, or timing).  The
+pytest-benchmark fixture times one representative operation per figure; the
+full sweep runs once per test and is printed so EXPERIMENTS.md can be updated
+from the bench output.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as reproducing a paper figure"
+    )

@@ -1,0 +1,67 @@
+"""Ablation: quality of the bias estimators.
+
+DESIGN.md §6 calls out bias estimation as a first-class interface.  This
+bench measures how close each estimator gets to the exact optimal bias
+``argmin_β Err_p^k(x - β·1)`` on a biased vector with planted outliers —
+the quantity Lemmas 3 and 6 of the paper control:
+
+* ``sampling_median`` — the ℓ1-S/R estimator (median of Θ(log n) samples),
+* ``middle_buckets``  — the ℓ2-S/R estimator (mean of the middle 2k buckets),
+* ``mean``            — the heuristic of Section 5.4 (not outlier-robust),
+* ``exact``           — the ground truth (needs the full vector).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bias import (
+    MeanEstimator,
+    MiddleBucketsMeanEstimator,
+    SamplingMedianEstimator,
+)
+from repro.core.errors import optimal_bias
+from repro.matrices.cm import CMMatrix
+
+DIMENSION = 100_000
+TRUE_BIAS = 100.0
+OUTLIERS = 50
+
+
+@pytest.fixture(scope="module")
+def outlier_vector():
+    rng = np.random.default_rng(123)
+    vector = rng.normal(TRUE_BIAS, 15.0, size=DIMENSION)
+    hot = rng.choice(DIMENSION, size=OUTLIERS, replace=False)
+    vector[hot] += 50_000.0
+    return vector
+
+
+def _estimates(vector):
+    sampling = SamplingMedianEstimator(vector.size, samples=1_024, seed=1)
+    matrix = CMMatrix(1_024, vector.size, seed=2)
+    middle = MiddleBucketsMeanEstimator(head_size=256)
+    mean = MeanEstimator(vector.size)
+    return {
+        "sampling_median": sampling.estimate_from_vector(vector),
+        "middle_buckets": middle.estimate_from_buckets(
+            matrix.apply(vector), matrix.column_sums()
+        ),
+        "mean": mean.estimate_from_vector(vector),
+        "exact": optimal_bias(vector, OUTLIERS, 2).beta,
+    }
+
+
+def test_ablation_bias_estimator_quality(benchmark, outlier_vector):
+    estimates = _estimates(outlier_vector)
+    print()
+    for name, value in estimates.items():
+        print(f"  bias estimate [{name:>16}] = {value:12.4f} "
+              f"(optimal ≈ {TRUE_BIAS})")
+
+    # the paper's two estimators land near the optimal bias despite the outliers
+    assert estimates["sampling_median"] == pytest.approx(estimates["exact"], abs=5.0)
+    assert estimates["middle_buckets"] == pytest.approx(estimates["exact"], abs=5.0)
+    # the plain mean is dragged away by the outliers (Section 4.1's warning)
+    assert abs(estimates["mean"] - estimates["exact"]) > 10.0
+
+    benchmark(_estimates, outlier_vector)

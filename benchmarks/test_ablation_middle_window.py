@@ -1,0 +1,69 @@
+"""Ablation: width of the middle-bucket window in ℓ2-S/R.
+
+Algorithm 4 averages the middle ``2k`` of the ``s`` sorted buckets.  This
+bench varies the window (the ``head_size`` parameter) and measures both the
+bias-estimate error and the final recovery error, showing the trade-off the
+analysis of Lemma 6 makes: a wider window averages more coordinates (lower
+variance) but admits more contaminated buckets when outliers are present.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import L2BiasAwareSketch
+from repro.core.errors import optimal_bias
+
+DIMENSION = 50_000
+WIDTH = 1_024
+DEPTH = 9
+HEAD_SIZES = (16, 64, 256, 448)
+
+
+@pytest.fixture(scope="module")
+def outlier_vector():
+    rng = np.random.default_rng(321)
+    vector = rng.normal(200.0, 10.0, size=DIMENSION)
+    hot = rng.choice(DIMENSION, size=100, replace=False)
+    vector[hot] += 20_000.0
+    return vector
+
+
+def _sweep(vector):
+    optimal = optimal_bias(vector, 100, 2).beta
+    rows = []
+    for head_size in HEAD_SIZES:
+        sketch = L2BiasAwareSketch(
+            vector.size, WIDTH, DEPTH, head_size=head_size, seed=5
+        ).fit(vector)
+        bias_error = abs(sketch.estimate_bias() - optimal)
+        recovery_error = float(np.mean(np.abs(sketch.recover() - vector)))
+        rows.append((head_size, bias_error, recovery_error))
+    return rows
+
+
+def test_ablation_middle_window_width(benchmark, outlier_vector):
+    rows = _sweep(outlier_vector)
+    print()
+    print("  head_size  |bias error|  average recovery error")
+    for head_size, bias_error, recovery_error in rows:
+        print(f"  {head_size:9d}  {bias_error:12.4f}  {recovery_error:12.4f}")
+
+    by_head_size = {head_size: (bias_error, recovery_error)
+                    for head_size, bias_error, recovery_error in rows}
+
+    # moderate windows (the s = c_s·k regime of the paper, c_s ≥ 4) keep the
+    # bias estimate within a few σ of optimal and the recovery error far below
+    # what ignoring the bias would give
+    for head_size in (16, 64, 256):
+        bias_error, recovery_error = by_head_size[head_size]
+        assert bias_error < 30.0, head_size
+        assert recovery_error < 100.0, head_size
+
+    # the widest window (nearly all buckets) admits the contaminated buckets
+    # and is never better than the best moderate window — the trade-off
+    # Lemma 6's choice of a 2k-bucket window is about
+    widest_bias_error = by_head_size[448][0]
+    best_moderate = min(by_head_size[h][0] for h in (16, 64, 256))
+    assert widest_bias_error >= best_moderate
+
+    benchmark(_sweep, outlier_vector)

@@ -1,0 +1,87 @@
+"""Quickstart: bias-aware sketches in five minutes.
+
+This walks through the paper's running example (Section 1, Equation 3) and a
+small synthetic experiment showing why subtracting the bias before sketching
+matters.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CountMedian,
+    CountSketch,
+    L1BiasAwareSketch,
+    L2BiasAwareSketch,
+    err_pk,
+    optimal_bias,
+)
+
+
+def running_example() -> None:
+    """Reproduce the introduction's running example exactly."""
+    print("=" * 70)
+    print("The paper's running example (Equation 3)")
+    print("=" * 70)
+    x = np.array([3, 100, 101, 500, 102, 98, 97, 100, 99, 103], dtype=float)
+    k = 2
+    print(f"x = {x.astype(int).tolist()},  k = {k}")
+    print(f"Err_1^k(x)            = {err_pk(x, k, 1):8.2f}   (paper: 700)")
+    print(f"Err_2^k(x)            = {err_pk(x, k, 2):8.2f}   (paper: ~263.49)")
+    l1 = optimal_bias(x, k, 1)
+    l2 = optimal_bias(x, k, 2)
+    print(f"min_b Err_1^k(x - b)  = {l1.error:8.2f}   at b = {l1.beta:g} "
+          "(paper: 12 at b = 100)")
+    print(f"min_b Err_2^k(x - b)  = {l2.error:8.2f}   at b = {l2.beta:g} "
+          "(paper: ~5.29 at b = 100)")
+    print("De-biasing shrinks the tail the sketch error is charged against "
+          "by ~50x.")
+    print()
+
+
+def sketch_comparison() -> None:
+    """Sketch a biased vector with the classical and bias-aware sketches."""
+    print("=" * 70)
+    print("Point-query error on a biased vector (N(100, 15^2), 3 outliers)")
+    print("=" * 70)
+    rng = np.random.default_rng(7)
+    n = 100_000
+    x = rng.normal(100.0, 15.0, size=n)
+    x[rng.choice(n, size=3, replace=False)] += 250_000.0
+
+    width, depth = 2_000, 9
+    sketches = {
+        "Count-Median   (baseline)": CountMedian(n, width, depth + 1, seed=1),
+        "Count-Sketch   (baseline)": CountSketch(n, width, depth + 1, seed=1),
+        "l1-S/R      (bias-aware)": L1BiasAwareSketch(n, width, depth, seed=1),
+        "l2-S/R      (bias-aware)": L2BiasAwareSketch(n, width, depth, seed=1),
+    }
+    print(f"n = {n}, sketch width s = {width}, total budget ~{(depth + 1) * width} "
+          "words per algorithm\n")
+    print(f"{'algorithm':<28}  {'avg error':>12}  {'max error':>12}")
+    for name, sketch in sketches.items():
+        sketch.fit(x)
+        recovered = sketch.recover()
+        avg = float(np.mean(np.abs(recovered - x)))
+        mx = float(np.max(np.abs(recovered - x)))
+        print(f"{name:<28}  {avg:12.3f}  {mx:12.1f}")
+
+    l2 = sketches["l2-S/R      (bias-aware)"]
+    print(f"\nl2-S/R estimated the bias as {l2.estimate_bias():.2f} "
+          "(true common value: 100).")
+    index = int(rng.integers(0, n))
+    print(f"Point query x[{index}]: true = {x[index]:.2f}, "
+          f"estimate = {l2.query(index):.2f}")
+    print()
+
+
+def main() -> None:
+    running_example()
+    sketch_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Reproduce any of the paper's figures from the command line.
+
+A thin driver over the evaluation harness: pick a dataset (the paper's
+synthetic ones or the simulated substitutes for its real ones), a set of
+algorithms and a range of sketch widths, and print the series the paper
+plots.
+
+Examples::
+
+    python examples/reproduce_figure.py --dataset gaussian --bias 500
+    python examples/reproduce_figure.py --dataset wiki --widths 512 1024 2048
+    python examples/reproduce_figure.py --dataset gaussian2 --suite mean \
+        --shifted-entries 40
+"""
+
+import argparse
+
+from repro import load_dataset, width_sweep
+from repro.sketches.registry import mean_heuristic_suite, paper_reference_suite
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Regenerate one of the paper's accuracy figures at laptop scale."
+    )
+    parser.add_argument("--dataset", default="gaussian",
+                        help="dataset name (gaussian, gaussian2, wiki, worldcup, "
+                             "higgs, meme, hudong, zipf, uniform)")
+    parser.add_argument("--dimension", type=int, default=40_000,
+                        help="vector dimension n (scaled down from the paper)")
+    parser.add_argument("--widths", type=int, nargs="+",
+                        default=[512, 1_024, 2_048],
+                        help="sketch widths s to sweep")
+    parser.add_argument("--depth", type=int, default=9,
+                        help="rows d for the bias-aware sketches "
+                             "(baselines get d + 1)")
+    parser.add_argument("--suite", choices=["paper", "mean"], default="paper",
+                        help="'paper' = the six-algorithm comparison of "
+                             "Figures 1-7; 'mean' = the mean-heuristic "
+                             "comparison of Figures 8-9")
+    parser.add_argument("--bias", type=float, default=None,
+                        help="bias b of the Gaussian dataset (Figure 1 uses "
+                             "100 and 500)")
+    parser.add_argument("--shifted-entries", type=int, default=None,
+                        help="number of shifted entries for gaussian2 "
+                             "(Figure 8c-8d)")
+    parser.add_argument("--seed", type=int, default=2017, help="random seed")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+
+    dataset_kwargs = {"dimension": args.dimension}
+    if args.bias is not None:
+        dataset_kwargs["bias"] = args.bias
+    if args.shifted_entries is not None:
+        dataset_kwargs["shifted_entries"] = args.shifted_entries
+    dataset = load_dataset(args.dataset, seed=args.seed, **dataset_kwargs)
+
+    algorithms = (
+        paper_reference_suite() if args.suite == "paper" else mean_heuristic_suite()
+    )
+    table = width_sweep(
+        dataset,
+        widths=args.widths,
+        algorithms=algorithms,
+        depth=args.depth,
+        seed=args.seed,
+        title=f"{args.dataset}: point-query error vs sketch width",
+    )
+    print(table.to_text())
+    print(f"best algorithm by average error: {table.best_algorithm()}")
+
+
+if __name__ == "__main__":
+    main()

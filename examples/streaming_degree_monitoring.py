@@ -1,0 +1,79 @@
+"""Streaming graph monitoring: real-time out-degree queries over an edge stream.
+
+Scenario (the paper's Hudong experiment, Section 5.5): edges of an evolving
+link graph arrive one at a time in editing order, and an analyst wants the
+current out-degree of any article *while the stream is still running* —
+without storing the full degree vector and without a post-processing pass.
+
+The streaming ℓ2 bias-aware sketch (Algorithm 6) keeps its bias estimate
+current with the Bias-Heap of Algorithm 5, so every point query is answered
+from the sketch in O(d) time.
+
+Run with::
+
+    python examples/streaming_degree_monitoring.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import StreamingL2BiasAwareSketch
+from repro.data import simulated_hudong
+
+
+def main() -> None:
+    articles = 50_000
+    edges = 400_000
+    stream = simulated_hudong(dimension=articles, edges=edges, seed=11)
+    print(f"Simulated encyclopaedia link stream: {articles} articles, "
+          f"{edges} edges (substitute for the Hudong dataset)")
+    print()
+
+    sketch = StreamingL2BiasAwareSketch(
+        dimension=articles, width=4_096, depth=9, seed=5
+    )
+    truth = np.zeros(articles)
+
+    checkpoints = {edges // 4, edges // 2, (3 * edges) // 4, edges - 1}
+    watched_articles = [17, 4_242, 31_337]
+
+    started = time.perf_counter()
+    for step, (article, delta) in enumerate(stream.iter_updates()):
+        sketch.update(article, delta)
+        truth[article] += delta
+        if step in checkpoints:
+            elapsed = time.perf_counter() - started
+            rate = (step + 1) / elapsed
+            current_bias = sketch.estimate_bias()
+            print(f"after {step + 1:>7} edges  "
+                  f"({rate:,.0f} updates/s, current bias estimate "
+                  f"{current_bias:5.2f}):")
+            for watched in watched_articles:
+                print(f"    out-degree of article {watched:>6}: "
+                      f"true = {truth[watched]:6.0f}   "
+                      f"sketch = {sketch.query(watched):8.2f}")
+            print()
+
+    # final accuracy over the hubs (the articles an analyst cares about)
+    hubs = np.argsort(truth)[-10:][::-1]
+    print("Final state — top-10 hubs by true out-degree:")
+    print(f"  {'article':>8}  {'true degree':>12}  {'sketch estimate':>16}")
+    for hub in hubs:
+        print(f"  {int(hub):>8}  {truth[hub]:12.0f}  {sketch.query(int(hub)):16.2f}")
+
+    errors = np.abs(sketch.recover() - truth)
+    print()
+    print(f"Average point-query error over all {articles} articles: "
+          f"{errors.mean():.3f}")
+    print(f"Maximum point-query error: {errors.max():.1f}")
+    print(f"Sketch size: {sketch.size_in_words()} counters for a "
+          f"{articles}-entry degree vector; every update and every query was "
+          "answered online, in one pass, with no post-processing.")
+    print("(Out-degree vectors are a low-bias, power-law workload — the "
+          "regime of the paper's Figure 6, where the win of bias-awareness "
+          "is modest but the streaming machinery is exercised end to end.)")
+
+
+if __name__ == "__main__":
+    main()

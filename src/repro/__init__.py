@@ -1,0 +1,127 @@
+"""repro — Bias-Aware Sketches (Chen & Zhang, VLDB 2017).
+
+A reproduction of the paper "Bias-Aware Sketches": linear sketches whose
+point-query error is bounded by the *de-biased* tail of the input vector,
+
+    ‖x̂ - x‖∞ = O(k^{-1/p}) · min_β Err_p^k(x - β·1),    p ∈ {1, 2},
+
+strictly improving on Count-Median (p = 1) and Count-Sketch (p = 2) whenever
+the coordinates of ``x`` share a common bias β.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import L2BiasAwareSketch
+>>> x = np.random.default_rng(0).normal(100, 15, 100_000)   # biased vector
+>>> sketch = L2BiasAwareSketch(dimension=x.size, width=2_000, depth=9, seed=1)
+>>> _ = sketch.fit(x)
+>>> abs(sketch.query(12_345) - x[12_345]) < 15               # close to the truth
+True
+
+Package layout
+--------------
+* :mod:`repro.core` — the paper's contribution: ℓ1-S/R, ℓ2-S/R, streaming
+  variants, the Bias-Heap, bias estimators and the exact error functionals.
+* :mod:`repro.sketches` — the classical baselines (Count-Min, Count-Median,
+  Count-Sketch, CM-CU, CML-CU) and the shared sketch interfaces.
+* :mod:`repro.hashing`, :mod:`repro.matrices` — the hashing and sketching-
+  matrix substrate (Definitions 1-3).
+* :mod:`repro.streaming`, :mod:`repro.distributed` — the streaming and
+  distributed computation models.
+* :mod:`repro.data` — the paper's synthetic datasets plus simulated
+  substitutes for its real datasets.
+* :mod:`repro.queries` — point / heavy-hitter / range / inner-product queries
+  on top of any sketch.
+* :mod:`repro.eval` — the evaluation harness behind every figure.
+"""
+
+from repro.core import (
+    BiasHeap,
+    L1BiasAwareSketch,
+    L1MeanSketch,
+    L2BiasAwareSketch,
+    L2MeanSketch,
+    StreamingL1BiasAwareSketch,
+    StreamingL2BiasAwareSketch,
+    bias_gain,
+    debias,
+    debiased_err,
+    err_pk,
+    optimal_bias,
+    optimal_bias_error,
+)
+from repro.data import Dataset, available_datasets, load_dataset
+from repro.distributed import Coordinator, Site, partition_vector
+from repro.eval import (
+    ResultTable,
+    average_error,
+    depth_sweep,
+    evaluate_algorithms,
+    maximum_error,
+    streaming_comparison,
+    width_sweep,
+)
+from repro.queries import heavy_hitters, point_query, range_sum
+from repro.sketches import (
+    CountMedian,
+    CountMin,
+    CountMinCU,
+    CountMinLogCU,
+    CountSketch,
+    available_sketches,
+    make_sketch,
+    paper_reference_suite,
+)
+from repro.streaming import StreamRunner, UpdateStream, stream_from_vector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core contribution
+    "BiasHeap",
+    "L1BiasAwareSketch",
+    "L1MeanSketch",
+    "L2BiasAwareSketch",
+    "L2MeanSketch",
+    "StreamingL1BiasAwareSketch",
+    "StreamingL2BiasAwareSketch",
+    "bias_gain",
+    "debias",
+    "debiased_err",
+    "err_pk",
+    "optimal_bias",
+    "optimal_bias_error",
+    # baselines and registry
+    "CountMedian",
+    "CountMin",
+    "CountMinCU",
+    "CountMinLogCU",
+    "CountSketch",
+    "available_sketches",
+    "make_sketch",
+    "paper_reference_suite",
+    # data
+    "Dataset",
+    "available_datasets",
+    "load_dataset",
+    # models
+    "Coordinator",
+    "Site",
+    "partition_vector",
+    "StreamRunner",
+    "UpdateStream",
+    "stream_from_vector",
+    # queries
+    "heavy_hitters",
+    "point_query",
+    "range_sum",
+    # evaluation
+    "ResultTable",
+    "average_error",
+    "maximum_error",
+    "evaluate_algorithms",
+    "width_sweep",
+    "depth_sweep",
+    "streaming_comparison",
+]

@@ -1,0 +1,158 @@
+"""Command-line interface.
+
+Three subcommands cover the everyday uses of the library without writing any
+Python:
+
+* ``repro datasets`` — list the available workloads and their bias profiles;
+* ``repro sketch`` — sketch a workload with one algorithm and report its
+  accuracy and size;
+* ``repro experiment`` — regenerate one of the paper's figures (see
+  ``repro experiment --list``) and optionally render it as an ASCII chart.
+
+Invoke either as ``python -m repro.cli ...`` or through the ``repro-sketches``
+console script installed by the package.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.registry import available_datasets, load_dataset
+from repro.eval.experiments import (
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+from repro.eval.metrics import average_error, maximum_error
+from repro.eval.plots import plot_result_table
+from repro.sketches.registry import available_sketches, make_sketch
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sketches",
+        description="Bias-aware sketches (Chen & Zhang, VLDB 2017): datasets, "
+                    "sketching, and figure reproduction from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    datasets = subparsers.add_parser(
+        "datasets", help="list available workloads and their bias profiles"
+    )
+    datasets.add_argument("--dimension", type=int, default=20_000,
+                          help="dimension used when profiling each workload")
+    datasets.add_argument("--head-size", type=int, default=100,
+                          help="k used for the tail/bias-gain statistics")
+    datasets.add_argument("--seed", type=int, default=0)
+
+    sketch = subparsers.add_parser(
+        "sketch", help="sketch one workload with one algorithm and report accuracy"
+    )
+    sketch.add_argument("--dataset", default="gaussian",
+                        choices=available_datasets())
+    sketch.add_argument("--algorithm", default="l2_sr",
+                        help="sketch algorithm (see --list-algorithms)")
+    sketch.add_argument("--list-algorithms", action="store_true",
+                        help="print the registered algorithms and exit")
+    sketch.add_argument("--dimension", type=int, default=50_000)
+    sketch.add_argument("--width", type=int, default=2_048)
+    sketch.add_argument("--depth", type=int, default=9)
+    sketch.add_argument("--seed", type=int, default=0)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures"
+    )
+    experiment.add_argument("name", nargs="?", default=None,
+                            help="experiment id (see --list)")
+    experiment.add_argument("--list", action="store_true",
+                            help="print the registered experiments and exit")
+    experiment.add_argument("--seed", type=int, default=2017)
+    experiment.add_argument("--plot", action="store_true",
+                            help="also render the series as an ASCII chart")
+    experiment.add_argument("--metric", default="average_error",
+                            choices=["average_error", "maximum_error"])
+    return parser
+
+
+def _command_datasets(args: argparse.Namespace, out) -> int:
+    print(f"{'dataset':<12} {'mean':>12} {'std':>12} {'bias gain (l2)':>16}",
+          file=out)
+    for name in available_datasets():
+        dataset = load_dataset(name, seed=args.seed, dimension=args.dimension)
+        summary = dataset.summary(head_size=args.head_size)
+        print(
+            f"{name:<12} {summary['mean']:>12.2f} {summary['std']:>12.2f} "
+            f"{summary['bias_gain_l2']:>16.2f}",
+            file=out,
+        )
+    print("\n'bias gain' is Err_2^k(x) / min_b Err_2^k(x - b): how much "
+          "de-biasing shrinks the error the sketches are charged against.",
+          file=out)
+    return 0
+
+
+def _command_sketch(args: argparse.Namespace, out) -> int:
+    if args.list_algorithms:
+        for name in available_sketches():
+            print(name, file=out)
+        return 0
+    dataset = load_dataset(args.dataset, seed=args.seed, dimension=args.dimension)
+    sketch = make_sketch(args.algorithm, dataset.dimension, args.width,
+                         args.depth, seed=args.seed)
+    sketch.fit(dataset.vector)
+    recovered = sketch.recover()
+    print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
+    print(f"algorithm        : {args.algorithm}", file=out)
+    print(f"sketch size      : {sketch.size_in_words()} words "
+          f"({dataset.dimension / sketch.size_in_words():.1f}x compression)",
+          file=out)
+    print(f"average error    : {average_error(dataset.vector, recovered):.4f}",
+          file=out)
+    print(f"maximum error    : {maximum_error(dataset.vector, recovered):.4f}",
+          file=out)
+    if hasattr(sketch, "estimate_bias"):
+        print(f"estimated bias   : {sketch.estimate_bias():.4f}", file=out)
+        print(f"vector mean      : {float(np.mean(dataset.vector)):.4f}", file=out)
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace, out) -> int:
+    if args.list or args.name is None:
+        for name in available_experiments():
+            spec = get_experiment(name)
+            print(f"{name:<14} {spec.figure:<14} {spec.description}", file=out)
+        return 0
+    table = run_experiment(args.name, seed=args.seed)
+    metrics = ("average_error", "maximum_error")
+    if any(row.update_seconds is not None for row in table):
+        metrics = ("average_error", "maximum_error", "update_seconds",
+                   "query_seconds")
+    print(table.to_text(metrics=metrics), file=out)
+    if args.plot:
+        print(plot_result_table(table, metric=args.metric), file=out)
+    print(f"best algorithm by {args.metric}: "
+          f"{table.best_algorithm(args.metric)}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "datasets":
+        return _command_datasets(args, out)
+    if args.command == "sketch":
+        return _command_sketch(args, out)
+    if args.command == "experiment":
+        return _command_experiment(args, out)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Compressive-sensing comparators discussed in the paper's related work.
+
+Section 2 of the paper discusses BOMP (Yan et al., SIGMOD 2015), which tackles
+the same biased-recovery problem with dense Gaussian sketches and Orthogonal
+Matching Pursuit: sketch with a Gaussian matrix Φ, prepend the normalised
+all-ones column at recovery time, and run OMP for ``k + 1`` iterations so that
+the bias is recovered as the coefficient of the all-ones atom.
+
+The paper's criticisms — OMP is expensive and cannot answer individual point
+queries without decoding the whole vector — are exactly what the ablation
+benchmark ``benchmarks/test_ablation_bomp.py`` measures.  This package
+provides the pieces needed for that comparison:
+
+* :class:`GaussianSketch` — a dense Gaussian linear sketch ``y = Φx`` with
+  entries ``N(0, 1/t)`` (mergeable like every linear sketch),
+* :func:`orthogonal_matching_pursuit` — a plain OMP solver,
+* :class:`BOMPRecovery` — the full sketch-and-recover pipeline for biased
+  k-sparse vectors.
+"""
+
+from repro.compressive.gaussian import GaussianSketch
+from repro.compressive.omp import OMPResult, orthogonal_matching_pursuit
+from repro.compressive.bomp import BOMPRecovery, BOMPResult
+
+__all__ = [
+    "GaussianSketch",
+    "OMPResult",
+    "orthogonal_matching_pursuit",
+    "BOMPRecovery",
+    "BOMPResult",
+]

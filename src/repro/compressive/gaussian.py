@@ -1,0 +1,90 @@
+"""Dense Gaussian linear sketches (the sketching side of BOMP).
+
+``y = Φx`` with ``Φ ∈ R^{t×n}`` and ``Φ_ij ~ N(0, 1/t)`` i.i.d.  Unlike the
+hashed sketches the matrix is dense, so sketching costs O(t·n) and the memory
+to *store the matrix* is O(t·n) — BOMP therefore regenerates Φ from a seed,
+which is what this class does as well.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import (
+    ensure_1d_float_array,
+    require_index,
+    require_positive_int,
+)
+
+
+class GaussianSketch:
+    """A dense Gaussian linear sketch ``y = Φx`` (the BOMP measurement step).
+
+    Parameters
+    ----------
+    dimension:
+        Dimension ``n`` of the vectors being sketched.
+    measurements:
+        Number of rows ``t`` of Φ.
+    seed:
+        Randomness for Φ; two sketches with the same seed share the matrix
+        and can be merged.
+    """
+
+    name = "gaussian_sketch"
+
+    def __init__(
+        self,
+        dimension: int,
+        measurements: int,
+        seed: RandomSource = None,
+    ) -> None:
+        self.dimension = require_positive_int(dimension, "dimension")
+        self.measurements = require_positive_int(measurements, "measurements")
+        self.seed = seed
+        rng = as_rng(seed)
+        #: the dense sketching matrix Φ with N(0, 1/t) entries
+        self.matrix = rng.normal(
+            0.0, 1.0 / np.sqrt(self.measurements),
+            size=(self.measurements, self.dimension),
+        )
+        #: the current measurement vector y = Φx
+        self.measurements_vector = np.zeros(self.measurements, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # ingestion (linear, so both paths and merging are supported)
+    # ------------------------------------------------------------------ #
+    def fit(self, x) -> "GaussianSketch":
+        """Sketch a whole vector: ``y += Φx``."""
+        arr = ensure_1d_float_array(x, "x")
+        if arr.size != self.dimension:
+            raise ValueError(
+                f"vector has dimension {arr.size}, sketch expects {self.dimension}"
+            )
+        self.measurements_vector += self.matrix @ arr
+        return self
+
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Apply the streaming update ``x[index] += delta``: ``y += delta·Φe_i``."""
+        index = require_index(index, self.dimension)
+        self.measurements_vector += float(delta) * self.matrix[:, index]
+
+    def merge(self, other: "GaussianSketch") -> "GaussianSketch":
+        """Add a compatible sketch's measurements (linearity)."""
+        if (
+            other.dimension != self.dimension
+            or other.measurements != self.measurements
+            or self.seed is None
+            or other.seed != self.seed
+        ):
+            raise ValueError(
+                "Gaussian sketches must share dimension, measurement count and "
+                "seed to be merged"
+            )
+        self.measurements_vector += other.measurements_vector
+        return self
+
+    def size_in_words(self) -> int:
+        """Words shipped per sketch: the measurement vector (Φ is regenerated)."""
+        return self.measurements

@@ -1,0 +1,101 @@
+"""Orthogonal Matching Pursuit (OMP).
+
+The greedy sparse solver used by BOMP's recovery phase: given measurements
+``y ≈ Aw`` with ``w`` sparse, repeatedly pick the column of ``A`` most
+correlated with the residual, add it to the support, and re-fit ``w`` on the
+support by least squares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class OMPResult:
+    """Result of an OMP run.
+
+    Attributes
+    ----------
+    coefficients:
+        The recovered coefficient vector (dense, zero off the support).
+    support:
+        Indices selected, in selection order.
+    residual_norm:
+        ‖y - A·coefficients‖₂ at termination.
+    iterations:
+        Number of greedy iterations performed.
+    """
+
+    coefficients: np.ndarray
+    support: List[int]
+    residual_norm: float
+    iterations: int
+
+
+def orthogonal_matching_pursuit(
+    dictionary: np.ndarray,
+    measurements: np.ndarray,
+    sparsity: int,
+    tolerance: float = 1e-10,
+) -> OMPResult:
+    """Recover a ``sparsity``-sparse coefficient vector from ``measurements``.
+
+    Parameters
+    ----------
+    dictionary:
+        The ``(t, m)`` measurement/dictionary matrix ``A``.
+    measurements:
+        The length-``t`` measurement vector ``y``.
+    sparsity:
+        Maximum number of atoms to select.
+    tolerance:
+        Stop early once the residual norm falls below this value.
+    """
+    A = np.asarray(dictionary, dtype=np.float64)
+    y = np.asarray(measurements, dtype=np.float64)
+    if A.ndim != 2:
+        raise ValueError(f"dictionary must be 2-D, got shape {A.shape}")
+    if y.ndim != 1 or y.size != A.shape[0]:
+        raise ValueError(
+            f"measurements must be a vector of length {A.shape[0]}, "
+            f"got shape {y.shape}"
+        )
+    sparsity = require_positive_int(sparsity, "sparsity")
+    sparsity = min(sparsity, A.shape[1])
+
+    residual = y.copy()
+    support: List[int] = []
+    coefficients = np.zeros(A.shape[1], dtype=np.float64)
+    iterations = 0
+
+    # pre-normalise column norms for the correlation step (guard zeros)
+    column_norms = np.linalg.norm(A, axis=0)
+    safe_norms = np.where(column_norms > 0, column_norms, 1.0)
+
+    for _ in range(sparsity):
+        if float(np.linalg.norm(residual)) <= tolerance:
+            break
+        correlations = np.abs(A.T @ residual) / safe_norms
+        correlations[support] = -np.inf  # never reselect an atom
+        chosen = int(np.argmax(correlations))
+        support.append(chosen)
+        iterations += 1
+
+        submatrix = A[:, support]
+        solution, *_ = np.linalg.lstsq(submatrix, y, rcond=None)
+        residual = y - submatrix @ solution
+
+    if support:
+        coefficients[support] = solution
+    return OMPResult(
+        coefficients=coefficients,
+        support=support,
+        residual_norm=float(np.linalg.norm(residual)),
+        iterations=iterations,
+    )

@@ -1,0 +1,136 @@
+"""The paper's primary contribution: bias-aware sketches and their components.
+
+Public classes
+--------------
+* :class:`L1BiasAwareSketch` — ℓ1-S/R (Algorithms 1-2, Theorem 3)
+* :class:`L2BiasAwareSketch` — ℓ2-S/R (Algorithms 3-4, Theorem 4)
+* :class:`StreamingL1BiasAwareSketch` / :class:`StreamingL2BiasAwareSketch` —
+  the streaming refinements of Section 4.4 (Algorithm 6 for ℓ2)
+* :class:`BiasHeap` — Algorithm 5
+* :class:`L1MeanSketch` / :class:`L2MeanSketch` — the mean heuristics of
+  Section 5.4
+* bias estimators and the exact error functionals ``Err_p^k`` / optimal bias
+
+Importing this package also registers the bias-aware algorithms in the sketch
+registry (:mod:`repro.sketches.registry`) so the evaluation harness can build
+them by name alongside the baselines.
+"""
+
+from repro.core.bias import (
+    BiasEstimator,
+    ExactBiasEstimator,
+    MeanEstimator,
+    MiddleBucketsMeanEstimator,
+    SamplingMedianEstimator,
+    make_bias_estimator,
+)
+from repro.core.bias_heap import BiasHeap
+from repro.core.errors import (
+    BiasSolution,
+    bias_gain,
+    debias,
+    debiased_err,
+    err_pk,
+    optimal_bias,
+    optimal_bias_error,
+)
+from repro.core.l1_sketch import L1BiasAwareSketch
+from repro.core.l2_sketch import L2BiasAwareSketch
+from repro.core.mean_sketch import L1MeanSketch, L2MeanSketch, MeanBiasSketch
+from repro.core.streaming_l1 import StreamingL1BiasAwareSketch
+from repro.core.streaming_l2 import StreamingL2BiasAwareSketch
+from repro.core.theory import (
+    GuaranteeReport,
+    SketchParameters,
+    count_median_bound,
+    count_sketch_bound,
+    guarantee_report,
+    l1_bias_aware_bound,
+    l2_bias_aware_bound,
+    predicted_compression,
+    recommend_parameters,
+    sketch_size_words,
+)
+from repro.sketches.registry import register_sketch
+
+__all__ = [
+    "BiasEstimator",
+    "ExactBiasEstimator",
+    "MeanEstimator",
+    "MiddleBucketsMeanEstimator",
+    "SamplingMedianEstimator",
+    "make_bias_estimator",
+    "BiasHeap",
+    "BiasSolution",
+    "bias_gain",
+    "debias",
+    "debiased_err",
+    "err_pk",
+    "optimal_bias",
+    "optimal_bias_error",
+    "L1BiasAwareSketch",
+    "L2BiasAwareSketch",
+    "L1MeanSketch",
+    "L2MeanSketch",
+    "MeanBiasSketch",
+    "StreamingL1BiasAwareSketch",
+    "StreamingL2BiasAwareSketch",
+    "GuaranteeReport",
+    "SketchParameters",
+    "count_median_bound",
+    "count_sketch_bound",
+    "guarantee_report",
+    "l1_bias_aware_bound",
+    "l2_bias_aware_bound",
+    "predicted_compression",
+    "recommend_parameters",
+    "sketch_size_words",
+]
+
+
+def _register_bias_aware_sketches() -> None:
+    """Register the paper's algorithms with the shared sketch registry."""
+    registrations = [
+        (
+            "l1_sr",
+            "ℓ1-S/R (bias-aware, Count-Median based)",
+            lambda n, s, d, seed: L1BiasAwareSketch(n, s, d, seed=seed),
+        ),
+        (
+            "l2_sr",
+            "ℓ2-S/R (bias-aware, Count-Sketch based)",
+            lambda n, s, d, seed: L2BiasAwareSketch(n, s, d, seed=seed),
+        ),
+        (
+            "l1_mean",
+            "ℓ1-mean (mean heuristic, Count-Median based)",
+            lambda n, s, d, seed: L1MeanSketch(n, s, d, seed=seed),
+        ),
+        (
+            "l2_mean",
+            "ℓ2-mean (mean heuristic, Count-Sketch based)",
+            lambda n, s, d, seed: L2MeanSketch(n, s, d, seed=seed),
+        ),
+        (
+            "l1_sr_streaming",
+            "ℓ1-S/R (streaming bias maintenance)",
+            lambda n, s, d, seed: StreamingL1BiasAwareSketch(n, s, d, seed=seed),
+        ),
+        (
+            "l2_sr_streaming",
+            "ℓ2-S/R (streaming, Bias-Heap of Algorithm 5)",
+            lambda n, s, d, seed: StreamingL2BiasAwareSketch(n, s, d, seed=seed),
+        ),
+    ]
+    for name, label, factory in registrations:
+        register_sketch(
+            name,
+            label,
+            factory,
+            linear=True,
+            bias_aware=True,
+            overwrite=True,
+        )
+
+
+_register_bias_aware_sketches()

@@ -1,0 +1,158 @@
+"""Internal helper: a binary heap with position tracking (indexed heap).
+
+The Bias-Heap of Algorithm 5 must, on every streaming update, adjust the key
+``w_j/π_j`` of an arbitrary bucket ``j`` and re-establish the partition of
+buckets into "bottom", "middle" and "top" ranks.  A plain ``heapq`` cannot
+update arbitrary elements, so this module provides a small indexed binary
+heap supporting ``push``, ``pop``, ``remove(id)`` and peeking, all in
+O(log size).  Max-heap behaviour is obtained by negating keys at the call
+site (see :class:`repro.core.bias_heap.BiasHeap`).
+
+Ties are broken by node id so the structure is fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class IndexedMinHeap:
+    """A binary min-heap keyed by ``(key, node_id)`` with O(log n) removal by id."""
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[float, int]] = []
+        self._position: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._position
+
+    def push(self, node_id: int, key: float) -> None:
+        """Insert a node; raises if the id is already present."""
+        if node_id in self._position:
+            raise ValueError(f"node {node_id} is already in the heap")
+        self._entries.append((key, node_id))
+        self._position[node_id] = len(self._entries) - 1
+        self._sift_up(len(self._entries) - 1)
+
+    def peek(self) -> Tuple[float, int]:
+        """Return ``(key, node_id)`` of the minimum without removing it."""
+        if not self._entries:
+            raise IndexError("peek from an empty heap")
+        return self._entries[0]
+
+    def pop(self) -> Tuple[float, int]:
+        """Remove and return ``(key, node_id)`` of the minimum."""
+        if not self._entries:
+            raise IndexError("pop from an empty heap")
+        top = self._entries[0]
+        self._remove_at(0)
+        return top
+
+    def remove(self, node_id: int) -> Tuple[float, int]:
+        """Remove the node with the given id and return its ``(key, node_id)``."""
+        position = self._position.get(node_id)
+        if position is None:
+            raise KeyError(f"node {node_id} is not in the heap")
+        entry = self._entries[position]
+        self._remove_at(position)
+        return entry
+
+    def key_of(self, node_id: int) -> float:
+        """Return the key currently stored for ``node_id``."""
+        position = self._position.get(node_id)
+        if position is None:
+            raise KeyError(f"node {node_id} is not in the heap")
+        return self._entries[position][0]
+
+    def node_ids(self) -> List[int]:
+        """All node ids currently in the heap (arbitrary order)."""
+        return list(self._position)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _remove_at(self, position: int) -> None:
+        last = len(self._entries) - 1
+        removed_id = self._entries[position][1]
+        if position != last:
+            self._entries[position] = self._entries[last]
+            self._position[self._entries[position][1]] = position
+        self._entries.pop()
+        del self._position[removed_id]
+        if position <= last - 1 and self._entries:
+            position = min(position, len(self._entries) - 1)
+            self._sift_down(position)
+            self._sift_up(position)
+
+    @staticmethod
+    def _less(a: Tuple[float, int], b: Tuple[float, int]) -> bool:
+        return a < b
+
+    def _sift_up(self, position: int) -> None:
+        entry = self._entries[position]
+        while position > 0:
+            parent = (position - 1) // 2
+            if self._less(entry, self._entries[parent]):
+                self._entries[position] = self._entries[parent]
+                self._position[self._entries[position][1]] = position
+                position = parent
+            else:
+                break
+        self._entries[position] = entry
+        self._position[entry[1]] = position
+
+    def _sift_down(self, position: int) -> None:
+        size = len(self._entries)
+        entry = self._entries[position]
+        while True:
+            child = 2 * position + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and self._less(self._entries[right], self._entries[child]):
+                child = right
+            if self._less(self._entries[child], entry):
+                self._entries[position] = self._entries[child]
+                self._position[self._entries[position][1]] = position
+                position = child
+            else:
+                break
+        self._entries[position] = entry
+        self._position[entry[1]] = position
+
+
+class IndexedMaxHeap:
+    """A max-heap built by negating keys of an :class:`IndexedMinHeap`."""
+
+    def __init__(self) -> None:
+        self._heap = IndexedMinHeap()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._heap
+
+    def push(self, node_id: int, key: float) -> None:
+        self._heap.push(node_id, -key)
+
+    def peek(self) -> Tuple[float, int]:
+        key, node_id = self._heap.peek()
+        return -key, node_id
+
+    def pop(self) -> Tuple[float, int]:
+        key, node_id = self._heap.pop()
+        return -key, node_id
+
+    def remove(self, node_id: int) -> Tuple[float, int]:
+        key, removed_id = self._heap.remove(node_id)
+        return -key, removed_id
+
+    def key_of(self, node_id: int) -> float:
+        return -self._heap.key_of(node_id)
+
+    def node_ids(self) -> List[int]:
+        return self._heap.node_ids()

@@ -1,0 +1,262 @@
+"""The Bias-Heap (Algorithm 5): streaming maintenance of the ℓ2 bias estimate.
+
+The ℓ2 recovery (Algorithm 4, line 2) needs the average of the coordinates
+hashed into the middle ``2k`` of the ``s`` buckets of ``w = Π(g)x``, ordered
+by per-bucket average ``w_i/π_i``.  Re-sorting the buckets on every point
+query would cost O(s log s); the Bias-Heap maintains the partition of buckets
+into *bottom*, *middle* and *top* rank ranges under single-bucket updates in
+O(log s) time, together with the running sums ``Σ_{i∈middle} w_i`` and
+``Σ_{i∈middle} π_i``, so a bias query is O(1).
+
+The paper's Algorithm 5 uses four overlapping heaps (A, B, C, D); this
+implementation keeps the same asymptotics with an equivalent formulation —
+three disjoint sets (bottom / middle / top) backed by indexed heaps exposing
+the boundary elements, rebalanced by boundary swaps after each update.  The
+rank boundaries are ``low = max(0, s//2 - k)`` and ``high = min(s, s//2 + k)``,
+matching the static estimator in
+:class:`repro.core.bias.MiddleBucketsMeanEstimator` (ties between equal
+per-bucket averages may be assigned to either side of a boundary; the
+resulting estimate is the same up to tie-breaking).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core._indexed_heap import IndexedMaxHeap, IndexedMinHeap
+from repro.utils.validation import require_positive_int
+
+_BOTTOM = 0
+_MIDDLE = 1
+_TOP = 2
+
+
+class BiasHeap:
+    """Streaming structure maintaining the middle-bucket average of a CM row.
+
+    Parameters
+    ----------
+    bucket_counts:
+        The vector π: ``π_j`` is the number of coordinates hashed into bucket
+        ``j`` (the column sums of Π(g)); data-independent and fixed.
+    head_size:
+        The parameter ``k``; the middle window spans ``2k`` buckets.  Defaults
+        to ``s // 4`` exactly as Algorithm 5, line 2 ("set k ← s/4").
+    initial_w:
+        Optional initial bucket sums ``w`` (e.g. when attaching a Bias-Heap to
+        a sketch that already ingested data); defaults to all zeros.
+    """
+
+    def __init__(
+        self,
+        bucket_counts: np.ndarray,
+        head_size: Optional[int] = None,
+        initial_w: Optional[np.ndarray] = None,
+    ) -> None:
+        pi = np.asarray(bucket_counts, dtype=np.float64)
+        if pi.ndim != 1 or pi.size == 0:
+            raise ValueError("bucket_counts must be a non-empty 1-D array")
+        if np.any(pi < 0):
+            raise ValueError("bucket_counts must be non-negative")
+        self.buckets = pi.size
+        self.pi = pi.copy()
+        if head_size is None:
+            head_size = max(1, self.buckets // 4)
+        self.head_size = require_positive_int(head_size, "head_size")
+
+        s = self.buckets
+        self._low = max(0, s // 2 - self.head_size)
+        self._high = min(s, s // 2 + self.head_size)
+
+        #: per-bucket running sums w_j
+        if initial_w is None:
+            self.w = np.zeros(s, dtype=np.float64)
+        else:
+            initial_w = np.asarray(initial_w, dtype=np.float64)
+            if initial_w.shape != pi.shape:
+                raise ValueError(
+                    "initial_w must have the same shape as bucket_counts"
+                )
+            self.w = initial_w.copy()
+
+        # heaps exposing the boundary elements of each rank range
+        self._bottom_max = IndexedMaxHeap()
+        self._middle_min = IndexedMinHeap()
+        self._middle_max = IndexedMaxHeap()
+        self._top_min = IndexedMinHeap()
+        self._location = np.empty(s, dtype=np.int8)
+
+        # running sums over the middle set
+        self._middle_w_sum = 0.0
+        self._middle_pi_sum = 0.0
+        # global sums (used by the fallback when the middle set is all-empty)
+        self._total_w_sum = float(np.sum(self.w))
+        self._total_pi_sum = float(np.sum(self.pi))
+
+        self._initialise_partition()
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def _key(self, bucket: int) -> float:
+        if self.pi[bucket] > 0:
+            return float(self.w[bucket] / self.pi[bucket])
+        return 0.0
+
+    def _initialise_partition(self) -> None:
+        keys = np.array([self._key(j) for j in range(self.buckets)])
+        order = np.argsort(keys, kind="stable")
+        for rank, bucket in enumerate(order):
+            bucket = int(bucket)
+            key = float(keys[bucket])
+            if rank < self._low:
+                self._location[bucket] = _BOTTOM
+                self._bottom_max.push(bucket, key)
+            elif rank < self._high:
+                self._location[bucket] = _MIDDLE
+                self._middle_min.push(bucket, key)
+                self._middle_max.push(bucket, key)
+                self._middle_w_sum += self.w[bucket]
+                self._middle_pi_sum += self.pi[bucket]
+            else:
+                self._location[bucket] = _TOP
+                self._top_min.push(bucket, key)
+
+    # ------------------------------------------------------------------ #
+    # streaming updates
+    # ------------------------------------------------------------------ #
+    def update(self, bucket: int, delta: float) -> None:
+        """Apply ``w[bucket] += delta`` and restore the rank partition."""
+        if not (0 <= bucket < self.buckets):
+            raise IndexError(
+                f"bucket must be in [0, {self.buckets}), got {bucket}"
+            )
+        if self.pi[bucket] <= 0:
+            raise ValueError(
+                f"bucket {bucket} has no coordinates hashed to it and cannot "
+                "receive updates"
+            )
+        delta = float(delta)
+        self.w[bucket] += delta
+        self._total_w_sum += delta
+        if self._location[bucket] == _MIDDLE:
+            self._middle_w_sum += delta
+
+        self._reposition(bucket)
+        self._rebalance()
+
+    def _reposition(self, bucket: int) -> None:
+        """Refresh the heap key of ``bucket`` within its current set."""
+        key = self._key(bucket)
+        location = self._location[bucket]
+        if location == _BOTTOM:
+            self._bottom_max.remove(bucket)
+            self._bottom_max.push(bucket, key)
+        elif location == _MIDDLE:
+            self._middle_min.remove(bucket)
+            self._middle_max.remove(bucket)
+            self._middle_min.push(bucket, key)
+            self._middle_max.push(bucket, key)
+        else:
+            self._top_min.remove(bucket)
+            self._top_min.push(bucket, key)
+
+    def _move(self, bucket: int, key: float, destination: int) -> None:
+        """Move ``bucket`` from its current set into ``destination``."""
+        source = self._location[bucket]
+        if source == _BOTTOM:
+            self._bottom_max.remove(bucket)
+        elif source == _MIDDLE:
+            self._middle_min.remove(bucket)
+            self._middle_max.remove(bucket)
+            self._middle_w_sum -= self.w[bucket]
+            self._middle_pi_sum -= self.pi[bucket]
+        else:
+            self._top_min.remove(bucket)
+
+        if destination == _BOTTOM:
+            self._bottom_max.push(bucket, key)
+        elif destination == _MIDDLE:
+            self._middle_min.push(bucket, key)
+            self._middle_max.push(bucket, key)
+            self._middle_w_sum += self.w[bucket]
+            self._middle_pi_sum += self.pi[bucket]
+        else:
+            self._top_min.push(bucket, key)
+        self._location[bucket] = destination
+
+    def _rebalance(self) -> None:
+        """Swap boundary elements until bottom ≤ middle ≤ top by key."""
+        # a single key change displaces at most one element, so a handful of
+        # boundary swaps always suffices; the guard protects against bugs
+        for _ in range(8):
+            swapped = False
+            if len(self._bottom_max) and len(self._middle_min):
+                bottom_key, bottom_bucket = self._bottom_max.peek()
+                middle_key, middle_bucket = self._middle_min.peek()
+                if bottom_key > middle_key:
+                    self._move(bottom_bucket, bottom_key, _MIDDLE)
+                    self._move(middle_bucket, middle_key, _BOTTOM)
+                    swapped = True
+            if len(self._middle_max) and len(self._top_min):
+                middle_key, middle_bucket = self._middle_max.peek()
+                top_key, top_bucket = self._top_min.peek()
+                if middle_key > top_key:
+                    self._move(middle_bucket, middle_key, _TOP)
+                    self._move(top_bucket, top_key, _MIDDLE)
+                    swapped = True
+            if not swapped:
+                return
+        raise RuntimeError(
+            "BiasHeap failed to rebalance; this indicates an internal bug"
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def bias(self) -> float:
+        """The current bias estimate: middle-bucket sum of w over sum of π."""
+        if self._middle_pi_sum > 0:
+            return self._middle_w_sum / self._middle_pi_sum
+        if self._total_pi_sum > 0:
+            return self._total_w_sum / self._total_pi_sum
+        return 0.0
+
+    def middle_buckets(self) -> np.ndarray:
+        """Indices of the buckets currently in the middle rank range (sorted)."""
+        return np.array(sorted(self._middle_min.node_ids()), dtype=np.int64)
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any internal invariant is violated.
+
+        Used by the tests and the property-based suite; O(s) so not intended
+        for per-update use in production.
+        """
+        sizes = (len(self._bottom_max), len(self._middle_min), len(self._top_min))
+        assert sizes[0] == self._low, f"bottom size {sizes[0]} != {self._low}"
+        assert sizes[1] == self._high - self._low, (
+            f"middle size {sizes[1]} != {self._high - self._low}"
+        )
+        assert sizes[2] == self.buckets - self._high, (
+            f"top size {sizes[2]} != {self.buckets - self._high}"
+        )
+        assert len(self._middle_max) == len(self._middle_min)
+
+        if len(self._bottom_max) and len(self._middle_min):
+            assert self._bottom_max.peek()[0] <= self._middle_min.peek()[0] + 1e-9
+        if len(self._middle_max) and len(self._top_min):
+            assert self._middle_max.peek()[0] <= self._top_min.peek()[0] + 1e-9
+
+        middle = self._middle_min.node_ids()
+        expected_w = float(np.sum(self.w[middle])) if middle else 0.0
+        expected_pi = float(np.sum(self.pi[middle])) if middle else 0.0
+        assert abs(expected_w - self._middle_w_sum) < 1e-6, "middle w sum drifted"
+        assert abs(expected_pi - self._middle_pi_sum) < 1e-6, "middle pi sum drifted"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BiasHeap(buckets={self.buckets}, head_size={self.head_size}, "
+            f"bias={self.bias():.6g})"
+        )

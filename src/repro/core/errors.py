@@ -1,0 +1,191 @@
+"""Tail-error functionals and the optimal bias.
+
+This module implements the quantities the paper's guarantees are stated in:
+
+* ``Err_p^k(x) = min_{k-sparse x'} ‖x - x'‖_p`` — the ℓp mass on the tail of
+  ``x`` after removing the ``k`` largest-magnitude coordinates (head).
+* ``min_β Err_p^k(x - β·1)`` and its minimiser β* (Equation 5 of the paper) —
+  the de-biased tail error that bounds the bias-aware sketches.
+
+The optimal bias is computed exactly.  The key structural fact (used in
+Lemmas 1 and 4 of the paper) is that for any fixed β the ``n - k`` coordinates
+*kept* by ``Err_p^k(x - β)`` are the ones closest to β, which form a
+contiguous window of the sorted vector.  Minimising over β therefore reduces
+to scanning the ``k + 1`` windows of length ``n - k`` of the sorted vector and
+taking, per window, the ℓ1-optimal centre (the window median) or the
+ℓ2-optimal centre (the window mean).  Prefix sums make the scan linear after
+sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d_float_array
+
+
+def _validate_k(k: int, n: int) -> int:
+    if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
+        raise TypeError(f"k must be an integer, got {type(k).__name__}")
+    k = int(k)
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    if k >= n:
+        raise ValueError(f"k must be < n = {n}, got {k} (a k-sparse vector "
+                         "would already represent x exactly)")
+    return k
+
+
+def _validate_p(p) -> int:
+    if p not in (1, 2):
+        raise ValueError(f"p must be 1 or 2, got {p!r}")
+    return int(p)
+
+
+def err_pk(x, k: int, p: int = 2) -> float:
+    """Compute ``Err_p^k(x)``: the ℓp norm of x with its k largest entries removed.
+
+    Parameters
+    ----------
+    x:
+        The frequency vector.
+    k:
+        Number of head coordinates excluded from the error (0 <= k < n).
+    p:
+        The norm, 1 or 2.
+    """
+    arr = ensure_1d_float_array(x, "x")
+    k = _validate_k(k, arr.size)
+    p = _validate_p(p)
+    magnitudes = np.abs(arr)
+    if k > 0:
+        # zero out the k largest magnitudes
+        tail = np.partition(magnitudes, arr.size - k)[: arr.size - k]
+    else:
+        tail = magnitudes
+    if p == 1:
+        return float(np.sum(tail))
+    return float(np.sqrt(np.sum(tail * tail)))
+
+
+def debias(x, beta: float) -> np.ndarray:
+    """Return the de-biased vector ``x - β·1`` (the paper's ``x - β`` notation)."""
+    arr = ensure_1d_float_array(x, "x")
+    return arr - float(beta)
+
+
+def debiased_err(x, k: int, beta: float, p: int = 2) -> float:
+    """Compute ``Err_p^k(x - β·1)`` for a given bias value β."""
+    return err_pk(debias(x, beta), k, p)
+
+
+@dataclass(frozen=True)
+class BiasSolution:
+    """The exact optimal bias of a vector and the error it achieves.
+
+    Attributes
+    ----------
+    beta:
+        The minimiser ``β* = argmin_β Err_p^k(x - β·1)``.
+    error:
+        The minimum de-biased tail error ``Err_p^k(x - β*·1)``.
+    head_indices:
+        Indices of the k coordinates dropped by the optimal solution (the
+        coordinates deviating most from β*), in increasing index order.
+    """
+
+    beta: float
+    error: float
+    head_indices: np.ndarray
+
+
+def optimal_bias(x, k: int, p: int = 2) -> BiasSolution:
+    """Exactly minimise ``Err_p^k(x - β·1)`` over β.
+
+    Runs in O(n log n) time.  This is *not* a sketching algorithm — it needs
+    the full vector — and serves as the ground truth against which the
+    sketch-based bias estimators are tested (and as the right-hand side of the
+    paper's error bounds in EXPERIMENTS.md).
+    """
+    arr = ensure_1d_float_array(x, "x")
+    n = arr.size
+    k = _validate_k(k, n)
+    p = _validate_p(p)
+
+    # Work on a centred copy: subtracting a constant shifts the optimal β by
+    # the same constant and leaves the error unchanged, while keeping the
+    # prefix sums at the scale of the deviations (avoids catastrophic
+    # cancellation for vectors with a huge common offset).
+    centre = float(np.median(arr))
+    centred = arr - centre
+
+    order = np.argsort(centred, kind="stable")
+    sorted_x = centred[order]
+    window = n - k
+
+    prefix = np.concatenate(([0.0], np.cumsum(sorted_x)))
+    if p == 2:
+        prefix_sq = np.concatenate(([0.0], np.cumsum(sorted_x * sorted_x)))
+
+    best_cost = np.inf
+    best_beta = 0.0
+    best_start = 0
+    for start in range(k + 1):
+        end = start + window
+        if p == 1:
+            # ℓ1-optimal centre of the window is its median
+            mid_low = start + (window - 1) // 2
+            mid_high = start + window // 2
+            beta = 0.5 * (sorted_x[mid_low] + sorted_x[mid_high])
+            # cost = sum over window of |x_i - beta| via prefix sums around the median
+            left_count = mid_low - start + 1
+            left_sum = prefix[mid_low + 1] - prefix[start]
+            right_count = end - mid_low - 1
+            right_sum = prefix[end] - prefix[mid_low + 1]
+            cost = (beta * left_count - left_sum) + (right_sum - beta * right_count)
+        else:
+            # ℓ2-optimal centre of the window is its mean
+            total = prefix[end] - prefix[start]
+            total_sq = prefix_sq[end] - prefix_sq[start]
+            beta = total / window
+            cost_sq = max(total_sq - window * beta * beta, 0.0)
+            cost = float(np.sqrt(cost_sq))
+        if cost < best_cost - 1e-12 or (
+            abs(cost - best_cost) <= 1e-12 and start < best_start
+        ):
+            best_cost = float(cost)
+            best_beta = float(beta)
+            best_start = start
+
+    kept_positions = order[best_start:best_start + window]
+    head_mask = np.ones(n, dtype=bool)
+    head_mask[kept_positions] = False
+    head_indices = np.flatnonzero(head_mask)
+
+    return BiasSolution(
+        beta=best_beta + centre,
+        error=float(best_cost),
+        head_indices=head_indices,
+    )
+
+
+def optimal_bias_error(x, k: int, p: int = 2) -> float:
+    """Convenience wrapper returning only ``min_β Err_p^k(x - β·1)``."""
+    return optimal_bias(x, k, p).error
+
+
+def bias_gain(x, k: int, p: int = 2) -> float:
+    """The factor by which de-biasing shrinks the tail error.
+
+    Returns ``Err_p^k(x) / min_β Err_p^k(x - β·1)`` (``inf`` when the de-biased
+    error is zero and the biased one is not, 1.0 when both are zero).  This is
+    the quantity that predicts how much the bias-aware sketches improve over
+    their classical counterparts on a given dataset.
+    """
+    biased = err_pk(x, k, p)
+    debiased = optimal_bias_error(x, k, p)
+    if debiased == 0.0:
+        return 1.0 if biased == 0.0 else float("inf")
+    return biased / debiased

@@ -1,0 +1,195 @@
+"""ℓ2-S/R: the bias-aware sketch with ℓ∞/ℓ2 guarantee (Algorithms 3-4).
+
+Sketching (Algorithm 3)
+    The sketch of ``x`` is one Count-Median row ``w = Π(g)x`` (used only for
+    bias estimation) plus ``d`` Count-Sketch rows ``y_i = Ψ(h_i, r_i)x``.
+
+Recovery (Algorithm 4)
+    1. Sort the buckets of ``w`` by their per-bucket average ``w_i/π_i`` and
+       set β̂ to the ratio of sums over the middle ``2k`` buckets
+       (π = column sums of Π(g)).
+    2. Subtract β̂·ψ_i from each Count-Sketch row, where ψ_i is the per-bucket
+       sum of signs (column sums of Ψ(h_i, r_i)); by linearity this yields the
+       Count-Sketch of the de-biased vector ``x - β̂·1``.
+    3. Run Count-Sketch recovery on the de-biased rows to get ẑ.
+    4. Return x̂ = ẑ + β̂.
+
+Guarantee (Theorem 4): with probability 1 - O(1/n),
+
+    ‖x̂ - x‖∞ ≤ C/√k · min_β Err_2^k(x - β·1).
+
+The sketch is linear and therefore mergeable; its streaming variant with O(1)
+bias queries lives in :mod:`repro.core.streaming_l2`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bias import MiddleBucketsMeanEstimator
+from repro.sketches._tables import HashedCounterTable
+from repro.sketches.base import LinearSketch
+from repro.utils.rng import RandomSource, derive_seed
+
+
+class L2BiasAwareSketch(LinearSketch):
+    """The ℓ2 bias-aware sketch (``ℓ2-S/R`` in the paper's figures).
+
+    Parameters
+    ----------
+    dimension:
+        Dimension ``n`` of the frequency vector.
+    width:
+        Buckets per row, ``s = c_s·k`` with ``c_s ≥ 4``.
+    depth:
+        Number of Count-Sketch rows ``d`` (the paper uses 9); the extra bias
+        row ``w`` is on top of these.
+    head_size:
+        The parameter ``k`` controlling the middle-bucket window (``2k``
+        buckets are averaged).  Defaults to ``width // 4``, i.e. ``c_s = 4``,
+        which is the setting of Algorithm 5 in the paper.
+    seed:
+        Randomness for all hash and sign functions.
+    """
+
+    name = "l2_sr"
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        head_size: Optional[int] = None,
+        seed: RandomSource = None,
+    ) -> None:
+        super().__init__(dimension, width, depth, seed=seed)
+        if head_size is None:
+            head_size = max(1, width // 4)
+        if head_size < 1 or 2 * head_size > width:
+            raise ValueError(
+                f"head_size must satisfy 1 <= head_size <= width/2, got "
+                f"{head_size} with width {width}"
+            )
+        self.head_size = int(head_size)
+
+        # the d Count-Sketch data rows
+        self._cs_table = HashedCounterTable(
+            dimension, width, depth, signed=True, seed=seed
+        )
+        # the single Count-Median bias row w = Π(g)x
+        self._bias_row = HashedCounterTable(
+            dimension, width, 1, signed=False, seed=derive_seed(seed, 505)
+        )
+        self._bias_estimator = MiddleBucketsMeanEstimator(self.head_size)
+
+        # ψ and π are data-independent; cache them once
+        self._psi = self._cs_table.column_sums()
+        self._pi_g = self._bias_row.column_sums()[0]
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def update(self, index: int, delta: float = 1.0) -> None:
+        index = self._check_index(index)
+        delta = float(delta)
+        self._cs_table.add_update(index, delta)
+        self._bias_row.add_update(index, delta)
+        self._items_processed += 1
+
+    def fit(self, x) -> "L2BiasAwareSketch":
+        arr = self._check_vector(x)
+        self._cs_table.add_vector(arr)
+        self._bias_row.add_vector(arr)
+        self._items_processed += int(np.count_nonzero(arr))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def estimate_bias(self) -> float:
+        """β̂: the middle-2k-bucket average of the bias row (Alg. 4, line 2)."""
+        return self._bias_estimator.estimate_from_buckets(
+            self._bias_row.table[0], self._pi_g
+        )
+
+    def query(self, index: int) -> float:
+        index = self._check_index(index)
+        beta = self.estimate_bias()
+        return self._query_with_bias(index, beta)
+
+    def _query_with_bias(self, index: int, beta: float) -> float:
+        buckets = self._cs_table.buckets[:, index]
+        rows = np.arange(self.depth)
+        debiased = (
+            self._cs_table.table[rows, buckets] - beta * self._psi[rows, buckets]
+        )
+        signed = debiased * self._cs_table.sign_values[rows, index]
+        return float(np.median(signed)) + beta
+
+    def recover(self) -> np.ndarray:
+        beta = self.estimate_bias()
+        debiased_tables = self._cs_table.table - beta * self._psi
+        estimates = np.take_along_axis(
+            debiased_tables, self._cs_table.buckets, axis=1
+        )
+        estimates = estimates * self._cs_table.sign_values
+        return np.median(estimates, axis=0) + beta
+
+    # ------------------------------------------------------------------ #
+    # linearity
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "L2BiasAwareSketch") -> "L2BiasAwareSketch":
+        self._check_compatible(other)
+        self._cs_table.merge_from(other._cs_table)
+        self._bias_row.merge_from(other._bias_row)
+        self._items_processed += other._items_processed
+        return self
+
+    def scale(self, factor: float) -> "L2BiasAwareSketch":
+        factor = float(factor)
+        self._cs_table.scale_by(factor)
+        self._bias_row.scale_by(factor)
+        return self
+
+    def copy(self) -> "L2BiasAwareSketch":
+        clone = L2BiasAwareSketch(
+            self.dimension,
+            self.width,
+            self.depth,
+            head_size=self.head_size,
+            seed=self.seed,
+        )
+        self._cs_table.copy_into(clone._cs_table)
+        self._bias_row.copy_into(clone._bias_row)
+        clone._items_processed = self._items_processed
+        return clone
+
+    def _check_compatible(self, other: "L2BiasAwareSketch") -> None:
+        super()._check_compatible(other)
+        if other.head_size != self.head_size:
+            raise ValueError(
+                "sketches must use the same head_size (k) to be merged"
+            )
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def size_in_words(self) -> int:
+        return self._cs_table.counter_count + self._bias_row.counter_count
+
+    @property
+    def table(self) -> np.ndarray:
+        """The raw ``(depth, width)`` Count-Sketch counter table (for inspection)."""
+        return self._cs_table.table
+
+    @property
+    def bias_buckets(self) -> np.ndarray:
+        """The bias row ``w = Π(g)x`` (for inspection and the streaming variant)."""
+        return self._bias_row.table[0]
+
+    @property
+    def bias_bucket_counts(self) -> np.ndarray:
+        """π for the bias row: how many coordinates hash to each bucket of g."""
+        return self._pi_g

@@ -1,0 +1,169 @@
+"""ℓ1-mean / ℓ2-mean: bias-aware sketches that use the plain mean as the bias.
+
+Section 5.4 of the paper compares ℓ1-S/R and ℓ2-S/R with two simple
+heuristics, ``ℓ1-mean`` and ``ℓ2-mean``, which subtract the mean of *all*
+coordinates instead of an outlier-robust bias estimate.  The heuristics keep
+the same recovery machinery (Count-Median for the ℓ1 variant, Count-Sketch
+for the ℓ2 variant) but their bias estimate carries no guarantee: as the
+warm-up discussion in Section 4.1 shows, a handful of extreme outliers can
+drag the mean arbitrarily far from the optimal bias (this is exactly what
+Figure 8c-8d demonstrates with 500 shifted entries).
+
+Both variants are linear: the running sum of the vector is a linear function
+of it, so the heuristic sketches still merge in the distributed model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bias import MeanEstimator
+from repro.sketches._tables import HashedCounterTable
+from repro.sketches.base import LinearSketch
+from repro.utils.rng import RandomSource
+
+
+class MeanBiasSketch(LinearSketch):
+    """Common machinery of the mean-heuristic sketches.
+
+    Parameters
+    ----------
+    dimension, width, depth, seed:
+        As for the other table sketches.
+    signed:
+        ``True`` gives the ℓ2 variant (Count-Sketch rows), ``False`` the ℓ1
+        variant (Count-Median rows).
+    """
+
+    name = "mean_bias"
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        signed: bool,
+        seed: RandomSource = None,
+    ) -> None:
+        super().__init__(dimension, width, depth, seed=seed)
+        self.signed = bool(signed)
+        self._table = HashedCounterTable(
+            dimension, width, depth, signed=self.signed, seed=seed
+        )
+        self._bias_estimator = MeanEstimator(dimension)
+        self._column_sums = self._table.column_sums()
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def update(self, index: int, delta: float = 1.0) -> None:
+        index = self._check_index(index)
+        delta = float(delta)
+        self._table.add_update(index, delta)
+        self._bias_estimator.update(index, delta)
+        self._items_processed += 1
+
+    def fit(self, x) -> "MeanBiasSketch":
+        arr = self._check_vector(x)
+        self._table.add_vector(arr)
+        self._bias_estimator.ingest_vector(arr)
+        self._items_processed += int(np.count_nonzero(arr))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def estimate_bias(self) -> float:
+        """β̂ = (running sum) / n — the plain mean of all coordinates."""
+        return self._bias_estimator.current_estimate()
+
+    def query(self, index: int) -> float:
+        index = self._check_index(index)
+        beta = self.estimate_bias()
+        buckets = self._table.buckets[:, index]
+        rows = np.arange(self.depth)
+        debiased = (
+            self._table.table[rows, buckets]
+            - beta * self._column_sums[rows, buckets]
+        )
+        if self.signed:
+            debiased = debiased * self._table.sign_values[rows, index]
+        return float(np.median(debiased)) + beta
+
+    def recover(self) -> np.ndarray:
+        beta = self.estimate_bias()
+        debiased_tables = self._table.table - beta * self._column_sums
+        estimates = np.take_along_axis(debiased_tables, self._table.buckets, axis=1)
+        if self.signed:
+            estimates = estimates * self._table.sign_values
+        return np.median(estimates, axis=0) + beta
+
+    # ------------------------------------------------------------------ #
+    # linearity
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "MeanBiasSketch") -> "MeanBiasSketch":
+        self._check_compatible(other)
+        if other.signed != self.signed:
+            raise ValueError("cannot merge ℓ1-mean with ℓ2-mean sketches")
+        self._table.merge_from(other._table)
+        self._bias_estimator.merge(other._bias_estimator)
+        self._items_processed += other._items_processed
+        return self
+
+    def scale(self, factor: float) -> "MeanBiasSketch":
+        factor = float(factor)
+        self._table.scale_by(factor)
+        self._bias_estimator.scale(factor)
+        return self
+
+    def copy(self) -> "MeanBiasSketch":
+        if type(self) is MeanBiasSketch:
+            clone = MeanBiasSketch(
+                self.dimension, self.width, self.depth, self.signed, seed=self.seed
+            )
+        else:
+            clone = type(self)(
+                self.dimension, self.width, self.depth, seed=self.seed
+            )
+        self._table.copy_into(clone._table)
+        clone._bias_estimator._running_sum = self._bias_estimator._running_sum
+        clone._items_processed = self._items_processed
+        return clone
+
+    def size_in_words(self) -> int:
+        return self._table.counter_count + self._bias_estimator.size_in_words()
+
+    @property
+    def table(self) -> np.ndarray:
+        """The raw ``(depth, width)`` counter table (for inspection)."""
+        return self._table.table
+
+
+class L1MeanSketch(MeanBiasSketch):
+    """``ℓ1-mean``: Count-Median rows de-biased by the plain mean."""
+
+    name = "l1_mean"
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        seed: RandomSource = None,
+    ) -> None:
+        super().__init__(dimension, width, depth, signed=False, seed=seed)
+
+
+class L2MeanSketch(MeanBiasSketch):
+    """``ℓ2-mean``: Count-Sketch rows de-biased by the plain mean."""
+
+    name = "l2_mean"
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        seed: RandomSource = None,
+    ) -> None:
+        super().__init__(dimension, width, depth, signed=True, seed=seed)

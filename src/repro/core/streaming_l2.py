@@ -1,0 +1,102 @@
+"""Streaming ℓ2-S/R (Algorithm 6): real-time point queries with a Bias-Heap.
+
+Algorithm 6 of the paper augments the ℓ2 bias-aware sketch for the streaming
+model: the Count-Sketch rows are updated as usual, the single CM bias row is
+routed through the :class:`~repro.core.bias_heap.BiasHeap` of Algorithm 5, and
+a point query reads the current bias β̂ from the heap in O(1), de-biases the
+``d`` bucket values of the queried coordinate and returns the sign-corrected
+median plus β̂ — no post-processing pass, no re-sorting.
+
+:class:`StreamingL2BiasAwareSketch` keeps the exact interface of
+:class:`~repro.core.l2_sketch.L2BiasAwareSketch`; only the bias-estimate
+maintenance differs.  Estimates may differ from the batch variant only in how
+ties between equal per-bucket averages are broken.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bias_heap import BiasHeap
+from repro.core.l2_sketch import L2BiasAwareSketch
+from repro.utils.rng import RandomSource
+
+
+class StreamingL2BiasAwareSketch(L2BiasAwareSketch):
+    """ℓ2-S/R with the bias maintained by a Bias-Heap (Algorithm 6)."""
+
+    name = "l2_sr_streaming"
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        head_size: Optional[int] = None,
+        seed: RandomSource = None,
+    ) -> None:
+        super().__init__(
+            dimension, width, depth, head_size=head_size, seed=seed
+        )
+        self._bias_heap = BiasHeap(self._pi_g, head_size=self.head_size)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def update(self, index: int, delta: float = 1.0) -> None:
+        index = self._check_index(index)
+        delta = float(delta)
+        super().update(index, delta)
+        bucket = int(self._bias_row.buckets[0, index])
+        self._bias_heap.update(bucket, delta)
+
+    def fit(self, x) -> "StreamingL2BiasAwareSketch":
+        super().fit(x)
+        self._rebuild_heap()
+        return self
+
+    def merge(self, other: "L2BiasAwareSketch") -> "StreamingL2BiasAwareSketch":
+        super().merge(other)
+        self._rebuild_heap()
+        return self
+
+    def scale(self, factor: float) -> "StreamingL2BiasAwareSketch":
+        super().scale(factor)
+        self._rebuild_heap()
+        return self
+
+    def copy(self) -> "StreamingL2BiasAwareSketch":
+        clone = StreamingL2BiasAwareSketch(
+            self.dimension,
+            self.width,
+            self.depth,
+            head_size=self.head_size,
+            seed=self.seed,
+        )
+        self._cs_table.copy_into(clone._cs_table)
+        self._bias_row.copy_into(clone._bias_row)
+        clone._items_processed = self._items_processed
+        clone._rebuild_heap()
+        return clone
+
+    def _rebuild_heap(self) -> None:
+        """Rebuild the Bias-Heap from the current bias-row state (bulk paths)."""
+        self._bias_heap = BiasHeap(
+            self._pi_g,
+            head_size=self.head_size,
+            initial_w=self._bias_row.table[0],
+        )
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def estimate_bias(self) -> float:
+        """β̂ from the Bias-Heap — O(1) at query time (Algorithm 6, line 8)."""
+        return self._bias_heap.bias()
+
+    @property
+    def bias_heap(self) -> BiasHeap:
+        """The underlying Bias-Heap (for inspection and tests)."""
+        return self._bias_heap

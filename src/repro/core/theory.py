@@ -1,0 +1,174 @@
+"""Theoretical error bounds and parameter recommendations.
+
+The paper states four guarantees (Theorems 1-4).  This module evaluates their
+right-hand sides for a concrete vector and sketch configuration, so that
+
+* tests can assert that the measured errors respect the bounds (up to the
+  universal constants the theorems hide),
+* the experiment log can report measured-vs-predicted error side by side, and
+* users can size a sketch for a target error before building it
+  (:func:`recommend_parameters`).
+
+All bounds are returned *without* the hidden constants: the value reported
+for, say, Theorem 3 is ``min_β Err_1^k(x - β·1) / k``; the theorem guarantees
+the ℓ∞ recovery error is at most a universal constant times that.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import err_pk, optimal_bias_error
+from repro.utils.validation import ensure_1d_float_array, require_positive_int
+
+
+@dataclass(frozen=True)
+class GuaranteeReport:
+    """The four per-coordinate error scales for one vector and head size ``k``.
+
+    Attributes
+    ----------
+    count_median_bound:
+        Theorem 1 scale: ``Err_1^k(x) / k`` (classical ℓ∞/ℓ1).
+    count_sketch_bound:
+        Theorem 2 scale: ``Err_2^k(x) / √k`` (classical ℓ∞/ℓ2).
+    l1_bias_aware_bound:
+        Theorem 3 scale: ``min_β Err_1^k(x-β) / k``.
+    l2_bias_aware_bound:
+        Theorem 4 scale: ``min_β Err_2^k(x-β) / √k``.
+    """
+
+    head_size: int
+    count_median_bound: float
+    count_sketch_bound: float
+    l1_bias_aware_bound: float
+    l2_bias_aware_bound: float
+
+    @property
+    def l1_improvement(self) -> float:
+        """Predicted improvement of ℓ1-S/R over Count-Median (Theorem 3 vs 1)."""
+        if self.l1_bias_aware_bound == 0.0:
+            return float("inf") if self.count_median_bound > 0 else 1.0
+        return self.count_median_bound / self.l1_bias_aware_bound
+
+    @property
+    def l2_improvement(self) -> float:
+        """Predicted improvement of ℓ2-S/R over Count-Sketch (Theorem 4 vs 2)."""
+        if self.l2_bias_aware_bound == 0.0:
+            return float("inf") if self.count_sketch_bound > 0 else 1.0
+        return self.count_sketch_bound / self.l2_bias_aware_bound
+
+
+def count_median_bound(x, head_size: int) -> float:
+    """Theorem 1 error scale for Count-Median: ``Err_1^k(x) / k``."""
+    head_size = require_positive_int(head_size, "head_size")
+    return err_pk(x, head_size, 1) / head_size
+
+
+def count_sketch_bound(x, head_size: int) -> float:
+    """Theorem 2 error scale for Count-Sketch: ``Err_2^k(x) / √k``."""
+    head_size = require_positive_int(head_size, "head_size")
+    return err_pk(x, head_size, 2) / math.sqrt(head_size)
+
+
+def l1_bias_aware_bound(x, head_size: int) -> float:
+    """Theorem 3 error scale for ℓ1-S/R: ``min_β Err_1^k(x-β) / k``."""
+    head_size = require_positive_int(head_size, "head_size")
+    return optimal_bias_error(x, head_size, 1) / head_size
+
+
+def l2_bias_aware_bound(x, head_size: int) -> float:
+    """Theorem 4 error scale for ℓ2-S/R: ``min_β Err_2^k(x-β) / √k``."""
+    head_size = require_positive_int(head_size, "head_size")
+    return optimal_bias_error(x, head_size, 2) / math.sqrt(head_size)
+
+
+def guarantee_report(x, head_size: int) -> GuaranteeReport:
+    """All four error scales at once."""
+    arr = ensure_1d_float_array(x, "x")
+    head_size = require_positive_int(head_size, "head_size")
+    if head_size >= arr.size:
+        raise ValueError(
+            f"head_size must be < dimension ({arr.size}), got {head_size}"
+        )
+    return GuaranteeReport(
+        head_size=head_size,
+        count_median_bound=count_median_bound(arr, head_size),
+        count_sketch_bound=count_sketch_bound(arr, head_size),
+        l1_bias_aware_bound=l1_bias_aware_bound(arr, head_size),
+        l2_bias_aware_bound=l2_bias_aware_bound(arr, head_size),
+    )
+
+
+@dataclass(frozen=True)
+class SketchParameters:
+    """A recommended sketch configuration.
+
+    Attributes
+    ----------
+    width:
+        Buckets per row ``s``.
+    depth:
+        Number of rows ``d``.
+    head_size:
+        The ``k`` the configuration targets.
+    words:
+        Total counter words the configuration uses (including the bias
+        structure of the bias-aware sketches, which adds one more width-``s``
+        row).
+    """
+
+    width: int
+    depth: int
+    head_size: int
+
+    @property
+    def words(self) -> int:
+        return self.width * (self.depth + 1)
+
+
+def recommend_parameters(
+    dimension: int,
+    head_size: int,
+    width_factor: float = 4.0,
+    failure_probability: float = None,
+) -> SketchParameters:
+    """Recommend ``(s, d)`` following the paper's construction.
+
+    The theorems use ``s = c_s·k`` with ``c_s ≥ 4`` and ``d = Θ(log n)``;
+    the experiments use ``d ∈ {9, 10}``.  ``width_factor`` is ``c_s``;
+    ``failure_probability`` δ, when given, sets ``d = ceil(log2(n/δ))``
+    capped below at 3, otherwise ``d = ceil(log2 n)`` is used.
+    """
+    dimension = require_positive_int(dimension, "dimension")
+    head_size = require_positive_int(head_size, "head_size")
+    if width_factor < 4.0:
+        raise ValueError(
+            f"width_factor (c_s) must be >= 4 as required by the analysis, "
+            f"got {width_factor}"
+        )
+    width = max(4, int(math.ceil(width_factor * head_size)))
+    if failure_probability is not None:
+        if not (0.0 < failure_probability < 1.0):
+            raise ValueError("failure_probability must lie in (0, 1)")
+        depth = int(math.ceil(math.log2(dimension / failure_probability)))
+    else:
+        depth = int(math.ceil(math.log2(max(dimension, 2))))
+    depth = max(3, depth)
+    return SketchParameters(width=width, depth=depth, head_size=head_size)
+
+
+def sketch_size_words(dimension: int, head_size: int,
+                      width_factor: float = 4.0) -> int:
+    """The ``O(k log n)`` sketch size of the paper, in counter words."""
+    return recommend_parameters(dimension, head_size, width_factor).words
+
+
+def predicted_compression(dimension: int, head_size: int,
+                          width_factor: float = 4.0) -> float:
+    """How many times smaller the sketch is than the raw vector."""
+    words = sketch_size_words(dimension, head_size, width_factor)
+    return dimension / words if words else float("inf")

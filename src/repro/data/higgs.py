@@ -1,0 +1,59 @@
+"""Simulated Higgs dataset (substitute for the HIGGS kinematic feature vector).
+
+The paper models the fourth kinematic feature of the HIGGS Monte-Carlo
+dataset (Baldi et al. 2014) as a non-negative vector of 1.1·10^7 entries.
+Kinematic magnitudes of that kind are unimodal, right-skewed and strictly
+positive — well approximated by a gamma distribution with a mode near 1 and a
+moderate tail.  That gives a vector with a moderate bias and *asymmetric*
+noise around it, which is exactly the regime where Figure 4 shows ℓ2-S/R
+ahead of CS, CS ahead of CM-CU/CML-CU, and CM far behind.
+
+The substitute draws i.i.d. gamma variates (optionally with a handful of
+extreme outliers, disabled by default to mirror the clean real feature).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import require_positive_int
+
+
+def simulated_higgs(
+    dimension: int = 100_000,
+    shape: float = 3.0,
+    scale: float = 0.35,
+    outliers: int = 0,
+    outlier_value: float = 50.0,
+    seed: RandomSource = None,
+) -> Dataset:
+    """Generate a Higgs-like non-negative, right-skewed feature vector."""
+    dimension = require_positive_int(dimension, "dimension")
+    if shape <= 0 or scale <= 0:
+        raise ValueError("shape and scale must be positive")
+    if outliers < 0 or outliers >= dimension:
+        raise ValueError(
+            f"outliers must be in [0, dimension), got {outliers}"
+        )
+    rng = as_rng(seed)
+    vector = rng.gamma(shape, scale, size=dimension)
+    if outliers > 0:
+        indices = rng.choice(dimension, size=outliers, replace=False)
+        vector[indices] += outlier_value
+    return Dataset(
+        name="higgs",
+        vector=vector,
+        description=(
+            "simulated non-negative right-skewed kinematic feature "
+            "(substitute for the 4th HIGGS feature)"
+        ),
+        metadata={
+            "shape": float(shape),
+            "scale": float(scale),
+            "outliers": int(outliers),
+            "outlier_value": float(outlier_value),
+            "seed": seed,
+        },
+    )

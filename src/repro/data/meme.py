@@ -1,0 +1,58 @@
+"""Simulated Meme dataset (substitute for memetracker phrase lengths).
+
+The paper models the Meme dataset as a vector whose i-th coordinate is the
+length (number of words) of the i-th meme phrase from memetracker.org
+(n ≈ 2.1·10^8).  Phrase lengths are small positive integers with a mode
+around a handful of words and a right tail of long quotes — a mild bias with
+discrete, skewed deviations.
+
+The substitute draws lengths from a shifted negative-binomial distribution
+(mode ≈ 7 words, long right tail), which reproduces that shape.  Figure 5's
+qualitative outcome — ℓ2-S/R best, CS ~30 % worse, the Count-Min family far
+behind — follows from that mild-bias / skewed-tail structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import require_positive_int
+
+
+def simulated_meme(
+    dimension: int = 100_000,
+    mean_length: float = 8.0,
+    dispersion: float = 3.0,
+    minimum_length: int = 1,
+    seed: RandomSource = None,
+) -> Dataset:
+    """Generate a Meme-like vector of phrase lengths (small skewed integers)."""
+    dimension = require_positive_int(dimension, "dimension")
+    if mean_length <= minimum_length:
+        raise ValueError(
+            f"mean_length ({mean_length}) must exceed minimum_length "
+            f"({minimum_length})"
+        )
+    if dispersion <= 0:
+        raise ValueError(f"dispersion must be positive, got {dispersion}")
+    rng = as_rng(seed)
+    # negative binomial parameterised by mean and dispersion (number of failures)
+    excess_mean = mean_length - minimum_length
+    p = dispersion / (dispersion + excess_mean)
+    vector = minimum_length + rng.negative_binomial(dispersion, p, size=dimension)
+    return Dataset(
+        name="meme",
+        vector=vector.astype(np.float64),
+        description=(
+            "simulated meme phrase lengths (shifted negative binomial; "
+            "substitute for the memetracker length vector)"
+        ),
+        metadata={
+            "mean_length": float(mean_length),
+            "dispersion": float(dispersion),
+            "minimum_length": int(minimum_length),
+            "seed": seed,
+        },
+    )

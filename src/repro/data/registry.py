@@ -1,0 +1,53 @@
+"""Dataset registry: build any of the paper's workloads by name.
+
+The evaluation harness and the benchmark modules refer to datasets by the
+short names used in the paper's figures; this registry maps those names to
+the generator functions with their default (laptop-scale) parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.data.dataset import Dataset
+from repro.data.higgs import simulated_higgs
+from repro.data.hudong import simulated_hudong
+from repro.data.meme import simulated_meme
+from repro.data.synthetic import (
+    gaussian_dataset,
+    gaussian2_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+from repro.data.wiki import simulated_wiki
+from repro.data.worldcup import simulated_worldcup
+from repro.utils.rng import RandomSource
+
+_GENERATORS: Dict[str, Callable[..., Dataset]] = {
+    "gaussian": gaussian_dataset,
+    "gaussian2": gaussian2_dataset,
+    "worldcup": simulated_worldcup,
+    "wiki": simulated_wiki,
+    "higgs": simulated_higgs,
+    "meme": simulated_meme,
+    "zipf": zipf_dataset,
+    "uniform": uniform_dataset,
+    "hudong": lambda **kwargs: simulated_hudong(**kwargs).to_dataset(),
+}
+
+
+def available_datasets() -> List[str]:
+    """Names of all datasets the registry can build."""
+    return sorted(_GENERATORS)
+
+
+def load_dataset(name: str, seed: RandomSource = None, **kwargs) -> Dataset:
+    """Build the dataset registered under ``name``.
+
+    Extra keyword arguments are forwarded to the generator (e.g.
+    ``dimension=...``, ``bias=...``); every generator accepts ``seed``.
+    """
+    if name not in _GENERATORS:
+        known = ", ".join(available_datasets())
+        raise KeyError(f"unknown dataset {name!r}; available: {known}")
+    return _GENERATORS[name](seed=seed, **kwargs)

@@ -1,0 +1,76 @@
+"""Simulated Wiki dataset (substitute for English-Wikipedia pageviews per second).
+
+The paper's Wiki vector has one coordinate per second over roughly 40 days
+(n ≈ 3.5 million) and about 1.3·10^10 pageviews in total, i.e. ~3 700 views
+per second on average.  Per-second pageview counts of a site that large are
+tightly concentrated around a slowly varying diurnal mean — a textbook case
+of a strongly biased vector, which is why ℓ2-S/R beats every baseline by an
+order of magnitude in Figure 2.
+
+The substitute draws per-second counts from a Poisson-lognormal process whose
+rate follows a diurnal plus weekly pattern around a large mean, with a small
+number of short spikes (breaking-news events).  The coefficient of variation
+is kept small (≈10-15 %), matching the real data's concentration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import require_positive_int
+
+
+def simulated_wiki(
+    dimension: int = 50_000,
+    average_rate: float = 3_700.0,
+    diurnal_amplitude: float = 0.12,
+    weekly_amplitude: float = 0.04,
+    noise_sigma: float = 0.03,
+    spikes: int = 5,
+    spike_multiplier: float = 1.8,
+    seed: RandomSource = None,
+) -> Dataset:
+    """Generate a Wiki-like pageviews-per-second vector (strong bias)."""
+    dimension = require_positive_int(dimension, "dimension")
+    if average_rate <= 0:
+        raise ValueError(f"average_rate must be positive, got {average_rate}")
+    rng = as_rng(seed)
+
+    seconds = np.arange(dimension, dtype=np.float64)
+    day_fraction = seconds / 86_400.0
+    week_fraction = seconds / (7 * 86_400.0)
+    modulation = (
+        1.0
+        + diurnal_amplitude * np.sin(2.0 * np.pi * (day_fraction - 0.3))
+        + weekly_amplitude * np.sin(2.0 * np.pi * week_fraction)
+    )
+    noise = rng.lognormal(mean=-0.5 * noise_sigma**2, sigma=noise_sigma,
+                          size=dimension)
+    rate = average_rate * modulation * noise
+
+    if spikes > 0:
+        window = max(1, dimension // 500)
+        starts = rng.choice(max(1, dimension - window), size=spikes, replace=False)
+        for start in starts:
+            rate[start:start + window] *= spike_multiplier
+
+    vector = rng.poisson(rate).astype(np.float64)
+    return Dataset(
+        name="wiki",
+        vector=vector,
+        description=(
+            "simulated per-second pageview counts around a large diurnal mean "
+            "(substitute for English-Wikipedia pageviews-by-second)"
+        ),
+        metadata={
+            "average_rate": float(average_rate),
+            "diurnal_amplitude": float(diurnal_amplitude),
+            "weekly_amplitude": float(weekly_amplitude),
+            "noise_sigma": float(noise_sigma),
+            "spikes": int(spikes),
+            "spike_multiplier": float(spike_multiplier),
+            "seed": seed,
+        },
+    )

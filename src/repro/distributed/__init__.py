@@ -1,0 +1,32 @@
+"""Distributed-model substrate.
+
+In the paper's distributed model (Section 1) ``t`` sites each hold a local
+frequency vector ``x^i`` and a coordinator wants to learn the global vector
+``x = Σ_i x^i``.  Because the sketches are linear, every site sends only its
+local sketch ``Φx^i`` and the coordinator adds them to obtain the global
+sketch ``Φx``; the communication is ``t`` times the sketch size instead of
+``t`` times the vector dimension.
+
+This package simulates that protocol:
+
+* :class:`Site` — holds a local vector or stream and produces its local sketch;
+* :class:`Coordinator` — merges the local sketches and answers queries on the
+  global vector;
+* :class:`CommunicationLog` — accounts for the words transferred over each
+  channel, so the communication-vs-accuracy trade-off can be benchmarked.
+
+Non-linear sketches (CM-CU, CML-CU) raise when used here — exactly the
+limitation the paper points out.
+"""
+
+from repro.distributed.network import ChannelMessage, CommunicationLog
+from repro.distributed.coordinator import Coordinator
+from repro.distributed.site import Site, partition_vector
+
+__all__ = [
+    "ChannelMessage",
+    "CommunicationLog",
+    "Coordinator",
+    "Site",
+    "partition_vector",
+]

@@ -1,0 +1,78 @@
+"""The coordinator of the simulated distributed protocol."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from repro.distributed.network import CommunicationLog
+from repro.distributed.site import Site
+from repro.sketches.base import LinearSketch
+
+
+class Coordinator:
+    """Collects local sketches from sites and answers queries on the global vector.
+
+    The protocol is the one described in the paper's introduction: each site
+    sends its local sketch ``Φx^i`` (a vector of ``size_in_words()`` words);
+    the coordinator adds them, obtaining ``Φx`` for the global vector
+    ``x = Σ_i x^i`` by linearity, and runs the recovery procedure on the sum.
+    """
+
+    def __init__(self, log: Optional[CommunicationLog] = None) -> None:
+        self.log = log if log is not None else CommunicationLog()
+        self._global_sketch: Optional[LinearSketch] = None
+        self._sites_collected: List[str] = []
+
+    # ------------------------------------------------------------------ #
+    # protocol
+    # ------------------------------------------------------------------ #
+    def collect(self, site: Site) -> "Coordinator":
+        """Receive one site's local sketch and fold it into the global sketch."""
+        local = site.local_sketch()
+        self.log.record(
+            sender=site.name,
+            payload_words=local.size_in_words(),
+            description=f"local sketch from {site.name}",
+        )
+        if self._global_sketch is None:
+            self._global_sketch = local.copy()
+        else:
+            self._global_sketch.merge(local)
+        self._sites_collected.append(site.name)
+        return self
+
+    def collect_all(self, sites: Iterable[Site]) -> "Coordinator":
+        """Receive the local sketches of every site."""
+        for site in sites:
+            self.collect(site)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # queries on the global vector
+    # ------------------------------------------------------------------ #
+    @property
+    def global_sketch(self) -> LinearSketch:
+        """The merged sketch of the global vector."""
+        if self._global_sketch is None:
+            raise RuntimeError("no site sketches have been collected yet")
+        return self._global_sketch
+
+    def query(self, index: int) -> float:
+        """Point query on the global vector."""
+        return self.global_sketch.query(index)
+
+    def recover(self) -> np.ndarray:
+        """Recover the full approximation of the global vector."""
+        return self.global_sketch.recover()
+
+    @property
+    def sites_collected(self) -> List[str]:
+        """Names of the sites whose sketches have been folded in, in order."""
+        return list(self._sites_collected)
+
+    @property
+    def total_communication_words(self) -> int:
+        """Total words shipped from sites to the coordinator."""
+        return self.log.total_words

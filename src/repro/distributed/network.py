@@ -1,0 +1,52 @@
+"""Communication accounting for the simulated distributed protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ChannelMessage:
+    """One message sent from a site to the coordinator."""
+
+    sender: str
+    payload_words: int
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.payload_words < 0:
+            raise ValueError(
+                f"payload_words must be non-negative, got {self.payload_words}"
+            )
+
+
+@dataclass
+class CommunicationLog:
+    """Accumulates the messages exchanged during a distributed run."""
+
+    messages: List[ChannelMessage] = field(default_factory=list)
+
+    def record(self, sender: str, payload_words: int, description: str = "") -> None:
+        """Record one site → coordinator message."""
+        self.messages.append(
+            ChannelMessage(sender=sender, payload_words=int(payload_words),
+                           description=description)
+        )
+
+    @property
+    def total_words(self) -> int:
+        """Total words sent over all channels."""
+        return sum(message.payload_words for message in self.messages)
+
+    @property
+    def message_count(self) -> int:
+        """Number of messages sent."""
+        return len(self.messages)
+
+    def words_by_sender(self) -> Dict[str, int]:
+        """Total words sent per site."""
+        totals: Dict[str, int] = {}
+        for message in self.messages:
+            totals[message.sender] = totals.get(message.sender, 0) + message.payload_words
+        return totals

@@ -1,0 +1,112 @@
+"""Sites of the simulated distributed protocol."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.sketches.base import LinearSketch, Sketch
+from repro.streaming.stream import UpdateStream
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import ensure_1d_float_array, require_positive_int
+
+
+def partition_vector(
+    x,
+    sites: int,
+    seed: RandomSource = None,
+    by: str = "items",
+) -> List[np.ndarray]:
+    """Split a global frequency vector into per-site local vectors that sum to it.
+
+    Two partitioning schemes are provided:
+
+    * ``by="items"`` — each unit of mass of every coordinate is assigned to a
+      uniformly random site (multinomial thinning); models items observed at
+      different sites, which is the paper's motivating scenario.  Requires a
+      non-negative integer-valued vector.
+    * ``by="coordinates"`` — each coordinate is assigned wholly to one random
+      site; works for arbitrary real vectors.
+    """
+    arr = ensure_1d_float_array(x, "x")
+    sites = require_positive_int(sites, "sites")
+    rng = as_rng(seed)
+
+    if by == "coordinates":
+        assignment = rng.integers(0, sites, size=arr.size)
+        return [np.where(assignment == site, arr, 0.0) for site in range(sites)]
+
+    if by == "items":
+        if np.any(arr < 0) or not np.allclose(arr, np.round(arr)):
+            raise ValueError(
+                "item partitioning requires a non-negative integer vector; "
+                "use by='coordinates' for real-valued vectors"
+            )
+        counts = np.round(arr).astype(np.int64)
+        locals_ = [np.zeros(arr.size, dtype=np.float64) for _ in range(sites)]
+        nonzero = np.flatnonzero(counts)
+        for index in nonzero:
+            split = rng.multinomial(counts[index], np.full(sites, 1.0 / sites))
+            for site in range(sites):
+                locals_[site][index] = split[site]
+        return locals_
+
+    raise ValueError(f"by must be 'items' or 'coordinates', got {by!r}")
+
+
+class Site:
+    """One site holding a local frequency vector (or local update stream).
+
+    Parameters
+    ----------
+    name:
+        Identifier used in the communication log.
+    sketch_factory:
+        Zero-argument callable building a *fresh, compatible* sketch (all
+        sites and the coordinator must use the same seed so their hash
+        functions agree).
+    """
+
+    def __init__(self, name: str, sketch_factory: Callable[[], Sketch]) -> None:
+        if not name:
+            raise ValueError("site name must be non-empty")
+        self.name = name
+        self._sketch_factory = sketch_factory
+        self._sketch: Optional[Sketch] = None
+
+    @property
+    def sketch(self) -> Sketch:
+        """The site's local sketch (built lazily)."""
+        if self._sketch is None:
+            self._sketch = self._sketch_factory()
+            if not isinstance(self._sketch, LinearSketch):
+                raise TypeError(
+                    f"site {self.name!r} was given a non-linear sketch "
+                    f"({type(self._sketch).__name__}); only linear sketches "
+                    "can be combined by the coordinator"
+                )
+        return self._sketch
+
+    def observe_vector(self, local_vector) -> "Site":
+        """Ingest the site's whole local frequency vector."""
+        self.sketch.fit(local_vector)
+        return self
+
+    def observe_stream(self, stream: UpdateStream) -> "Site":
+        """Ingest the site's local update stream one update at a time."""
+        for update in stream:
+            self.sketch.update(update.index, update.delta)
+        return self
+
+    def observe_update(self, index: int, delta: float = 1.0) -> "Site":
+        """Ingest a single local update."""
+        self.sketch.update(index, delta)
+        return self
+
+    def local_sketch(self) -> LinearSketch:
+        """The local sketch to be shipped to the coordinator."""
+        return self.sketch  # type: ignore[return-value]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Site(name={self.name!r})"

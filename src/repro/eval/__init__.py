@@ -1,0 +1,60 @@
+"""Evaluation harness: metrics, sweeps and result tables.
+
+This package produces the numbers behind every figure of the paper's Section 5:
+
+* :mod:`repro.eval.metrics` — the two paper metrics (average error
+  ``1/n·‖x - x̂‖_1`` and maximum error ``‖x - x̂‖_∞``) plus auxiliary ones;
+* :mod:`repro.eval.harness` — sketch-size sweeps (Figures 1-5, 8, 9), depth
+  sweeps (Figure 7) and streaming runs (Figure 6);
+* :mod:`repro.eval.results` — plain-text result tables (the series that the
+  paper plots);
+* :mod:`repro.eval.timing` — wall-clock helpers for the update/query timing
+  comparison.
+"""
+
+from repro.eval.metrics import (
+    average_error,
+    error_profile,
+    maximum_error,
+    quantile_error,
+    relative_average_error,
+    rmse,
+)
+from repro.eval.harness import (
+    depth_sweep,
+    evaluate_algorithms,
+    streaming_comparison,
+    width_sweep,
+)
+from repro.eval.results import ResultRow, ResultTable
+from repro.eval.timing import TimingResult, time_callable
+from repro.eval.plots import ascii_series_plot, plot_result_table
+from repro.eval.experiments import (
+    ExperimentSpec,
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+__all__ = [
+    "ascii_series_plot",
+    "plot_result_table",
+    "ExperimentSpec",
+    "available_experiments",
+    "get_experiment",
+    "run_experiment",
+    "average_error",
+    "error_profile",
+    "maximum_error",
+    "quantile_error",
+    "relative_average_error",
+    "rmse",
+    "depth_sweep",
+    "evaluate_algorithms",
+    "streaming_comparison",
+    "width_sweep",
+    "ResultRow",
+    "ResultTable",
+    "TimingResult",
+    "time_callable",
+]

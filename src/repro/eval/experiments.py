@@ -1,0 +1,180 @@
+"""Registry of the paper's experiments as runnable configurations.
+
+Each entry describes one figure of Section 5 — which dataset (or simulated
+substitute), which algorithm suite, and which parameter sweep — scaled to
+laptop size.  The benchmark modules and the command-line interface
+(:mod:`repro.cli`) both resolve experiments from here, so the definition of
+"Figure 2" lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.data.hudong import simulated_hudong
+from repro.data.registry import load_dataset
+from repro.eval.harness import depth_sweep, streaming_comparison, width_sweep
+from repro.eval.results import ResultTable
+from repro.sketches.registry import mean_heuristic_suite, paper_reference_suite
+from repro.streaming.generators import stream_from_items
+from repro.utils.rng import RandomSource
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible experiment (one figure of the paper)."""
+
+    #: experiment id, e.g. ``"fig2"``
+    name: str
+    #: the paper figure it reproduces
+    figure: str
+    #: one-line description
+    description: str
+    #: dataset registry name (``"hudong_stream"`` marks the streaming run)
+    dataset: str
+    #: extra dataset keyword arguments
+    dataset_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: algorithm suite: ``"paper"`` or ``"mean"``
+    suite: str = "paper"
+    #: sweep kind: ``"width"``, ``"depth"`` or ``"streaming"``
+    sweep: str = "width"
+    #: widths for width sweeps / streaming runs
+    widths: Tuple[int, ...] = (512, 1_024, 2_048)
+    #: depths for depth sweeps
+    depths: Tuple[int, ...] = (1, 3, 5, 7, 9)
+    #: fixed depth for width sweeps / fixed width for depth sweeps
+    depth: int = 9
+    width: int = 2_048
+
+
+_EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> None:
+    _EXPERIMENTS[spec.name] = spec
+
+
+_register(ExperimentSpec(
+    name="fig1_b100", figure="Figure 1a-1b",
+    description="Gaussian N(100, 15^2): accuracy vs sketch width",
+    dataset="gaussian",
+    dataset_kwargs={"dimension": 40_000, "bias": 100.0, "sigma": 15.0},
+))
+_register(ExperimentSpec(
+    name="fig1_b500", figure="Figure 1c-1d",
+    description="Gaussian N(500, 15^2): accuracy vs sketch width",
+    dataset="gaussian",
+    dataset_kwargs={"dimension": 40_000, "bias": 500.0, "sigma": 15.0},
+))
+_register(ExperimentSpec(
+    name="fig2", figure="Figure 2",
+    description="Wiki pageviews-per-second substitute",
+    dataset="wiki", dataset_kwargs={"dimension": 40_000},
+))
+_register(ExperimentSpec(
+    name="fig3", figure="Figure 3",
+    description="WorldCup requests-per-second substitute",
+    dataset="worldcup", dataset_kwargs={"dimension": 43_200},
+))
+_register(ExperimentSpec(
+    name="fig4", figure="Figure 4",
+    description="Higgs kinematic-feature substitute",
+    dataset="higgs", dataset_kwargs={"dimension": 50_000},
+))
+_register(ExperimentSpec(
+    name="fig5", figure="Figure 5",
+    description="Meme phrase-length substitute",
+    dataset="meme", dataset_kwargs={"dimension": 50_000},
+))
+_register(ExperimentSpec(
+    name="fig6", figure="Figure 6",
+    description="Hudong edge stream substitute: streaming error and timing",
+    dataset="hudong_stream",
+    dataset_kwargs={"dimension": 20_000, "edges": 150_000},
+    sweep="streaming", width=2_048,
+))
+_register(ExperimentSpec(
+    name="fig7", figure="Figure 7",
+    description="Effect of the sketch depth at fixed width (Higgs substitute)",
+    dataset="higgs", dataset_kwargs={"dimension": 50_000},
+    sweep="depth", width=2_048,
+))
+_register(ExperimentSpec(
+    name="fig8_clean", figure="Figure 8a-8b",
+    description="Gaussian-2 without shifted entries: mean heuristics hold up",
+    dataset="gaussian2", dataset_kwargs={"dimension": 40_000},
+    suite="mean",
+))
+_register(ExperimentSpec(
+    name="fig8_shifted", figure="Figure 8c-8d",
+    description="Gaussian-2 with shifted entries: mean heuristics break",
+    dataset="gaussian2",
+    dataset_kwargs={"dimension": 40_000, "shifted_entries": 40,
+                    "shift": 100_000.0},
+    suite="mean",
+))
+_register(ExperimentSpec(
+    name="fig9", figure="Figure 9",
+    description="Wiki substitute: mean heuristics vs bias-aware sketches",
+    dataset="wiki", dataset_kwargs={"dimension": 40_000},
+    suite="mean",
+))
+
+
+def available_experiments() -> List[str]:
+    """Names of all registered experiments, in figure order."""
+    return list(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up an experiment, raising ``KeyError`` with the known names."""
+    if name not in _EXPERIMENTS:
+        known = ", ".join(available_experiments())
+        raise KeyError(f"unknown experiment {name!r}; available: {known}")
+    return _EXPERIMENTS[name]
+
+
+def run_experiment(
+    name: str,
+    seed: RandomSource = 2017,
+    widths: Optional[Sequence[int]] = None,
+    depth: Optional[int] = None,
+) -> ResultTable:
+    """Run one registered experiment and return its result table."""
+    spec = get_experiment(name)
+    algorithms = (
+        paper_reference_suite() if spec.suite == "paper" else mean_heuristic_suite()
+    )
+
+    if spec.sweep == "streaming":
+        stream_data = simulated_hudong(seed=seed, **spec.dataset_kwargs)
+        stream = stream_from_items(stream_data.sources, stream_data.dimension)
+        return streaming_comparison(
+            stream,
+            algorithms=algorithms,
+            width=spec.width,
+            depth=depth if depth is not None else spec.depth,
+            seed=seed,
+            dataset_name=spec.dataset,
+            title=f"{spec.figure}: {spec.description}",
+        )
+
+    dataset = load_dataset(spec.dataset, seed=seed, **spec.dataset_kwargs)
+    if spec.sweep == "depth":
+        return depth_sweep(
+            dataset,
+            depths=spec.depths,
+            algorithms=algorithms,
+            width=spec.width,
+            seed=seed,
+            title=f"{spec.figure}: {spec.description}",
+        )
+    return width_sweep(
+        dataset,
+        widths=list(widths) if widths is not None else list(spec.widths),
+        algorithms=algorithms,
+        depth=depth if depth is not None else spec.depth,
+        seed=seed,
+        title=f"{spec.figure}: {spec.description}",
+    )

@@ -1,0 +1,218 @@
+"""Experiment harness: sweeps over sketch size, depth, and streaming runs.
+
+The harness reproduces the paper's experimental protocol (Section 5.1):
+
+* every algorithm is given the same total space budget — the bias-aware
+  sketches use ``d`` data rows plus one width-``s`` bias structure, so the
+  baselines are given ``d + 1`` rows of width ``s`` ("for CM, CS, CM-CU and
+  CML-CU we set d = 10 so that all algorithms use 10·s words");
+* accuracy is measured as the average and maximum point-query error of the
+  fully recovered vector against the true vector;
+* the sketch-size sweeps vary ``s`` with ``d`` fixed (Figures 1-5, 8, 9), the
+  depth sweep fixes ``s`` and varies ``d`` (Figure 7), and the streaming
+  comparison replays an update stream and measures per-update / per-query
+  wall-clock cost (Figure 6).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.eval.metrics import average_error, maximum_error
+from repro.eval.results import ResultRow, ResultTable
+from repro.sketches.registry import get_spec, make_sketch, paper_reference_suite
+from repro.streaming.runner import StreamRunner
+from repro.streaming.stream import UpdateStream
+from repro.utils.rng import RandomSource, derive_seed
+from repro.utils.validation import ensure_1d_float_array, require_positive_int
+
+
+def _dataset_vector_and_name(dataset) -> tuple:
+    if isinstance(dataset, Dataset):
+        return dataset.vector, dataset.name
+    return ensure_1d_float_array(dataset, "dataset"), "vector"
+
+
+def _algorithm_salt(algorithm: str) -> int:
+    """A stable (process-independent) integer salt derived from the name."""
+    return zlib.crc32(algorithm.encode("utf-8")) % 997
+
+
+def _effective_depth(algorithm: str, depth: int) -> int:
+    """The paper's space convention: baselines get one extra row.
+
+    The bias-aware sketches spend ``d`` rows on data plus one width-``s``
+    structure on the bias; the baselines spend all ``d + 1`` rows on data so
+    every algorithm uses ``(d + 1)·s`` counter words.
+    """
+    spec = get_spec(algorithm)
+    return depth if spec.bias_aware else depth + 1
+
+
+def evaluate_algorithms(
+    dataset,
+    algorithms: Optional[Sequence[str]] = None,
+    width: int = 2_000,
+    depth: int = 9,
+    seed: RandomSource = 0,
+    repetitions: int = 1,
+    title: str = "",
+) -> ResultTable:
+    """Sketch + recover the dataset with every algorithm at one configuration.
+
+    Parameters
+    ----------
+    dataset:
+        A :class:`~repro.data.dataset.Dataset` or a raw frequency vector.
+    algorithms:
+        Registry names; defaults to the paper's six-algorithm suite.
+    width:
+        Buckets per row ``s``.
+    depth:
+        Data rows ``d`` for the bias-aware sketches; baselines get ``d + 1``.
+    seed:
+        Base seed; repetitions derive child seeds from it.
+    repetitions:
+        Number of independent hash draws to average the errors over.
+    """
+    vector, dataset_name = _dataset_vector_and_name(dataset)
+    if algorithms is None:
+        algorithms = paper_reference_suite()
+    width = require_positive_int(width, "width")
+    depth = require_positive_int(depth, "depth")
+    repetitions = require_positive_int(repetitions, "repetitions")
+
+    table = ResultTable(title=title or f"point query on {dataset_name}")
+    for algorithm in algorithms:
+        effective_depth = _effective_depth(algorithm, depth)
+        averages = []
+        maxima = []
+        words = 0
+        for repetition in range(repetitions):
+            run_seed = derive_seed(seed, repetition * 1_000 + _algorithm_salt(algorithm))
+            sketch = make_sketch(
+                algorithm, vector.size, width, effective_depth, seed=run_seed
+            )
+            sketch.fit(vector)
+            recovered = sketch.recover()
+            averages.append(average_error(vector, recovered))
+            maxima.append(maximum_error(vector, recovered))
+            words = sketch.size_in_words()
+        table.add(
+            ResultRow(
+                dataset=dataset_name,
+                algorithm=algorithm,
+                width=width,
+                depth=effective_depth,
+                sketch_words=words,
+                average_error=float(np.mean(averages)),
+                maximum_error=float(np.mean(maxima)),
+            )
+        )
+    return table
+
+
+def width_sweep(
+    dataset,
+    widths: Iterable[int],
+    algorithms: Optional[Sequence[str]] = None,
+    depth: int = 9,
+    seed: RandomSource = 0,
+    repetitions: int = 1,
+    title: str = "",
+) -> ResultTable:
+    """Sweep the sketch width ``s`` (the x-axis of Figures 1-5, 8, 9)."""
+    vector, dataset_name = _dataset_vector_and_name(dataset)
+    table = ResultTable(title=title or f"width sweep on {dataset_name}")
+    for width in widths:
+        partial = evaluate_algorithms(
+            dataset,
+            algorithms=algorithms,
+            width=int(width),
+            depth=depth,
+            seed=seed,
+            repetitions=repetitions,
+        )
+        table.extend(partial.rows)
+    return table
+
+
+def depth_sweep(
+    dataset,
+    depths: Iterable[int],
+    algorithms: Optional[Sequence[str]] = None,
+    width: int = 2_000,
+    seed: RandomSource = 0,
+    repetitions: int = 1,
+    title: str = "",
+) -> ResultTable:
+    """Sweep the sketch depth ``d`` at fixed width (Figure 7).
+
+    As in the paper, the depth reported for the bias-aware sketches is ``d``
+    and the baselines run with ``d + 1`` rows.
+    """
+    vector, dataset_name = _dataset_vector_and_name(dataset)
+    table = ResultTable(title=title or f"depth sweep on {dataset_name}")
+    for depth in depths:
+        partial = evaluate_algorithms(
+            dataset,
+            algorithms=algorithms,
+            width=width,
+            depth=int(depth),
+            seed=seed,
+            repetitions=repetitions,
+        )
+        table.extend(partial.rows)
+    return table
+
+
+def streaming_comparison(
+    stream: UpdateStream,
+    algorithms: Optional[Sequence[str]] = None,
+    width: int = 2_000,
+    depth: int = 9,
+    query_count: int = 1_000,
+    seed: RandomSource = 0,
+    dataset_name: str = "stream",
+    title: str = "",
+) -> ResultTable:
+    """Replay an update stream into every algorithm and record error + timing.
+
+    This is the Figure 6 protocol: per-update cost, per-query cost, and the
+    recovery errors of the final state.  The streaming variants of the
+    bias-aware sketches are substituted automatically (``l1_sr`` →
+    ``l1_sr_streaming``, ``l2_sr`` → ``l2_sr_streaming``) since those are what
+    one would deploy on a stream.
+    """
+    if algorithms is None:
+        algorithms = paper_reference_suite()
+    streaming_substitutes = {"l1_sr": "l1_sr_streaming", "l2_sr": "l2_sr_streaming"}
+
+    runner = StreamRunner(stream)
+    table = ResultTable(title=title or f"streaming comparison on {dataset_name}")
+    for algorithm in algorithms:
+        run_algorithm = streaming_substitutes.get(algorithm, algorithm)
+        effective_depth = _effective_depth(run_algorithm, depth)
+        run_seed = derive_seed(seed, _algorithm_salt(run_algorithm))
+        sketch = make_sketch(
+            run_algorithm, stream.dimension, width, effective_depth, seed=run_seed
+        )
+        report = runner.run(sketch, query_count=query_count, seed=run_seed)
+        table.add(
+            ResultRow(
+                dataset=dataset_name,
+                algorithm=algorithm,
+                width=width,
+                depth=effective_depth,
+                sketch_words=sketch.size_in_words(),
+                average_error=report.average_error,
+                maximum_error=report.maximum_error,
+                update_seconds=report.update_seconds,
+                query_seconds=report.query_seconds,
+            )
+        )
+    return table

@@ -1,0 +1,73 @@
+"""Recovery-quality metrics.
+
+The paper's evaluation (Section 5.1, "Measurements") reports two metrics for
+point query: the **average error** ``1/n·‖x - x̂‖_1`` and the **maximum
+error** ``‖x - x̂‖_∞``.  Both are provided here, along with a few auxiliary
+metrics used by the extra ablation benches and the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d_float_array
+
+
+def _check_pair(truth, estimate):
+    x = ensure_1d_float_array(truth, "truth")
+    x_hat = ensure_1d_float_array(estimate, "estimate")
+    if x.size != x_hat.size:
+        raise ValueError(
+            f"truth and estimate must have the same dimension, got "
+            f"{x.size} and {x_hat.size}"
+        )
+    return x, x_hat
+
+
+def average_error(truth, estimate) -> float:
+    """The paper's average error: ``1/n · ‖x - x̂‖_1``."""
+    x, x_hat = _check_pair(truth, estimate)
+    return float(np.mean(np.abs(x - x_hat)))
+
+
+def maximum_error(truth, estimate) -> float:
+    """The paper's maximum error: ``‖x - x̂‖_∞``."""
+    x, x_hat = _check_pair(truth, estimate)
+    return float(np.max(np.abs(x - x_hat)))
+
+
+def rmse(truth, estimate) -> float:
+    """Root-mean-square error ``‖x - x̂‖_2 / √n``."""
+    x, x_hat = _check_pair(truth, estimate)
+    return float(np.sqrt(np.mean((x - x_hat) ** 2)))
+
+
+def relative_average_error(truth, estimate) -> float:
+    """Average error normalised by the average magnitude of the true vector."""
+    x, x_hat = _check_pair(truth, estimate)
+    denominator = float(np.mean(np.abs(x)))
+    if denominator == 0.0:
+        return 0.0 if np.allclose(x, x_hat) else float("inf")
+    return average_error(x, x_hat) / denominator
+
+
+def quantile_error(truth, estimate, q: float = 0.99) -> float:
+    """The q-quantile of the per-coordinate absolute errors."""
+    x, x_hat = _check_pair(truth, estimate)
+    q = float(q)
+    if not (0.0 <= q <= 1.0):
+        raise ValueError(f"q must lie in [0, 1], got {q}")
+    return float(np.quantile(np.abs(x - x_hat), q))
+
+
+def error_profile(truth, estimate) -> Dict[str, float]:
+    """All metrics at once — handy for result tables and EXPERIMENTS.md."""
+    return {
+        "average_error": average_error(truth, estimate),
+        "maximum_error": maximum_error(truth, estimate),
+        "rmse": rmse(truth, estimate),
+        "relative_average_error": relative_average_error(truth, estimate),
+        "p99_error": quantile_error(truth, estimate, 0.99),
+    }

@@ -1,0 +1,110 @@
+"""ASCII rendering of result series.
+
+The paper presents its results as log-scale line plots.  This module renders
+the same series as terminal-friendly ASCII charts so that figures can be
+eyeballed straight from a benchmark run or a CI log, with no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.results import ResultTable
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_value(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 1_000 or abs(value) < 0.01:
+        return f"{value:.2e}"
+    return f"{value:.3g}"
+
+
+def ascii_series_plot(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    log_y: bool = True,
+    title: str = "",
+    x_label: str = "sketch width",
+    y_label: str = "error",
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as an ASCII scatter/line chart."""
+    if not series:
+        raise ValueError("series must contain at least one curve")
+    points = [(x, y) for curve in series.values() for x, y in curve]
+    if not points:
+        raise ValueError("series must contain at least one point")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    if log_y:
+        positive = [y for y in ys if y > 0]
+        if not positive:
+            log_y = False
+    y_transform = (lambda v: math.log10(v)) if log_y else (lambda v: v)
+
+    x_low, x_high = min(xs), max(xs)
+    y_values = [y_transform(max(y, 1e-300)) for y in ys] if log_y else ys
+    y_low, y_high = min(y_values), max(y_values)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for curve_number, (label, curve) in enumerate(series.items()):
+        marker = _MARKERS[curve_number % len(_MARKERS)]
+        for x, y in curve:
+            column = int((x - x_low) / x_span * (width - 1))
+            value = y_transform(max(y, 1e-300)) if log_y else y
+            row = int((value - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    y_high_label = _format_value(10 ** y_high if log_y else y_high)
+    y_low_label = _format_value(10 ** y_low if log_y else y_low)
+    axis_width = max(len(y_high_label), len(y_low_label))
+    for row_number, row in enumerate(grid):
+        if row_number == 0:
+            prefix = y_high_label.rjust(axis_width)
+        elif row_number == height - 1:
+            prefix = y_low_label.rjust(axis_width)
+        else:
+            prefix = " " * axis_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * axis_width + " +" + "-" * width)
+    lines.append(
+        " " * axis_width
+        + f"  {_format_value(x_low)}{' ' * max(1, width - 20)}{_format_value(x_high)}"
+    )
+    lines.append(" " * axis_width + f"  x: {x_label}"
+                 + (f"   y: {y_label} (log scale)" if log_y else f"   y: {y_label}"))
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * axis_width + f"  {legend}")
+    return "\n".join(lines)
+
+
+def plot_result_table(
+    table: ResultTable,
+    metric: str = "average_error",
+    algorithms: Optional[Sequence[str]] = None,
+    **kwargs,
+) -> str:
+    """Render one metric of a result table as an ASCII chart."""
+    series = table.series(metric)
+    if algorithms is not None:
+        missing = [name for name in algorithms if name not in series]
+        if missing:
+            raise ValueError(f"algorithms not present in the table: {missing}")
+        series = {name: series[name] for name in algorithms}
+    kwargs.setdefault("title", table.title or metric)
+    kwargs.setdefault("y_label", metric)
+    return ascii_series_plot(series, **kwargs)

@@ -1,0 +1,149 @@
+"""Plain-text result tables: the series behind each figure.
+
+The paper presents its results as plots of (sketch size → error) per
+algorithm.  :class:`ResultTable` holds the same information as rows and can
+render it as an aligned text table, group it by algorithm into series, or
+export it as CSV text — which is what the benchmark harness prints and what
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ResultRow:
+    """One measurement: an algorithm at a given configuration on a dataset."""
+
+    dataset: str
+    algorithm: str
+    width: int
+    depth: int
+    sketch_words: int
+    average_error: float
+    maximum_error: float
+    update_seconds: Optional[float] = None
+    query_seconds: Optional[float] = None
+    note: str = ""
+
+
+class ResultTable:
+    """An ordered collection of :class:`ResultRow` with text rendering."""
+
+    def __init__(self, title: str = "", rows: Iterable[ResultRow] = ()) -> None:
+        self.title = title
+        self.rows: List[ResultRow] = list(rows)
+
+    def add(self, row: ResultRow) -> None:
+        """Append one measurement."""
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[ResultRow]) -> None:
+        """Append many measurements."""
+        self.rows.extend(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # selection / grouping
+    # ------------------------------------------------------------------ #
+    def filter(self, **criteria) -> "ResultTable":
+        """Rows whose fields equal the given values, e.g. ``filter(algorithm="l2_sr")``."""
+        valid = {f.name for f in fields(ResultRow)}
+        unknown = set(criteria) - valid
+        if unknown:
+            raise ValueError(f"unknown result fields: {sorted(unknown)}")
+        selected = [
+            row
+            for row in self.rows
+            if all(getattr(row, key) == value for key, value in criteria.items())
+        ]
+        return ResultTable(title=self.title, rows=selected)
+
+    def algorithms(self) -> List[str]:
+        """Distinct algorithm names, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for row in self.rows:
+            seen.setdefault(row.algorithm, None)
+        return list(seen)
+
+    def series(self, metric: str = "average_error") -> Dict[str, List[tuple]]:
+        """Per-algorithm series of ``(width, metric)`` pairs — a figure's curves."""
+        valid = {f.name for f in fields(ResultRow)}
+        if metric not in valid:
+            raise ValueError(f"unknown metric {metric!r}")
+        curves: Dict[str, List[tuple]] = {}
+        for row in self.rows:
+            curves.setdefault(row.algorithm, []).append(
+                (row.width, getattr(row, metric))
+            )
+        for points in curves.values():
+            points.sort()
+        return curves
+
+    def best_algorithm(self, metric: str = "average_error") -> str:
+        """The algorithm with the lowest total value of ``metric`` across rows."""
+        if not self.rows:
+            raise ValueError("result table is empty")
+        totals: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
+        for row in self.rows:
+            totals[row.algorithm] = totals.get(row.algorithm, 0.0) + getattr(row, metric)
+            counts[row.algorithm] = counts.get(row.algorithm, 0) + 1
+        return min(totals, key=lambda name: totals[name] / counts[name])
+
+    # ------------------------------------------------------------------ #
+    # rendering
+    # ------------------------------------------------------------------ #
+    def to_text(self, metrics: Sequence[str] = ("average_error", "maximum_error")) -> str:
+        """Render the table as aligned plain text (what the benches print)."""
+        header = ["dataset", "algorithm", "width", "depth", "words"] + list(metrics)
+        lines: List[List[str]] = [header]
+        for row in self.rows:
+            formatted = [
+                row.dataset,
+                row.algorithm,
+                str(row.width),
+                str(row.depth),
+                str(row.sketch_words),
+            ]
+            for metric in metrics:
+                value = getattr(row, metric)
+                formatted.append("-" if value is None else f"{value:.6g}")
+            lines.append(formatted)
+
+        widths = [max(len(line[col]) for line in lines) for col in range(len(header))]
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        for line_number, line in enumerate(lines):
+            out.write(
+                "  ".join(cell.ljust(widths[col]) for col, cell in enumerate(line)).rstrip()
+            )
+            out.write("\n")
+            if line_number == 0:
+                out.write("  ".join("-" * w for w in widths) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Render the table as CSV text."""
+        names = [f.name for f in fields(ResultRow)]
+        out = io.StringIO()
+        out.write(",".join(names) + "\n")
+        for row in self.rows:
+            values = []
+            for name in names:
+                value = getattr(row, name)
+                values.append("" if value is None else str(value))
+            out.write(",".join(values) + "\n")
+        return out.getvalue()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultTable(title={self.title!r}, rows={len(self.rows)})"

@@ -1,0 +1,31 @@
+"""Small wall-clock timing helpers used by the streaming comparison."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Wall-clock timing of a repeated operation."""
+
+    total_seconds: float
+    repetitions: int
+
+    @property
+    def seconds_per_call(self) -> float:
+        """Average seconds per repetition."""
+        return self.total_seconds / max(self.repetitions, 1)
+
+
+def time_callable(operation: Callable[[], None], repetitions: int = 1) -> TimingResult:
+    """Time ``repetitions`` calls of a zero-argument callable."""
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        operation()
+    elapsed = time.perf_counter() - start
+    return TimingResult(total_seconds=elapsed, repetitions=repetitions)

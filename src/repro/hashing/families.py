@@ -1,0 +1,202 @@
+"""K-wise independent hash families over a Mersenne-prime field.
+
+A k-wise independent family is realised as a random degree-(k-1) polynomial
+over GF(p) with p = 2^61 - 1, reduced modulo the target range::
+
+    h(x) = (a_{k-1} x^{k-1} + ... + a_1 x + a_0 mod p) mod range_size
+
+For k = 2 this is the classical pairwise-independent multiply-mod-prime
+construction used by Count-Min / Count-Median / Count-Sketch.  Evaluation is
+available both element-wise (``__call__`` on a python int) and vectorised over
+numpy index arrays (``hash_array`` / ``hash_all``), which is what makes the
+numpy sketching path fast.
+
+The arithmetic is done with python integers when evaluating scalars (exact,
+no overflow concerns) and with ``object``-free numpy ``uint64`` arithmetic via
+128-bit emulation when evaluating arrays.  Because p < 2^61 and coefficients
+are < p, the product a*x can exceed 64 bits; we therefore split operands into
+high/low 32-bit halves for the vectorised path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import require_positive_int
+
+#: The Mersenne prime 2^61 - 1 used as the field size of every hash family.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+_MASK_32 = (1 << 32) - 1
+_MASK_64 = (1 << 64) - 1
+
+# splitmix64 finalizer constants (Steele, Lea & Flood 2014)
+_MIX_INCREMENT = 0x9E3779B97F4A7C15
+_MIX_MULTIPLIER_1 = 0xBF58476D1CE4E5B9
+_MIX_MULTIPLIER_2 = 0x94D049BB133111EB
+
+
+def _mix_scalar(value: int) -> int:
+    """Apply the splitmix64 finalizer (a fixed bijection on 64-bit integers).
+
+    Frequency-vector indices arrive as consecutive integers 0, 1, 2, ...;
+    evaluating two independent linear polynomials mod p on consecutive inputs
+    leaves them jointly sitting on a 1-D lattice, which for unlucky
+    coefficient draws correlates the bucket choice of one hash with the sign
+    of another (a classic LCG-style artefact).  Composing the polynomial with
+    a *fixed* bijective avalanche permutation keeps every k-wise independence
+    guarantee (the coefficients are still uniformly random over GF(p)) while
+    destroying that arithmetic structure.
+    """
+    value = (value + _MIX_INCREMENT) & _MASK_64
+    value ^= value >> 30
+    value = (value * _MIX_MULTIPLIER_1) & _MASK_64
+    value ^= value >> 27
+    value = (value * _MIX_MULTIPLIER_2) & _MASK_64
+    value ^= value >> 31
+    return value
+
+
+def _mix_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finalizer (uint64 arithmetic wraps modulo 2^64)."""
+    v = values.astype(np.uint64, copy=True)
+    v += np.uint64(_MIX_INCREMENT)
+    v ^= v >> np.uint64(30)
+    v *= np.uint64(_MIX_MULTIPLIER_1)
+    v ^= v >> np.uint64(27)
+    v *= np.uint64(_MIX_MULTIPLIER_2)
+    v ^= v >> np.uint64(31)
+    return v
+
+
+def _mulmod_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Compute ``(a * b) mod MERSENNE_PRIME_61`` element-wise without overflow.
+
+    Both inputs must be ``uint64`` arrays with values < 2^61.  The product is
+    formed from 32-bit halves and reduced using the Mersenne identity
+    ``x mod (2^61 - 1) = (x >> 61) + (x & (2^61 - 1))`` applied twice.
+    """
+    a = a.astype(np.uint64, copy=False)
+    b = b.astype(np.uint64, copy=False)
+    a_hi = a >> np.uint64(32)
+    a_lo = a & np.uint64(_MASK_32)
+    b_hi = b >> np.uint64(32)
+    b_lo = b & np.uint64(_MASK_32)
+
+    # a*b = (a_hi*b_hi << 64) + ((a_hi*b_lo + a_lo*b_hi) << 32) + a_lo*b_lo
+    # We reduce each partial product modulo p = 2^61 - 1 using 2^64 ≡ 8 (mod p)
+    # and 2^32 handled by a further split of the middle term.
+    p = np.uint64(MERSENNE_PRIME_61)
+
+    lo = a_lo * b_lo  # < 2^64, fits
+    mid = a_hi * b_lo + a_lo * b_hi  # < 2^62, fits
+    hi = a_hi * b_hi  # < 2^58, fits
+
+    # Contribution of hi: hi * 2^64 ≡ hi * 8 (mod p)
+    term_hi = (hi % p) * np.uint64(8) % p
+    # Contribution of mid: mid * 2^32 (mod p).  mid < 2^62 so mid % p < p < 2^61.
+    mid_mod = mid % p
+    # (mid_mod * 2^32) mod p: split mid_mod into top 29 bits and bottom 32 bits.
+    mid_hi = mid_mod >> np.uint64(29)  # multiplying by 2^32 shifts past bit 61
+    mid_lo = mid_mod & np.uint64((1 << 29) - 1)
+    term_mid = (mid_hi + (mid_lo << np.uint64(32))) % p
+    term_lo = lo % p
+
+    total = (term_hi + term_mid) % p
+    total = (total + term_lo) % p
+    return total
+
+
+class KWiseHash:
+    """A single hash function drawn from a k-wise independent family.
+
+    Parameters
+    ----------
+    range_size:
+        The size ``s`` of the hash range; outputs lie in ``{0, ..., s-1}``.
+    independence:
+        The independence parameter ``k`` (degree of the random polynomial plus
+        one).  ``k = 2`` gives the pairwise-independent family used throughout
+        the paper.
+    seed:
+        Seed / generator controlling the random coefficients.
+    """
+
+    def __init__(
+        self,
+        range_size: int,
+        independence: int = 2,
+        seed: RandomSource = None,
+    ) -> None:
+        self.range_size = require_positive_int(range_size, "range_size")
+        self.independence = require_positive_int(independence, "independence")
+        rng = as_rng(seed)
+        # Leading coefficient non-zero keeps the polynomial degree exactly k-1;
+        # pairwise independence holds either way but this matches the textbook
+        # construction.
+        coeffs = rng.integers(0, MERSENNE_PRIME_61, size=self.independence)
+        if self.independence > 1 and coeffs[0] == 0:
+            coeffs[0] = 1
+        #: Polynomial coefficients, highest degree first.
+        self.coefficients: List[int] = [int(c) for c in coeffs]
+
+    def __call__(self, item: int) -> int:
+        """Hash a single non-negative integer item into ``[0, range_size)``."""
+        if item < 0:
+            raise ValueError(f"hash input must be non-negative, got {item}")
+        acc = 0
+        x = _mix_scalar(int(item)) % MERSENNE_PRIME_61
+        for coefficient in self.coefficients:
+            acc = (acc * x + coefficient) % MERSENNE_PRIME_61
+        return acc % self.range_size
+
+    def hash_array(self, items: Sequence[int]) -> np.ndarray:
+        """Vectorised evaluation over an array of non-negative integers."""
+        arr = np.asarray(items, dtype=np.uint64)
+        mixed = _mix_array(arr) % np.uint64(MERSENNE_PRIME_61)
+        acc = np.zeros(arr.shape, dtype=np.uint64)
+        p = np.uint64(MERSENNE_PRIME_61)
+        for coefficient in self.coefficients:
+            acc = _mulmod_arrays(acc, mixed)
+            acc = (acc + np.uint64(coefficient)) % p
+        return (acc % np.uint64(self.range_size)).astype(np.int64)
+
+    def hash_all(self, domain_size: int) -> np.ndarray:
+        """Evaluate the hash on every item of ``[0, domain_size)`` at once."""
+        domain_size = require_positive_int(domain_size, "domain_size")
+        return self.hash_array(np.arange(domain_size, dtype=np.uint64))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KWiseHash(range_size={self.range_size}, "
+            f"independence={self.independence})"
+        )
+
+
+class PairwiseHash(KWiseHash):
+    """The 2-wise independent special case used by all sketches in the paper."""
+
+    def __init__(self, range_size: int, seed: RandomSource = None) -> None:
+        super().__init__(range_size, independence=2, seed=seed)
+
+
+def hash_family(
+    count: int,
+    range_size: int,
+    independence: int = 2,
+    seed: RandomSource = None,
+) -> List[KWiseHash]:
+    """Draw ``count`` independent hash functions ``h_1, ..., h_count``.
+
+    The functions are mutually independent: each consumes fresh randomness from
+    a generator derived from ``seed``.
+    """
+    count = require_positive_int(count, "count")
+    rng = as_rng(seed)
+    return [
+        KWiseHash(range_size, independence=independence, seed=rng)
+        for _ in range(count)
+    ]

@@ -1,0 +1,52 @@
+"""Random sign functions ``r : [n] -> {-1, +1}`` for Count-Sketch.
+
+A sign function is derived from a pairwise-independent hash into {0, 1},
+mapped to {-1, +1}.  Pairwise independence of the signs is exactly what the
+Count-Sketch variance analysis (Theorem 2 of the paper) requires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.hashing.families import KWiseHash
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import require_positive_int
+
+
+class SignHash:
+    """A random ±1-valued hash function drawn from a k-wise independent family."""
+
+    def __init__(self, independence: int = 2, seed: RandomSource = None) -> None:
+        self.independence = require_positive_int(independence, "independence")
+        self._bit_hash = KWiseHash(2, independence=independence, seed=seed)
+
+    def __call__(self, item: int) -> int:
+        """Return -1 or +1 for the given item."""
+        return 1 if self._bit_hash(item) == 1 else -1
+
+    def sign_array(self, items: Sequence[int]) -> np.ndarray:
+        """Vectorised evaluation returning an int8 array of ±1."""
+        bits = self._bit_hash.hash_array(items)
+        return (2 * bits - 1).astype(np.int8)
+
+    def sign_all(self, domain_size: int) -> np.ndarray:
+        """Evaluate the sign function on every item of ``[0, domain_size)``."""
+        domain_size = require_positive_int(domain_size, "domain_size")
+        return self.sign_array(np.arange(domain_size, dtype=np.uint64))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SignHash(independence={self.independence})"
+
+
+def sign_family(
+    count: int,
+    independence: int = 2,
+    seed: RandomSource = None,
+) -> List[SignHash]:
+    """Draw ``count`` mutually independent sign functions."""
+    count = require_positive_int(count, "count")
+    rng = as_rng(seed)
+    return [SignHash(independence=independence, seed=rng) for _ in range(count)]

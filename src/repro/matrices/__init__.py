@@ -1,0 +1,25 @@
+"""Explicit sketching matrices (Definitions 1-3 of the paper).
+
+The sketches in :mod:`repro.sketches` and :mod:`repro.core` never materialise
+their sketching matrix — they use hashing directly.  This package provides the
+matrices as explicit linear operators so that
+
+* the linear-algebra identities the paper relies on (``Φ(x + y) = Φx + Φy``,
+  column sums π and ψ, vertical stacking of the implicit Φ) can be tested
+  directly, and
+* small examples and the documentation can show the matrices the paper defines.
+"""
+
+from repro.matrices.base import LinearOperator
+from repro.matrices.cm import CMMatrix
+from repro.matrices.cs import CSMatrix
+from repro.matrices.sampling import SamplingMatrix
+from repro.matrices.stacked import StackedOperator
+
+__all__ = [
+    "LinearOperator",
+    "CMMatrix",
+    "CSMatrix",
+    "SamplingMatrix",
+    "StackedOperator",
+]

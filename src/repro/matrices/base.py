@@ -1,0 +1,62 @@
+"""Common interface for sparse sketching operators."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import ensure_1d_float_array
+
+
+class LinearOperator(abc.ABC):
+    """A linear map ``R^n -> R^rows`` applied via its sparse structure.
+
+    Subclasses expose the two pieces every sketch in the paper needs:
+
+    * :meth:`apply` — the matrix-vector product ``Φx``;
+    * :meth:`column_sums` — the vector of coordinate-wise sums of the columns
+      (``π`` for CM-matrices, ``ψ`` for CS-matrices), used by the bias-aware
+      recovery to subtract ``β̂`` from every bucket.
+    """
+
+    def __init__(self, rows: int, columns: int) -> None:
+        if rows <= 0 or columns <= 0:
+            raise ValueError(
+                f"operator shape must be positive, got ({rows}, {columns})"
+            )
+        self.rows = int(rows)
+        self.columns = int(columns)
+
+    @property
+    def shape(self) -> tuple:
+        """The (rows, columns) shape of the operator."""
+        return (self.rows, self.columns)
+
+    @abc.abstractmethod
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Compute the matrix-vector product ``Φx``."""
+
+    @abc.abstractmethod
+    def column_sums(self) -> np.ndarray:
+        """Return the coordinate-wise sum of the columns of the operator."""
+
+    @abc.abstractmethod
+    def to_dense(self) -> np.ndarray:
+        """Materialise the operator as a dense ``(rows, columns)`` array."""
+
+    def _check_input(self, x) -> np.ndarray:
+        arr = ensure_1d_float_array(x, "x")
+        if arr.size != self.columns:
+            raise ValueError(
+                f"input vector has dimension {arr.size}, "
+                f"operator expects {self.columns}"
+            )
+        return arr
+
+    def __matmul__(self, x) -> np.ndarray:
+        """Support the ``Phi @ x`` syntax as an alias for :meth:`apply`."""
+        return self.apply(x)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(rows={self.rows}, columns={self.columns})"

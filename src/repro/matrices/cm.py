@@ -1,0 +1,73 @@
+"""The Count-Median matrix Π(h) (Definition 1 of the paper).
+
+``Π(h)`` is an ``s × n`` 0/1 matrix with exactly one 1 per column, placed at
+row ``h(j)`` for column ``j``.  Applying it to a frequency vector simply sums
+the coordinates that hash into each bucket.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import KWiseHash, PairwiseHash
+from repro.matrices.base import LinearOperator
+from repro.utils.rng import RandomSource
+from repro.utils.validation import require_positive_int
+
+
+class CMMatrix(LinearOperator):
+    """Π(h) ∈ {0,1}^{s×n}: Π(h)[i, j] = 1 iff h(j) = i.
+
+    Parameters
+    ----------
+    buckets:
+        Number of rows ``s`` (hash buckets).
+    dimension:
+        Number of columns ``n`` (the dimension of the input vector).
+    hash_function:
+        A pre-drawn hash function ``[n] -> [s]``; drawn fresh when omitted.
+    seed:
+        Randomness for drawing the hash function when ``hash_function`` is None.
+    """
+
+    def __init__(
+        self,
+        buckets: int,
+        dimension: int,
+        hash_function: KWiseHash = None,
+        seed: RandomSource = None,
+    ) -> None:
+        buckets = require_positive_int(buckets, "buckets")
+        dimension = require_positive_int(dimension, "dimension")
+        super().__init__(buckets, dimension)
+        if hash_function is None:
+            hash_function = PairwiseHash(buckets, seed=seed)
+        if hash_function.range_size != buckets:
+            raise ValueError(
+                "hash_function range_size "
+                f"{hash_function.range_size} does not match buckets {buckets}"
+            )
+        self.hash_function = hash_function
+        #: bucket assignment of every column: ``bucket_of[j] = h(j)``
+        self.bucket_of = hash_function.hash_all(dimension)
+
+    def apply(self, x) -> np.ndarray:
+        """Compute ``Π(h)x``: per-bucket sums of the coordinates of ``x``."""
+        arr = self._check_input(x)
+        return np.bincount(self.bucket_of, weights=arr, minlength=self.rows)
+
+    def column_sums(self) -> np.ndarray:
+        """Return π, where π_i counts how many coordinates hash to bucket i."""
+        return np.bincount(self.bucket_of, minlength=self.rows).astype(np.float64)
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise Π(h) as a dense 0/1 array (small examples only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense[self.bucket_of, np.arange(self.columns)] = 1.0
+        return dense
+
+    def bucket(self, index: int) -> int:
+        """Return the bucket h(index) that coordinate ``index`` maps to."""
+        if not (0 <= index < self.columns):
+            raise IndexError(f"index {index} out of range [0, {self.columns})")
+        return int(self.bucket_of[index])

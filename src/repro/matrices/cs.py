@@ -1,0 +1,78 @@
+"""The Count-Sketch matrix Ψ(h, r) (Definition 2 of the paper).
+
+``Ψ(h, r)`` is an ``s × n`` matrix with exactly one non-zero per column,
+equal to the random sign ``r(j) ∈ {-1, +1}`` and placed at row ``h(j)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.families import KWiseHash, PairwiseHash
+from repro.hashing.signs import SignHash
+from repro.matrices.base import LinearOperator
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import require_positive_int
+
+
+class CSMatrix(LinearOperator):
+    """Ψ(h, r) ∈ {-1,0,1}^{s×n}: Ψ[i, j] = r(j) iff h(j) = i, else 0."""
+
+    def __init__(
+        self,
+        buckets: int,
+        dimension: int,
+        hash_function: KWiseHash = None,
+        sign_function: SignHash = None,
+        seed: RandomSource = None,
+    ) -> None:
+        buckets = require_positive_int(buckets, "buckets")
+        dimension = require_positive_int(dimension, "dimension")
+        super().__init__(buckets, dimension)
+        rng = as_rng(seed)
+        if hash_function is None:
+            hash_function = PairwiseHash(buckets, seed=rng)
+        if sign_function is None:
+            sign_function = SignHash(seed=rng)
+        if hash_function.range_size != buckets:
+            raise ValueError(
+                "hash_function range_size "
+                f"{hash_function.range_size} does not match buckets {buckets}"
+            )
+        self.hash_function = hash_function
+        self.sign_function = sign_function
+        #: bucket assignment of every column: ``bucket_of[j] = h(j)``
+        self.bucket_of = hash_function.hash_all(dimension)
+        #: sign of every column: ``sign_of[j] = r(j)``
+        self.sign_of = sign_function.sign_all(dimension).astype(np.float64)
+
+    def apply(self, x) -> np.ndarray:
+        """Compute ``Ψ(h, r)x``: per-bucket signed sums of coordinates of ``x``."""
+        arr = self._check_input(x)
+        return np.bincount(
+            self.bucket_of, weights=arr * self.sign_of, minlength=self.rows
+        )
+
+    def column_sums(self) -> np.ndarray:
+        """Return ψ, the per-bucket sum of signs of the coordinates hashed there."""
+        return np.bincount(
+            self.bucket_of, weights=self.sign_of, minlength=self.rows
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise Ψ(h, r) as a dense array (small examples only)."""
+        dense = np.zeros(self.shape, dtype=np.float64)
+        dense[self.bucket_of, np.arange(self.columns)] = self.sign_of
+        return dense
+
+    def bucket(self, index: int) -> int:
+        """Return the bucket h(index) that coordinate ``index`` maps to."""
+        if not (0 <= index < self.columns):
+            raise IndexError(f"index {index} out of range [0, {self.columns})")
+        return int(self.bucket_of[index])
+
+    def sign(self, index: int) -> int:
+        """Return the sign r(index) applied to coordinate ``index``."""
+        if not (0 <= index < self.columns):
+            raise IndexError(f"index {index} out of range [0, {self.columns})")
+        return int(self.sign_of[index])

@@ -1,0 +1,67 @@
+"""Vertical concatenation of sketching operators.
+
+The implicit sketching matrix Φ of both bias-aware algorithms is a vertical
+stack: for ℓ1-S/R, ``d`` CM-matrices plus one sampling matrix; for ℓ2-S/R, one
+CM-matrix plus ``d`` CS-matrices.  ``StackedOperator`` makes that stack a
+first-class linear operator so linearity can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.matrices.base import LinearOperator
+
+
+class StackedOperator(LinearOperator):
+    """Vertical concatenation ``[Φ_1; Φ_2; ...; Φ_m]`` of operators on R^n."""
+
+    def __init__(self, operators: Sequence[LinearOperator]) -> None:
+        operators = list(operators)
+        if not operators:
+            raise ValueError("StackedOperator requires at least one operator")
+        dimension = operators[0].columns
+        for op in operators:
+            if op.columns != dimension:
+                raise ValueError(
+                    "all stacked operators must share the same column count; "
+                    f"got {op.columns} and {dimension}"
+                )
+        total_rows = sum(op.rows for op in operators)
+        super().__init__(total_rows, dimension)
+        self.operators: List[LinearOperator] = operators
+
+    def apply(self, x) -> np.ndarray:
+        """Apply every block and concatenate the results."""
+        arr = self._check_input(x)
+        return np.concatenate([op.apply(arr) for op in self.operators])
+
+    def column_sums(self) -> np.ndarray:
+        """Concatenate the per-block column-sum vectors.
+
+        Note the blocks have different row counts, so unlike the single-block
+        case this is a length-``rows`` vector formed block by block (it equals
+        ``Φ · 1`` where 1 is the all-ones vector, which is exactly what the
+        bias-aware recovery subtracts ``β̂`` against).
+        """
+        return np.concatenate([op.apply(np.ones(self.columns)) for op in self.operators])
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the stack as a dense array (small examples only)."""
+        return np.vstack([op.to_dense() for op in self.operators])
+
+    def split(self, y: np.ndarray) -> List[np.ndarray]:
+        """Split a stacked sketch vector ``y = Φx`` back into per-block pieces."""
+        y = np.asarray(y, dtype=np.float64)
+        if y.ndim != 1 or y.size != self.rows:
+            raise ValueError(
+                f"expected a vector of length {self.rows}, got shape {y.shape}"
+            )
+        pieces = []
+        offset = 0
+        for op in self.operators:
+            pieces.append(y[offset:offset + op.rows])
+            offset += op.rows
+        return pieces

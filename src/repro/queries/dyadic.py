@@ -1,0 +1,159 @@
+"""Dyadic range sketches: O(log n)-cost range queries over a sketched vector.
+
+Summing point estimates over a range (``repro.queries.range_query``) costs one
+query per coordinate and accumulates one sketch-error per coordinate.  The
+classical remedy is a *dyadic* structure: keep one sketch per dyadic level,
+where level ``ℓ`` summarises the vector of ``2^ℓ``-aligned block sums; any
+range ``[low, high)`` decomposes into at most ``2·log n`` dyadic blocks, so a
+range query touches O(log n) point queries and accumulates O(log n) errors.
+
+The structure is generic over the underlying sketch: pass any registry name,
+including the bias-aware ones — for a biased vector the level-ℓ vector has
+bias ``2^ℓ·β``, still a single common bias, so the bias-aware guarantee keeps
+paying off at every level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sketches.registry import make_sketch
+from repro.utils.rng import RandomSource, derive_seed
+from repro.utils.validation import ensure_1d_float_array, require_positive_int
+
+
+class DyadicRangeSketch:
+    """A stack of sketches over dyadic aggregations of the input vector.
+
+    Parameters
+    ----------
+    dimension:
+        Dimension ``n`` of the base vector (padded internally to a power of 2).
+    width, depth:
+        Sketch configuration shared by every level.
+    algorithm:
+        Registry name of the underlying sketch (default: the ℓ2 bias-aware
+        sketch).
+    max_levels:
+        Cap on the number of levels above the base one (default: all the way
+        to a single block).
+    seed:
+        Base seed; each level derives its own child seed.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        algorithm: str = "l2_sr",
+        max_levels: Optional[int] = None,
+        seed: RandomSource = None,
+    ) -> None:
+        self.dimension = require_positive_int(dimension, "dimension")
+        self.width = require_positive_int(width, "width")
+        self.depth = require_positive_int(depth, "depth")
+        self.algorithm = algorithm
+        self.seed = seed
+
+        self._padded = 1 << max(1, math.ceil(math.log2(self.dimension)))
+        total_levels = int(math.log2(self._padded)) + 1
+        if max_levels is not None:
+            total_levels = min(total_levels, require_positive_int(
+                max_levels, "max_levels") + 1)
+        self.levels = total_levels
+
+        self._sketches = []
+        for level in range(self.levels):
+            level_dimension = max(1, self._padded >> level)
+            level_width = min(self.width, max(4, level_dimension))
+            self._sketches.append(
+                make_sketch(
+                    algorithm,
+                    level_dimension,
+                    level_width,
+                    depth,
+                    seed=derive_seed(seed, 7_000 + level),
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Apply ``x[index] += delta`` to every level."""
+        if not (0 <= index < self.dimension):
+            raise IndexError(
+                f"index must be in [0, {self.dimension}), got {index}"
+            )
+        for level, sketch in enumerate(self._sketches):
+            sketch.update(index >> level, float(delta))
+
+    def fit(self, x) -> "DyadicRangeSketch":
+        """Ingest a whole vector (each level sketches its block-sum vector)."""
+        arr = ensure_1d_float_array(x, "x")
+        if arr.size != self.dimension:
+            raise ValueError(
+                f"vector has dimension {arr.size}, structure expects "
+                f"{self.dimension}"
+            )
+        padded = np.zeros(self._padded, dtype=np.float64)
+        padded[: self.dimension] = arr
+        current = padded
+        for sketch in self._sketches:
+            sketch.fit(current[: sketch.dimension])
+            if current.size > 1:
+                current = current.reshape(-1, 2).sum(axis=1)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def point_query(self, index: int) -> float:
+        """Point query from the base level."""
+        if not (0 <= index < self.dimension):
+            raise IndexError(
+                f"index must be in [0, {self.dimension}), got {index}"
+            )
+        return self._sketches[0].query(index)
+
+    def range_sum(self, low: int, high: int) -> float:
+        """Estimate ``Σ_{i in [low, high)} x_i`` from O(log n) point queries."""
+        if not (0 <= low <= high <= self.dimension):
+            raise ValueError(
+                f"range [{low}, {high}) must lie within [0, {self.dimension}]"
+            )
+        total = 0.0
+        for level, start, end in self._decompose(low, high):
+            for block in range(start, end):
+                total += self._sketches[level].query(block)
+        return float(total)
+
+    def _decompose(self, low: int, high: int) -> List[tuple]:
+        """Split [low, high) into maximal dyadic blocks: (level, start, end)."""
+        pieces = []
+        level = 0
+        while low < high and level < self.levels - 1:
+            if low % 2 == 1:
+                pieces.append((level, low, low + 1))
+                low += 1
+            if high % 2 == 1:
+                high -= 1
+                pieces.append((level, high, high + 1))
+            low //= 2
+            high //= 2
+            level += 1
+        if low < high:
+            pieces.append((level, low, high))
+        return pieces
+
+    def size_in_words(self) -> int:
+        """Total counter words across all levels."""
+        return sum(sketch.size_in_words() for sketch in self._sketches)
+
+    def queries_per_range(self, low: int, high: int) -> int:
+        """Number of point queries a range decomposes into (for tests/benches)."""
+        return sum(end - start for _, start, end in self._decompose(low, high))

@@ -1,0 +1,85 @@
+"""Heavy hitters (frequent elements) on top of a recovering sketch.
+
+A coordinate is reported as a heavy hitter when its *estimated* value exceeds
+a threshold, expressed either absolutely or as a fraction φ of the total mass.
+For biased vectors the interesting heavy hitters are the coordinates far
+*above the bias*; the ``relative_to_bias`` mode subtracts the sketch's own
+bias estimate (when it has one) before thresholding, which is the natural
+"outlier detection" reading of the paper's motivation (cf. the BOMP
+discussion in Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.sketches.base import Sketch
+
+
+@dataclass(frozen=True)
+class HeavyHitter:
+    """A reported heavy hitter."""
+
+    index: int
+    estimate: float
+    score: float
+
+
+def heavy_hitters(
+    sketch: Sketch,
+    threshold: Optional[float] = None,
+    phi: Optional[float] = None,
+    total_mass: Optional[float] = None,
+    relative_to_bias: bool = False,
+    top_k: Optional[int] = None,
+) -> List[HeavyHitter]:
+    """Report coordinates whose estimate exceeds a threshold.
+
+    Parameters
+    ----------
+    sketch:
+        Any sketch supporting :meth:`recover`.
+    threshold:
+        Absolute threshold on the (possibly de-biased) estimate.
+    phi:
+        Relative threshold: report coordinates whose estimate exceeds
+        ``phi · total_mass``.  ``total_mass`` defaults to the sum of the
+        recovered estimates.
+    relative_to_bias:
+        When True and the sketch exposes ``estimate_bias()``, the bias is
+        subtracted before thresholding (detect "outliers above the bias"
+        instead of "large absolute counts").
+    top_k:
+        When given, return only the ``top_k`` highest-scoring hitters.
+
+    Exactly one of ``threshold`` and ``phi`` must be provided.
+    """
+    if (threshold is None) == (phi is None):
+        raise ValueError("provide exactly one of threshold and phi")
+
+    estimates = sketch.recover()
+    scores = estimates.copy()
+    if relative_to_bias and hasattr(sketch, "estimate_bias"):
+        scores = scores - float(sketch.estimate_bias())
+
+    if phi is not None:
+        if not (0.0 < phi < 1.0):
+            raise ValueError(f"phi must lie in (0, 1), got {phi}")
+        if total_mass is None:
+            total_mass = float(np.sum(np.abs(estimates)))
+        threshold = phi * total_mass
+
+    hot = np.flatnonzero(scores > threshold)
+    hitters = [
+        HeavyHitter(index=int(i), estimate=float(estimates[i]), score=float(scores[i]))
+        for i in hot
+    ]
+    hitters.sort(key=lambda h: h.score, reverse=True)
+    if top_k is not None:
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        hitters = hitters[:top_k]
+    return hitters

@@ -1,0 +1,23 @@
+"""Inner-product estimation between a sketched vector and an explicit vector."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.base import Sketch
+from repro.utils.validation import ensure_1d_float_array
+
+
+def inner_product_estimate(sketch: Sketch, y) -> float:
+    """Estimate ``⟨x, y⟩`` where ``x`` is the sketched vector and ``y`` is given.
+
+    The estimator is ``⟨x̂, y⟩`` with ``x̂`` the sketch's recovered vector; by
+    Hölder its error is bounded by ``‖x - x̂‖_∞ · ‖y‖_1``, so the bias-aware
+    sketches' tighter ℓ∞ guarantee carries over directly.
+    """
+    arr = ensure_1d_float_array(y, "y")
+    if arr.size != sketch.dimension:
+        raise ValueError(
+            f"y has dimension {arr.size}, sketch expects {sketch.dimension}"
+        )
+    return float(np.dot(sketch.recover(), arr))

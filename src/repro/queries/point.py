@@ -1,0 +1,46 @@
+"""Point queries: estimate a single coordinate of the frequency vector."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sketches.base import Sketch
+
+
+@dataclass(frozen=True)
+class PointQueryResult:
+    """A point-query answer with optional ground truth for error reporting."""
+
+    index: int
+    estimate: float
+    truth: Optional[float] = None
+
+    @property
+    def absolute_error(self) -> Optional[float]:
+        """|estimate - truth| when the truth is known."""
+        if self.truth is None:
+            return None
+        return abs(self.estimate - self.truth)
+
+
+def point_query(
+    sketch: Sketch,
+    index: int,
+    truth: Optional[Sequence[float]] = None,
+) -> PointQueryResult:
+    """Answer a single point query, optionally attaching the true value."""
+    estimate = sketch.query(index)
+    true_value = None if truth is None else float(np.asarray(truth)[index])
+    return PointQueryResult(index=int(index), estimate=estimate, truth=true_value)
+
+
+def batch_point_query(
+    sketch: Sketch,
+    indices: Sequence[int],
+    truth: Optional[Sequence[float]] = None,
+) -> list:
+    """Answer many point queries at once."""
+    return [point_query(sketch, int(index), truth) for index in indices]

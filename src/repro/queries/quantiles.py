@@ -1,0 +1,26 @@
+"""Approximate quantiles of the recovered frequency vector.
+
+Given the recovered vector x̂, the q-quantile of its coordinate values is a
+useful summary of a biased workload (e.g. "the median requests-per-second").
+The error of the returned value is bounded by the ℓ∞ recovery error, since
+the empirical CDF of x̂ is within that distance of the CDF of x horizontally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.base import Sketch
+
+
+def approximate_quantile(sketch: Sketch, q: float) -> float:
+    """Return the q-quantile of the recovered coordinate values.
+
+    ``q`` must lie in [0, 1]; ``q = 0.5`` gives the (approximate) median
+    coordinate value, which for a strongly biased vector is essentially the
+    bias itself.
+    """
+    q = float(q)
+    if not (0.0 <= q <= 1.0):
+        raise ValueError(f"q must lie in [0, 1], got {q}")
+    return float(np.quantile(sketch.recover(), q))

@@ -1,0 +1,144 @@
+"""Internal helper: a depth × width counter table addressed by hashed buckets.
+
+All table-based sketches (Count-Min, Count-Median, Count-Sketch and their
+conservative-update variants, plus the bias-aware sketches built on top) share
+the same storage layout: a ``(depth, width)`` array of counters, a per-row
+hash function assigning each of the ``dimension`` coordinates to a bucket, and
+optionally a per-row sign function.  This module centralises that machinery so
+the individual sketch classes stay focused on their estimation rule.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hashing.families import KWiseHash, hash_family
+from repro.hashing.signs import SignHash, sign_family
+from repro.utils.rng import RandomSource, derive_seed
+
+
+class HashedCounterTable:
+    """A ``(depth, width)`` counter table with per-row hashed bucket assignment.
+
+    Parameters
+    ----------
+    dimension, width, depth:
+        Vector dimension ``n``, buckets per row ``s``, number of rows ``d``.
+    signed:
+        When True, a per-row random sign function is drawn and applied to
+        every update (Count-Sketch layout); when False updates are unsigned
+        (Count-Min / Count-Median layout).
+    seed:
+        Randomness for the hash (and sign) functions.  The table derives
+        distinct child seeds for the hash family and the sign family so that
+        tables built from the same seed are identical.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        signed: bool = False,
+        seed: RandomSource = None,
+    ) -> None:
+        self.dimension = int(dimension)
+        self.width = int(width)
+        self.depth = int(depth)
+        self.signed = bool(signed)
+
+        hash_seed = derive_seed(seed, 101)
+        self.hashes: List[KWiseHash] = hash_family(depth, width, seed=hash_seed)
+        #: bucket assignment per row: buckets[r, j] = h_r(j)
+        self.buckets = np.vstack([h.hash_all(dimension) for h in self.hashes])
+
+        self.signs: Optional[List[SignHash]] = None
+        self.sign_values: Optional[np.ndarray] = None
+        if signed:
+            sign_seed = derive_seed(seed, 202)
+            self.signs = sign_family(depth, seed=sign_seed)
+            self.sign_values = np.vstack(
+                [r.sign_all(dimension) for r in self.signs]
+            ).astype(np.float64)
+
+        #: the counters themselves
+        self.table = np.zeros((depth, width), dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def add_update(self, index: int, delta: float) -> None:
+        """Apply ``x[index] += delta`` to every row of the table."""
+        rows = np.arange(self.depth)
+        cols = self.buckets[:, index]
+        if self.signed:
+            self.table[rows, cols] += delta * self.sign_values[:, index]
+        else:
+            self.table[rows, cols] += delta
+
+    def add_vector(self, x: np.ndarray) -> None:
+        """Apply a whole frequency vector ``x`` at once (vectorised path)."""
+        for row in range(self.depth):
+            weights = x if not self.signed else x * self.sign_values[row]
+            self.table[row] += np.bincount(
+                self.buckets[row], weights=weights, minlength=self.width
+            )
+
+    # ------------------------------------------------------------------ #
+    # estimates
+    # ------------------------------------------------------------------ #
+    def row_estimates(self, index: int) -> np.ndarray:
+        """Per-row estimates of coordinate ``index`` (sign-corrected if signed)."""
+        rows = np.arange(self.depth)
+        values = self.table[rows, self.buckets[:, index]]
+        if self.signed:
+            values = values * self.sign_values[:, index]
+        return values
+
+    def all_row_estimates(self) -> np.ndarray:
+        """A ``(depth, dimension)`` array of per-row estimates for all coordinates."""
+        estimates = np.take_along_axis(self.table, self.buckets, axis=1)
+        if self.signed:
+            estimates = estimates * self.sign_values
+        return estimates
+
+    # ------------------------------------------------------------------ #
+    # structural vectors used by the bias-aware recovery
+    # ------------------------------------------------------------------ #
+    def column_sums(self) -> np.ndarray:
+        """Per-row column sums: π (unsigned) or ψ (signed), shape (depth, width).
+
+        Row ``r`` holds the coordinate-wise sum of the columns of the r-th
+        CM/CS matrix, i.e. the per-bucket count of coordinates (unsigned) or
+        the per-bucket sum of signs (signed).  The bias-aware recovery
+        subtracts ``β̂`` times these from the counters.
+        """
+        sums = np.zeros((self.depth, self.width), dtype=np.float64)
+        for row in range(self.depth):
+            weights = None if not self.signed else self.sign_values[row]
+            sums[row] = np.bincount(
+                self.buckets[row], weights=weights, minlength=self.width
+            )
+        return sums
+
+    # ------------------------------------------------------------------ #
+    # linear-algebra operations
+    # ------------------------------------------------------------------ #
+    def merge_from(self, other: "HashedCounterTable") -> None:
+        """Add another table's counters (caller checks hash compatibility)."""
+        self.table += other.table
+
+    def scale_by(self, factor: float) -> None:
+        """Multiply all counters by ``factor``."""
+        self.table *= factor
+
+    def copy_into(self, other: "HashedCounterTable") -> None:
+        """Copy this table's counters into ``other`` (same shape assumed)."""
+        other.table = self.table.copy()
+
+    @property
+    def counter_count(self) -> int:
+        """Number of counters stored."""
+        return self.depth * self.width

@@ -1,0 +1,186 @@
+"""Abstract sketch interfaces.
+
+Every sketch in the library supports two ingestion paths:
+
+* **streaming** — :meth:`Sketch.update` applies a single ``(index, delta)``
+  update, which is the streaming model of the paper (Section 1);
+* **vectorised** — :meth:`Sketch.fit` ingests a whole frequency vector at
+  once through numpy, which is how the evaluation harness sketches the
+  datasets efficiently.
+
+For *linear* sketches the two paths produce identical state, and sketches of
+partial vectors can be merged (:meth:`LinearSketch.merge`), which is the
+property that makes them usable in the distributed model (Section 1).
+Non-linear sketches (conservative update variants) only guarantee that both
+paths apply the same per-item updates in index order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomSource
+from repro.utils.validation import (
+    ensure_1d_float_array,
+    require_index,
+    require_positive_int,
+)
+
+
+class Sketch(abc.ABC):
+    """Base class for all frequency sketches over vectors in ``R^dimension``.
+
+    Parameters
+    ----------
+    dimension:
+        Dimension ``n`` of the frequency vector being summarised.
+    width:
+        Number of buckets ``s`` per hash row.
+    depth:
+        Number of independent hash rows ``d``.
+    seed:
+        Randomness for the hash functions.  Two sketches constructed with the
+        same ``(dimension, width, depth, seed)`` are *compatible*: they use the
+        same hash functions and may be merged (if linear) or compared.
+    """
+
+    #: short name used in result tables (overridden by subclasses)
+    name = "sketch"
+
+    def __init__(
+        self,
+        dimension: int,
+        width: int,
+        depth: int,
+        seed: RandomSource = None,
+    ) -> None:
+        self.dimension = require_positive_int(dimension, "dimension")
+        self.width = require_positive_int(width, "width")
+        self.depth = require_positive_int(depth, "depth")
+        self.seed = seed
+        self._items_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def update(self, index: int, delta: float = 1.0) -> None:
+        """Apply the streaming update ``x[index] += delta``."""
+
+    def fit(self, x) -> "Sketch":
+        """Ingest a whole frequency vector ``x`` (length ``dimension``).
+
+        The default implementation replays the non-zero coordinates as
+        individual updates; vectorised subclasses override it.
+        Returns ``self`` for chaining.
+        """
+        arr = self._check_vector(x)
+        for index in np.flatnonzero(arr):
+            self.update(int(index), float(arr[index]))
+        return self
+
+    def update_many(self, updates: Iterable[Tuple[int, float]]) -> "Sketch":
+        """Apply a sequence of ``(index, delta)`` updates in order."""
+        for index, delta in updates:
+            self.update(int(index), float(delta))
+        return self
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def query(self, index: int) -> float:
+        """Return the point-query estimate of coordinate ``index``."""
+
+    def recover(self) -> np.ndarray:
+        """Return the full recovered vector ``x̂`` (one estimate per coordinate).
+
+        The default implementation queries every coordinate; vectorised
+        subclasses override it.
+        """
+        return np.array(
+            [self.query(index) for index in range(self.dimension)],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def size_in_words(self) -> int:
+        """Number of counter words the sketch stores (excluding O(d) hash seeds)."""
+
+    @property
+    def items_processed(self) -> int:
+        """Total number of updates applied (vectorised fits count non-zeros)."""
+        return self._items_processed
+
+    def _check_vector(self, x) -> np.ndarray:
+        arr = ensure_1d_float_array(x, "x")
+        if arr.size != self.dimension:
+            raise ValueError(
+                f"vector has dimension {arr.size}, sketch expects {self.dimension}"
+            )
+        return arr
+
+    def _check_index(self, index: int) -> int:
+        return require_index(index, self.dimension)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(dimension={self.dimension}, "
+            f"width={self.width}, depth={self.depth})"
+        )
+
+
+class LinearSketch(Sketch):
+    """A sketch that is a linear function of the input vector.
+
+    Linearity gives two extra operations used by the distributed substrate:
+
+    * :meth:`merge` — add the state of a compatible sketch (sketch of the sum
+      equals sum of the sketches);
+    * :meth:`scale` — multiply the state by a scalar (sketch of ``c·x``).
+    """
+
+    @abc.abstractmethod
+    def merge(self, other: "LinearSketch") -> "LinearSketch":
+        """Add ``other``'s state into this sketch in place and return ``self``."""
+
+    @abc.abstractmethod
+    def scale(self, factor: float) -> "LinearSketch":
+        """Scale the sketch state in place by ``factor`` and return ``self``."""
+
+    def _check_compatible(self, other: "LinearSketch") -> None:
+        if type(other) is not type(self):
+            raise TypeError(
+                f"cannot merge {type(self).__name__} with {type(other).__name__}"
+            )
+        if (
+            other.dimension != self.dimension
+            or other.width != self.width
+            or other.depth != self.depth
+        ):
+            raise ValueError(
+                "sketches must share (dimension, width, depth) to be merged; got "
+                f"({self.dimension}, {self.width}, {self.depth}) vs "
+                f"({other.dimension}, {other.width}, {other.depth})"
+            )
+        if self.seed is None or other.seed is None or self.seed != other.seed:
+            raise ValueError(
+                "sketches must be built from the same integer seed to share "
+                "hash functions; construct both with an explicit seed"
+            )
+
+    def __add__(self, other: "LinearSketch") -> "LinearSketch":
+        """Return a new sketch equal to the merge of ``self`` and ``other``."""
+        merged = self.copy()
+        merged.merge(other)
+        return merged
+
+    @abc.abstractmethod
+    def copy(self) -> "LinearSketch":
+        """Return a deep copy of this sketch (same hashes, copied counters)."""

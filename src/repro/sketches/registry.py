@@ -1,0 +1,170 @@
+"""Registry of sketch constructors keyed by short algorithm name.
+
+The evaluation harness (:mod:`repro.eval.harness`) compares many algorithms at
+the same ``(width, depth)`` budget; the registry gives it a uniform way to
+build any of them from its short name.  Baseline sketches register themselves
+here; the bias-aware sketches in :mod:`repro.core` register themselves when
+that package is imported (which :func:`paper_reference_suite` guarantees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.sketches.base import Sketch
+from repro.sketches.conservative import CountMinCU
+from repro.sketches.count_median import CountMedian
+from repro.sketches.count_min import CountMin
+from repro.sketches.count_min_log import CountMinLogCU
+from repro.sketches.count_sketch import CountSketch
+from repro.sketches.debiased_count_min import DebiasedCountMin
+from repro.utils.rng import RandomSource
+
+#: factory signature: (dimension, width, depth, seed) -> Sketch
+SketchFactory = Callable[[int, int, int, RandomSource], Sketch]
+
+
+@dataclass(frozen=True)
+class SketchSpec:
+    """Metadata describing a registered sketch algorithm."""
+
+    #: short name used in result tables (e.g. ``"l2_sr"``)
+    name: str
+    #: human-readable label matching the paper's figure legends (e.g. ``"ℓ2-S/R"``)
+    label: str
+    #: whether the sketch is linear (mergeable in the distributed model)
+    linear: bool
+    #: whether the sketch is one of the paper's contributions (vs a baseline)
+    bias_aware: bool
+    #: the constructor
+    factory: SketchFactory
+
+
+_REGISTRY: Dict[str, SketchSpec] = {}
+
+
+def register_sketch(
+    name: str,
+    label: str,
+    factory: SketchFactory,
+    linear: bool,
+    bias_aware: bool = False,
+    overwrite: bool = False,
+) -> SketchSpec:
+    """Register a sketch constructor under ``name`` and return its spec."""
+    if not name:
+        raise ValueError("sketch name must be non-empty")
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"sketch {name!r} is already registered")
+    spec = SketchSpec(
+        name=name,
+        label=label,
+        linear=linear,
+        bias_aware=bias_aware,
+        factory=factory,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def available_sketches(include_bias_aware: bool = True) -> List[str]:
+    """Return the names of all registered sketches (baselines first)."""
+    _ensure_core_registered()
+    names = sorted(
+        _REGISTRY,
+        key=lambda name: (_REGISTRY[name].bias_aware, name),
+    )
+    if include_bias_aware:
+        return names
+    return [name for name in names if not _REGISTRY[name].bias_aware]
+
+
+def get_spec(name: str) -> SketchSpec:
+    """Look up the spec of a registered sketch, raising ``KeyError`` if unknown."""
+    _ensure_core_registered()
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown sketch {name!r}; available: {known}")
+    return _REGISTRY[name]
+
+
+def make_sketch(
+    name: str,
+    dimension: int,
+    width: int,
+    depth: int,
+    seed: RandomSource = None,
+) -> Sketch:
+    """Construct the sketch registered under ``name``."""
+    spec = get_spec(name)
+    return spec.factory(dimension, width, depth, seed)
+
+
+def paper_reference_suite() -> List[str]:
+    """The six algorithms compared throughout Section 5 of the paper.
+
+    Order matches the figure legends: the two bias-aware sketches first, then
+    Count-Sketch, Count-Median, CM-CU and CML-CU.
+    """
+    _ensure_core_registered()
+    return [
+        "l1_sr",
+        "l2_sr",
+        "count_sketch",
+        "count_median",
+        "count_min_cu",
+        "count_min_log_cu",
+    ]
+
+
+def mean_heuristic_suite() -> List[str]:
+    """The algorithms of the mean-heuristic comparison (Figures 8 and 9)."""
+    _ensure_core_registered()
+    return ["l1_sr", "l2_sr", "l1_mean", "l2_mean"]
+
+
+def _ensure_core_registered() -> None:
+    """Import :mod:`repro.core` so the bias-aware sketches are registered."""
+    import repro.core  # noqa: F401  (import for its registration side effect)
+
+
+# --------------------------------------------------------------------------- #
+# baseline registrations
+# --------------------------------------------------------------------------- #
+register_sketch(
+    "count_min",
+    "CM (plain Count-Min)",
+    lambda n, s, d, seed: CountMin(n, s, d, seed=seed),
+    linear=True,
+)
+register_sketch(
+    "count_median",
+    "CM (Count-Median)",
+    lambda n, s, d, seed: CountMedian(n, s, d, seed=seed),
+    linear=True,
+)
+register_sketch(
+    "count_sketch",
+    "CS (Count-Sketch)",
+    lambda n, s, d, seed: CountSketch(n, s, d, seed=seed),
+    linear=True,
+)
+register_sketch(
+    "count_min_cu",
+    "CM-CU (conservative update)",
+    lambda n, s, d, seed: CountMinCU(n, s, d, seed=seed),
+    linear=False,
+)
+register_sketch(
+    "count_min_log_cu",
+    "CML-CU (Count-Min-Log, conservative update)",
+    lambda n, s, d, seed: CountMinLogCU(n, s, d, seed=seed),
+    linear=False,
+)
+register_sketch(
+    "debiased_count_min",
+    "Debiased Count-Min (Deng & Rafiei)",
+    lambda n, s, d, seed: DebiasedCountMin(n, s, d, seed=seed),
+    linear=True,
+)

@@ -1,0 +1,44 @@
+"""Streaming-model substrate.
+
+The paper's streaming model (Section 1) delivers items one at a time: an
+arriving item ``i`` corresponds to the update ``x ← x + e_i``; the turnstile
+generalisation allows weighted and negative updates ``x ← x + Δ·e_i``.  This
+package provides:
+
+* :class:`StreamUpdate` / :class:`UpdateStream` — typed update streams with
+  cash-register / turnstile validation,
+* generators turning frequency vectors, item sequences or edge streams into
+  update streams,
+* :class:`StreamRunner` — replays a stream into one or more sketches while
+  measuring per-update and per-query cost, which is what the Figure 6 timing
+  comparison uses.
+"""
+
+from repro.streaming.stream import StreamKind, StreamUpdate, UpdateStream
+from repro.streaming.generators import (
+    stream_from_edges,
+    stream_from_items,
+    stream_from_vector,
+)
+from repro.streaming.runner import StreamReport, StreamRunner
+from repro.streaming.trace import (
+    read_csv_trace,
+    read_npz_trace,
+    write_csv_trace,
+    write_npz_trace,
+)
+
+__all__ = [
+    "StreamKind",
+    "StreamUpdate",
+    "UpdateStream",
+    "stream_from_edges",
+    "stream_from_items",
+    "stream_from_vector",
+    "StreamReport",
+    "StreamRunner",
+    "read_csv_trace",
+    "read_npz_trace",
+    "write_csv_trace",
+    "write_npz_trace",
+]

@@ -1,0 +1,62 @@
+"""Builders turning vectors, item sequences and edge lists into update streams."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.streaming.stream import StreamKind, StreamUpdate, UpdateStream
+from repro.utils.rng import RandomSource, as_rng
+from repro.utils.validation import ensure_1d_float_array, require_positive_int
+
+
+def stream_from_vector(
+    x,
+    shuffle: bool = False,
+    seed: RandomSource = None,
+) -> UpdateStream:
+    """Turn a frequency vector into one weighted update per non-zero coordinate.
+
+    With ``shuffle=True`` the update order is randomised (useful for testing
+    order-sensitivity of the non-linear baselines).  Negative coordinates
+    produce a turnstile stream.
+    """
+    arr = ensure_1d_float_array(x, "x")
+    indices = np.flatnonzero(arr)
+    if shuffle:
+        indices = as_rng(seed).permutation(indices)
+    kind = StreamKind.TURNSTILE if np.any(arr < 0) else StreamKind.CASH_REGISTER
+    stream = UpdateStream(arr.size, kind=kind)
+    for index in indices:
+        stream.append(StreamUpdate(int(index), float(arr[index])))
+    return stream
+
+
+def stream_from_items(
+    items: Sequence[int],
+    dimension: int,
+) -> UpdateStream:
+    """Turn a sequence of item arrivals into unit updates (the paper's model)."""
+    dimension = require_positive_int(dimension, "dimension")
+    stream = UpdateStream(dimension, kind=StreamKind.CASH_REGISTER)
+    for item in items:
+        stream.append(StreamUpdate(int(item), 1.0))
+    return stream
+
+
+def stream_from_edges(
+    edges: Iterable[Tuple[int, int]],
+    dimension: int,
+) -> UpdateStream:
+    """Turn an edge stream into out-degree updates (the Hudong experiment).
+
+    Each edge ``(a, b)`` increments the out-degree of article ``a``; the
+    destination is ignored for the degree vector but kept in the signature to
+    mirror the dataset's structure.
+    """
+    dimension = require_positive_int(dimension, "dimension")
+    stream = UpdateStream(dimension, kind=StreamKind.CASH_REGISTER)
+    for source, _destination in edges:
+        stream.append(StreamUpdate(int(source), 1.0))
+    return stream

@@ -1,0 +1,139 @@
+"""Update streams: the data model of the streaming setting.
+
+An :class:`UpdateStream` is an ordered sequence of ``(index, delta)`` updates
+over a frequency vector of known dimension, tagged with the stream *kind*:
+
+* ``CASH_REGISTER`` — all deltas are positive (arrivals only); this is the
+  model of the paper's experiments (every real dataset is a count vector).
+* ``TURNSTILE`` — deltas may be negative (arrivals and departures); all the
+  *linear* sketches in the library support it, the conservative-update
+  baselines do not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import require_positive_int
+
+
+class StreamKind(enum.Enum):
+    """The update model of a stream."""
+
+    CASH_REGISTER = "cash_register"
+    TURNSTILE = "turnstile"
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """A single streaming update ``x[index] += delta``."""
+
+    index: int
+    delta: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError(f"index must be non-negative, got {self.index}")
+
+
+class UpdateStream:
+    """An ordered sequence of updates over a vector of known dimension.
+
+    Parameters
+    ----------
+    dimension:
+        Dimension ``n`` of the underlying frequency vector.
+    updates:
+        The updates, as :class:`StreamUpdate` objects or ``(index, delta)``
+        pairs.
+    kind:
+        Declared stream kind; validated against the updates.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        updates: Iterable = (),
+        kind: StreamKind = StreamKind.CASH_REGISTER,
+    ) -> None:
+        self.dimension = require_positive_int(dimension, "dimension")
+        self.kind = StreamKind(kind)
+        self._updates: List[StreamUpdate] = []
+        for update in updates:
+            self.append(update)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def append(self, update) -> None:
+        """Append one update (a :class:`StreamUpdate` or an ``(index, delta)`` pair)."""
+        if not isinstance(update, StreamUpdate):
+            index, delta = update
+            update = StreamUpdate(int(index), float(delta))
+        if update.index >= self.dimension:
+            raise IndexError(
+                f"update index {update.index} out of range "
+                f"[0, {self.dimension})"
+            )
+        if self.kind is StreamKind.CASH_REGISTER and update.delta < 0:
+            raise ValueError(
+                "negative delta in a cash-register stream; declare the stream "
+                "as StreamKind.TURNSTILE to allow deletions"
+            )
+        self._updates.append(update)
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __iter__(self) -> Iterator[StreamUpdate]:
+        return iter(self._updates)
+
+    def __getitem__(self, position: int) -> StreamUpdate:
+        return self._updates[position]
+
+    def indices(self) -> np.ndarray:
+        """All update indices, in stream order."""
+        return np.array([u.index for u in self._updates], dtype=np.int64)
+
+    def deltas(self) -> np.ndarray:
+        """All update deltas, in stream order."""
+        return np.array([u.delta for u in self._updates], dtype=np.float64)
+
+    def accumulate(self) -> np.ndarray:
+        """Materialise the frequency vector the stream accumulates to."""
+        vector = np.zeros(self.dimension, dtype=np.float64)
+        if self._updates:
+            np.add.at(vector, self.indices(), self.deltas())
+        return vector
+
+    def prefix(self, count: int) -> "UpdateStream":
+        """The stream truncated to its first ``count`` updates."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        stream = UpdateStream(self.dimension, kind=self.kind)
+        stream._updates = list(self._updates[:count])
+        return stream
+
+    def split(self, parts: int) -> List["UpdateStream"]:
+        """Split the stream into ``parts`` contiguous sub-streams (for sites)."""
+        parts = require_positive_int(parts, "parts")
+        boundaries = np.linspace(0, len(self._updates), parts + 1).astype(int)
+        streams = []
+        for start, end in zip(boundaries[:-1], boundaries[1:]):
+            piece = UpdateStream(self.dimension, kind=self.kind)
+            piece._updates = list(self._updates[start:end])
+            streams.append(piece)
+        return streams
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"UpdateStream(dimension={self.dimension}, updates={len(self)}, "
+            f"kind={self.kind.value})"
+        )

@@ -1,0 +1,93 @@
+"""Reading and writing update-stream traces.
+
+Real deployments replay recorded traces (access logs, edge lists) rather than
+synthetic generators.  This module defines a minimal, dependency-free trace
+format and the corresponding reader/writer:
+
+* **CSV traces** — one ``index,delta`` pair per line, with an optional header
+  line ``# dimension=<n> kind=<cash_register|turnstile>``.  Human-readable,
+  diff-able, good for small traces and examples.
+* **NPZ traces** — the indices and deltas as two numpy arrays plus metadata;
+  compact and fast for large traces.
+
+Both round-trip exactly through :class:`~repro.streaming.stream.UpdateStream`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Union
+
+import numpy as np
+
+from repro.streaming.stream import StreamKind, StreamUpdate, UpdateStream
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_csv_trace(stream: UpdateStream, path: PathLike) -> None:
+    """Write a stream as a CSV trace with a metadata header line."""
+    path = pathlib.Path(path)
+    lines = [f"# dimension={stream.dimension} kind={stream.kind.value}"]
+    for update in stream:
+        delta = update.delta
+        rendered = str(int(delta)) if float(delta).is_integer() else repr(delta)
+        lines.append(f"{update.index},{rendered}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_csv_trace(path: PathLike) -> UpdateStream:
+    """Read a CSV trace written by :func:`write_csv_trace`."""
+    path = pathlib.Path(path)
+    lines = path.read_text().splitlines()
+    if not lines or not lines[0].startswith("#"):
+        raise ValueError(
+            f"trace {path} is missing the '# dimension=... kind=...' header"
+        )
+    header = dict(
+        part.split("=", 1) for part in lines[0].lstrip("# ").split() if "=" in part
+    )
+    if "dimension" not in header:
+        raise ValueError(f"trace {path} header does not declare a dimension")
+    dimension = int(header["dimension"])
+    kind = StreamKind(header.get("kind", "cash_register"))
+
+    stream = UpdateStream(dimension, kind=kind)
+    for line_number, line in enumerate(lines[1:], start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            index_text, delta_text = line.split(",", 1)
+            stream.append(StreamUpdate(int(index_text), float(delta_text)))
+        except (ValueError, IndexError) as error:
+            raise ValueError(
+                f"malformed trace line {line_number} in {path}: {line!r}"
+            ) from error
+    return stream
+
+
+def write_npz_trace(stream: UpdateStream, path: PathLike) -> None:
+    """Write a stream as a compressed ``.npz`` trace."""
+    path = pathlib.Path(path)
+    np.savez_compressed(
+        path,
+        indices=stream.indices(),
+        deltas=stream.deltas(),
+        dimension=np.int64(stream.dimension),
+        kind=np.array(stream.kind.value),
+    )
+
+
+def read_npz_trace(path: PathLike) -> UpdateStream:
+    """Read an ``.npz`` trace written by :func:`write_npz_trace`."""
+    path = pathlib.Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        indices = data["indices"]
+        deltas = data["deltas"]
+        dimension = int(data["dimension"])
+        kind = StreamKind(str(data["kind"]))
+    stream = UpdateStream(dimension, kind=kind)
+    for index, delta in zip(indices, deltas):
+        stream.append(StreamUpdate(int(index), float(delta)))
+    return stream

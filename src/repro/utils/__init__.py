@@ -1,0 +1,22 @@
+"""Shared utilities: validation helpers and seeded random-number management."""
+
+from repro.utils.rng import RandomSource, as_rng, derive_seed, spawn_rngs
+from repro.utils.validation import (
+    ensure_1d_float_array,
+    require_in_range,
+    require_index,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "as_rng",
+    "derive_seed",
+    "spawn_rngs",
+    "ensure_1d_float_array",
+    "require_in_range",
+    "require_index",
+    "require_positive_int",
+    "require_probability",
+]

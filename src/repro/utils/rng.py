@@ -1,0 +1,53 @@
+"""Seeded random-number management.
+
+Every randomised component in the library (hash families, sign functions,
+dataset generators, sampling matrices) accepts either an integer seed, a
+``numpy.random.Generator``, or ``None``.  The helpers here normalise those
+inputs and derive independent child seeds deterministically, so that an
+experiment seeded once at the top is reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RandomSource = Union[None, int, np.integer, np.random.Generator]
+
+_SEED_MODULUS = 2**63 - 1
+
+
+def as_rng(source: RandomSource = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for the given seed/generator/None."""
+    if source is None:
+        return np.random.default_rng()
+    if isinstance(source, np.random.Generator):
+        return source
+    if isinstance(source, (int, np.integer)) and not isinstance(source, bool):
+        return np.random.default_rng(int(source))
+    raise TypeError(
+        "random source must be None, an int seed, or a numpy Generator, "
+        f"got {type(source).__name__}"
+    )
+
+
+def derive_seed(source: RandomSource, salt: int) -> int:
+    """Derive a deterministic child seed from ``source`` and an integer ``salt``.
+
+    When ``source`` is an integer the derivation is a fixed arithmetic mix, so
+    the same (seed, salt) pair always yields the same child seed.  When it is a
+    generator or ``None`` a fresh random seed is drawn.
+    """
+    if isinstance(source, (int, np.integer)) and not isinstance(source, bool):
+        mixed = (int(source) * 0x9E3779B97F4A7C15 + (salt + 1) * 0xBF58476D1CE4E5B9)
+        return mixed % _SEED_MODULUS
+    rng = as_rng(source)
+    return int(rng.integers(0, _SEED_MODULUS))
+
+
+def spawn_rngs(source: RandomSource, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators derived from ``source``."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [np.random.default_rng(derive_seed(source, salt)) for salt in range(count)]

@@ -1,0 +1,84 @@
+"""Input validation helpers used throughout the library.
+
+All public entry points of the library validate their inputs eagerly and raise
+``ValueError``/``TypeError`` with messages naming the offending argument, so
+that user errors surface at the call site rather than deep inside numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def require_positive_int(value: int, name: str, minimum: int = 1) -> int:
+    """Validate that ``value`` is an integer >= ``minimum`` and return it.
+
+    Booleans are rejected (they are instances of ``int`` but almost always a
+    bug when passed where a size is expected).
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    value = int(value)
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the open interval (0, 1)."""
+    value = float(value)
+    if not (0.0 < value < 1.0):
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value}")
+    return value
+
+
+def require_in_range(
+    value: float,
+    name: str,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``value`` lies in [low, high] (or (low, high) if not inclusive)."""
+    value = float(value)
+    if low is not None:
+        if inclusive and value < low:
+            raise ValueError(f"{name} must be >= {low}, got {value}")
+        if not inclusive and value <= low:
+            raise ValueError(f"{name} must be > {low}, got {value}")
+    if high is not None:
+        if inclusive and value > high:
+            raise ValueError(f"{name} must be <= {high}, got {value}")
+        if not inclusive and value >= high:
+            raise ValueError(f"{name} must be < {high}, got {value}")
+    return value
+
+
+def require_index(index: int, dimension: int, name: str = "index") -> int:
+    """Validate that ``index`` addresses a coordinate of a ``dimension``-vector."""
+    if isinstance(index, bool) or not isinstance(index, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(index).__name__}")
+    index = int(index)
+    if not (0 <= index < dimension):
+        raise IndexError(f"{name} must be in [0, {dimension}), got {index}")
+    return index
+
+
+def ensure_1d_float_array(x, name: str = "x") -> np.ndarray:
+    """Coerce ``x`` to a 1-D float64 numpy array, validating shape and finiteness.
+
+    Returns a new array (never a view of the input) so that callers may mutate
+    it safely.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.ndim == 0:
+        raise ValueError(f"{name} must be a 1-D array-like, got a scalar")
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} must contain only finite values")
+    return arr.copy()

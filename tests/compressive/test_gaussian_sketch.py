@@ -1,0 +1,59 @@
+"""Unit tests for the dense Gaussian sketch (BOMP's measurement step)."""
+
+import numpy as np
+import pytest
+
+from repro.compressive.gaussian import GaussianSketch
+
+
+class TestGaussianSketch:
+    def test_matrix_shape_and_scaling(self):
+        sketch = GaussianSketch(dimension=200, measurements=50, seed=1)
+        assert sketch.matrix.shape == (50, 200)
+        # entries are N(0, 1/t): column norms concentrate around 1
+        norms = np.linalg.norm(sketch.matrix, axis=0)
+        assert 0.5 < norms.mean() < 1.5
+
+    def test_fit_equals_matrix_product(self, rng):
+        sketch = GaussianSketch(100, 30, seed=2)
+        x = rng.normal(size=100)
+        sketch.fit(x)
+        np.testing.assert_allclose(sketch.measurements_vector, sketch.matrix @ x)
+
+    def test_streaming_updates_match_fit(self, rng):
+        x = rng.poisson(3.0, size=80).astype(float)
+        batch = GaussianSketch(80, 25, seed=3).fit(x)
+        streamed = GaussianSketch(80, 25, seed=3)
+        for index in np.flatnonzero(x):
+            streamed.update(int(index), float(x[index]))
+        np.testing.assert_allclose(
+            batch.measurements_vector, streamed.measurements_vector, atol=1e-9
+        )
+
+    def test_merge_is_linear(self, rng):
+        x = rng.normal(size=60)
+        y = rng.normal(size=60)
+        a = GaussianSketch(60, 20, seed=4).fit(x)
+        b = GaussianSketch(60, 20, seed=4).fit(y)
+        a.merge(b)
+        direct = GaussianSketch(60, 20, seed=4).fit(x + y)
+        np.testing.assert_allclose(
+            a.measurements_vector, direct.measurements_vector, atol=1e-9
+        )
+
+    def test_merge_rejects_mismatched_seed(self, rng):
+        x = rng.normal(size=60)
+        a = GaussianSketch(60, 20, seed=1).fit(x)
+        b = GaussianSketch(60, 20, seed=2).fit(x)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_dimension_validation(self):
+        sketch = GaussianSketch(10, 5, seed=0)
+        with pytest.raises(ValueError):
+            sketch.fit(np.ones(11))
+        with pytest.raises(IndexError):
+            sketch.update(10, 1.0)
+
+    def test_size_in_words_is_measurement_count(self):
+        assert GaussianSketch(1_000, 64, seed=0).size_in_words() == 64

@@ -1,0 +1,94 @@
+"""Unit tests for OMP and the BOMP pipeline of the paper's related work."""
+
+import numpy as np
+import pytest
+
+from repro.compressive.bomp import BOMPRecovery
+from repro.compressive.omp import orthogonal_matching_pursuit
+
+
+class TestOMP:
+    def test_recovers_exactly_sparse_signal(self, rng):
+        dictionary = rng.normal(size=(60, 200)) / np.sqrt(60)
+        coefficients = np.zeros(200)
+        support = [5, 77, 150]
+        coefficients[support] = [3.0, -2.0, 5.0]
+        measurements = dictionary @ coefficients
+        result = orthogonal_matching_pursuit(dictionary, measurements, sparsity=3)
+        assert sorted(result.support) == support
+        np.testing.assert_allclose(result.coefficients, coefficients, atol=1e-8)
+        assert result.residual_norm < 1e-8
+
+    def test_stops_early_when_residual_vanishes(self, rng):
+        dictionary = rng.normal(size=(40, 100))
+        coefficients = np.zeros(100)
+        coefficients[7] = 2.0
+        measurements = dictionary @ coefficients
+        result = orthogonal_matching_pursuit(dictionary, measurements, sparsity=10)
+        assert result.iterations == 1
+
+    def test_never_reselects_an_atom(self, rng):
+        dictionary = rng.normal(size=(30, 50))
+        measurements = rng.normal(size=30)
+        result = orthogonal_matching_pursuit(dictionary, measurements, sparsity=20)
+        assert len(result.support) == len(set(result.support))
+
+    def test_sparsity_capped_at_dictionary_size(self, rng):
+        dictionary = rng.normal(size=(20, 5))
+        measurements = rng.normal(size=20)
+        result = orthogonal_matching_pursuit(dictionary, measurements, sparsity=50)
+        assert len(result.support) <= 5
+
+    def test_input_validation(self, rng):
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(rng.normal(size=(10,)), rng.normal(size=10), 2)
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(
+                rng.normal(size=(10, 5)), rng.normal(size=9), 2
+            )
+        with pytest.raises(ValueError):
+            orthogonal_matching_pursuit(
+                rng.normal(size=(10, 5)), rng.normal(size=10), 0
+            )
+
+
+class TestBOMP:
+    def test_recovers_biased_sparse_vector(self, rng):
+        """The setting BOMP is designed for: x = β·1 + k outliers."""
+        n, k = 400, 4
+        x = np.full(n, 55.0)
+        outliers = rng.choice(n, size=k, replace=False)
+        x[outliers] += rng.uniform(500.0, 1_000.0, size=k)
+        bomp = BOMPRecovery(n, measurements=8 * k * 10, sparsity=k, seed=1).fit(x)
+        result = bomp.recover()
+        assert result.bias == pytest.approx(55.0, abs=1.0)
+        assert set(result.outlier_indices) == set(outliers)
+        np.testing.assert_allclose(result.recovered, x, atol=1.0)
+
+    def test_streaming_updates_supported(self, rng):
+        n = 200
+        x = np.full(n, 10.0)
+        x[13] += 300.0
+        bomp = BOMPRecovery(n, measurements=80, sparsity=1, seed=2)
+        for index, value in enumerate(x):
+            bomp.update(index, float(value))
+        result = bomp.recover()
+        assert result.bias == pytest.approx(10.0, abs=0.5)
+        assert list(result.outlier_indices) == [13]
+
+    def test_struggles_when_deviations_are_dense(self, rng):
+        """Outside the biased-k-sparse regime (dense Gaussian noise around the
+        bias) BOMP's k+1 atoms cannot represent the vector: the recovery error
+        stays comparable to the noise level — the limitation the paper notes."""
+        n = 400
+        x = rng.normal(100.0, 15.0, size=n)
+        bomp = BOMPRecovery(n, measurements=120, sparsity=4, seed=3).fit(x)
+        recovered = bomp.recover().recovered
+        residual = np.abs(recovered - x)
+        assert np.mean(residual) > 5.0  # cannot beat the per-coordinate noise
+
+    def test_recovered_vector_helper(self, rng):
+        n = 100
+        x = np.full(n, 5.0)
+        bomp = BOMPRecovery(n, measurements=60, sparsity=2, seed=4).fit(x)
+        np.testing.assert_allclose(bomp.recovered_vector(), x, atol=0.5)

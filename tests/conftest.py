@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+All fixtures are deterministic: anything random is seeded, so failures are
+reproducible from the test name alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A seeded generator for per-test randomness."""
+    return np.random.default_rng(20170509)
+
+
+@pytest.fixture
+def paper_example_vector() -> np.ndarray:
+    """The running example of the paper's introduction (Equation 3).
+
+    x = (3, 100, 101, 500, 102, 98, 97, 100, 99, 103) with k = 2:
+    Err_1^2 = 700, Err_2^2 ≈ 263.49, and after optimal de-biasing (β = 100)
+    the errors drop to 12 and √28 ≈ 5.29.
+    """
+    return np.array([3, 100, 101, 500, 102, 98, 97, 100, 99, 103], dtype=float)
+
+
+@pytest.fixture
+def biased_gaussian_vector(rng) -> np.ndarray:
+    """A mid-sized biased vector: N(100, 15²) with a few large outliers."""
+    vector = rng.normal(100.0, 15.0, size=5_000)
+    outliers = rng.choice(vector.size, size=10, replace=False)
+    vector[outliers] += 10_000.0
+    return vector
+
+
+@pytest.fixture
+def small_count_vector(rng) -> np.ndarray:
+    """A small non-negative integer count vector (cash-register friendly)."""
+    return rng.poisson(30.0, size=800).astype(float)
+
+
+@pytest.fixture
+def sketch_params() -> dict:
+    """A small but non-trivial sketch configuration shared across tests."""
+    return {"width": 64, "depth": 5, "seed": 4242}

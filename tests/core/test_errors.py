@@ -1,0 +1,147 @@
+"""Unit tests for the tail-error functionals and the exact optimal bias."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    bias_gain,
+    debias,
+    debiased_err,
+    err_pk,
+    optimal_bias,
+    optimal_bias_error,
+)
+
+
+class TestErrPk:
+    def test_paper_running_example(self, paper_example_vector):
+        """Equation (3): Err_1^2 = 700 and Err_2^2 = √69428 ≈ 263.49."""
+        assert err_pk(paper_example_vector, 2, 1) == pytest.approx(700.0)
+        assert err_pk(paper_example_vector, 2, 2) == pytest.approx(
+            np.sqrt(69_428.0)
+        )
+
+    def test_k_zero_is_full_norm(self):
+        x = np.array([3.0, -4.0])
+        assert err_pk(x, 0, 1) == pytest.approx(7.0)
+        assert err_pk(x, 0, 2) == pytest.approx(5.0)
+
+    def test_k_sparse_vector_has_zero_error(self):
+        x = np.zeros(20)
+        x[3], x[17] = 5.0, -9.0
+        assert err_pk(x, 2, 1) == 0.0
+        assert err_pk(x, 2, 2) == 0.0
+
+    def test_head_selected_by_magnitude_not_value(self):
+        x = np.array([-100.0, 1.0, 2.0, 50.0])
+        # the 2 largest magnitudes are -100 and 50
+        assert err_pk(x, 2, 1) == pytest.approx(3.0)
+
+    def test_monotone_in_k(self, rng):
+        x = rng.normal(size=100)
+        errors = [err_pk(x, k, 2) for k in range(0, 50, 5)]
+        assert all(a >= b for a, b in zip(errors, errors[1:]))
+
+    def test_invalid_arguments(self):
+        x = np.ones(5)
+        with pytest.raises(ValueError):
+            err_pk(x, 5, 1)  # k must be < n
+        with pytest.raises(ValueError):
+            err_pk(x, -1, 1)
+        with pytest.raises(ValueError):
+            err_pk(x, 1, 3)
+        with pytest.raises(TypeError):
+            err_pk(x, 1.5, 1)
+
+
+class TestDebias:
+    def test_subtracts_scalar_from_every_coordinate(self):
+        np.testing.assert_allclose(debias([1.0, 2.0, 3.0], 2.0), [-1.0, 0.0, 1.0])
+
+    def test_debiased_err_equals_err_of_debias(self, paper_example_vector):
+        assert debiased_err(paper_example_vector, 2, 100.0, 1) == pytest.approx(
+            err_pk(debias(paper_example_vector, 100.0), 2, 1)
+        )
+
+
+class TestOptimalBias:
+    def test_paper_running_example_l1(self, paper_example_vector):
+        solution = optimal_bias(paper_example_vector, 2, 1)
+        assert solution.beta == pytest.approx(100.0)
+        assert solution.error == pytest.approx(12.0)
+        # the dropped head must be the two extreme coordinates 3 and 500
+        assert set(solution.head_indices) == {0, 3}
+
+    def test_paper_running_example_l2(self, paper_example_vector):
+        solution = optimal_bias(paper_example_vector, 2, 2)
+        assert solution.beta == pytest.approx(100.0)
+        assert solution.error == pytest.approx(np.sqrt(28.0))
+        assert set(solution.head_indices) == {0, 3}
+
+    def test_warmup_example_mean_fails_but_optimal_bias_succeeds(self):
+        """Section 4.1: x = (M, M, 50, ..., 50) with k = 2 has optimal error 0."""
+        huge = 1e12
+        x = np.array([huge, huge] + [50.0] * 7)
+        solution = optimal_bias(x, 2, 1)
+        assert solution.beta == pytest.approx(50.0)
+        assert solution.error == pytest.approx(0.0)
+        # the mean is nowhere near the optimal bias
+        assert abs(np.mean(x) - solution.beta) > 1e10
+
+    def test_multiple_bias_values_cannot_be_fully_removed(self):
+        """Remark 1's example: a two-level vector keeps a non-zero error."""
+        y = np.array([200.0, 100, 50, 50, 50, 50, 100, 100, 100, 10])
+        solution = optimal_bias(y, 2, 1)
+        assert solution.error > 0.0
+
+    def test_never_worse_than_zero_bias(self, rng):
+        for p in (1, 2):
+            for _ in range(10):
+                x = rng.normal(rng.uniform(-50, 50), 10.0, size=200)
+                assert optimal_bias_error(x, 5, p) <= err_pk(x, 5, p) + 1e-9
+
+    def test_exhaustive_check_against_grid_search(self, rng):
+        """The sliding-window optimum matches a dense grid search over β."""
+        x = rng.normal(10.0, 3.0, size=60)
+        x[:4] += 100.0
+        for p in (1, 2):
+            solution = optimal_bias(x, 4, p)
+            betas = np.linspace(x.min(), x.max(), 4_001)
+            grid_best = min(debiased_err(x, 4, beta, p) for beta in betas)
+            assert solution.error <= grid_best + 1e-6
+
+    def test_constant_vector_has_zero_debiased_error(self):
+        x = np.full(30, 7.5)
+        solution = optimal_bias(x, 3, 2)
+        assert solution.beta == pytest.approx(7.5)
+        assert solution.error == pytest.approx(0.0)
+
+    def test_head_indices_size(self, rng):
+        x = rng.normal(size=50)
+        solution = optimal_bias(x, 7, 1)
+        assert solution.head_indices.size == 7
+
+    def test_k_zero_gives_global_centre(self):
+        x = np.array([1.0, 2.0, 3.0, 10.0])
+        l1 = optimal_bias(x, 0, 1)
+        l2 = optimal_bias(x, 0, 2)
+        assert l1.beta == pytest.approx(np.median(x))
+        assert l2.beta == pytest.approx(np.mean(x))
+
+
+class TestBiasGain:
+    def test_large_gain_on_strongly_biased_vector(self, rng):
+        x = rng.normal(1_000.0, 1.0, size=500)
+        assert bias_gain(x, 10, 2) > 100.0
+
+    def test_gain_is_at_least_one(self, rng):
+        x = rng.normal(0.0, 1.0, size=300)
+        assert bias_gain(x, 10, 1) >= 1.0 - 1e-12
+
+    def test_zero_vector_gain_is_one(self):
+        assert bias_gain(np.zeros(10), 2, 1) == 1.0
+
+    def test_infinite_gain_when_debiasing_removes_all_error(self):
+        x = np.full(20, 3.0)
+        x[0] = 50.0
+        assert bias_gain(x, 1, 1) == float("inf")

@@ -1,0 +1,76 @@
+"""Unit tests for the ℓ1-mean / ℓ2-mean heuristics (Section 5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    L1BiasAwareSketch,
+    L1MeanSketch,
+    L2BiasAwareSketch,
+    L2MeanSketch,
+)
+from repro.sketches import CountMedian, CountSketch
+
+
+class TestMeanHeuristics:
+    def test_bias_estimate_is_exact_mean(self, biased_gaussian_vector):
+        sketch = L2MeanSketch(biased_gaussian_vector.size, 64, 5, seed=1)
+        sketch.fit(biased_gaussian_vector)
+        assert sketch.estimate_bias() == pytest.approx(biased_gaussian_vector.mean())
+
+    def test_works_well_without_outliers(self, rng):
+        """Figure 8a-8b: on clean N(100, 15²) the heuristics match ℓ-S/R."""
+        vector = rng.normal(100.0, 15.0, size=10_000)
+        mean_sketch = L2MeanSketch(10_000, 128, 5, seed=2).fit(vector)
+        aware_sketch = L2BiasAwareSketch(10_000, 128, 5, seed=2).fit(vector)
+        mean_error = np.mean(np.abs(mean_sketch.recover() - vector))
+        aware_error = np.mean(np.abs(aware_sketch.recover() - vector))
+        assert mean_error == pytest.approx(aware_error, rel=0.5)
+
+    def test_breaks_under_shifted_entries(self, rng):
+        """Figure 8c-8d: shifting a few entries by a huge amount breaks the mean."""
+        vector = rng.normal(100.0, 15.0, size=10_000)
+        # keep the number of shifted entries well below the sketch width
+        # (s >= 4k), as in the paper's setup (500 shifted entries, s >= 10^4)
+        shifted = rng.choice(10_000, size=20, replace=False)
+        vector[shifted] += 100_000.0
+        mean_sketch = L2MeanSketch(10_000, 512, 5, seed=3).fit(vector)
+        aware_sketch = L2BiasAwareSketch(10_000, 512, 5, seed=3).fit(vector)
+        mean_error = np.mean(np.abs(mean_sketch.recover() - vector))
+        aware_error = np.mean(np.abs(aware_sketch.recover() - vector))
+        assert mean_error > 5.0 * aware_error
+
+    def test_l1_variant_uses_unsigned_rows(self, small_count_vector):
+        sketch = L1MeanSketch(small_count_vector.size, 32, 3, seed=4)
+        assert sketch.signed is False
+        sketch.fit(small_count_vector)
+        assert sketch.recover().shape == small_count_vector.shape
+
+    def test_l2_variant_uses_signed_rows(self):
+        assert L2MeanSketch(100, 16, 2, seed=0).signed is True
+
+    def test_reduces_to_baseline_when_mean_is_zero(self, rng):
+        """A zero-mean vector gives β̂ = 0 and the recovery equals the baseline."""
+        vector = rng.normal(0.0, 10.0, size=2_000)
+        vector -= vector.mean()  # force the mean to be exactly (near) zero
+        l1_mean = L1MeanSketch(2_000, 64, 5, seed=5).fit(vector)
+        baseline = CountMedian(2_000, 64, 5, seed=5).fit(vector)
+        np.testing.assert_allclose(l1_mean.recover(), baseline.recover(), atol=1e-6)
+        l2_mean = L2MeanSketch(2_000, 64, 5, seed=5).fit(vector)
+        cs_baseline = CountSketch(2_000, 64, 5, seed=5).fit(vector)
+        np.testing.assert_allclose(l2_mean.recover(), cs_baseline.recover(), atol=1e-6)
+
+    def test_merge_rejects_cross_variant(self, small_count_vector):
+        n = small_count_vector.size
+        a = L1MeanSketch(n, 32, 3, seed=1).fit(small_count_vector)
+        b = L2MeanSketch(n, 32, 3, seed=1).fit(small_count_vector)
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_sketch_names_for_result_tables(self):
+        assert L1MeanSketch(10, 4, 2, seed=0).name == "l1_mean"
+        assert L2MeanSketch(10, 4, 2, seed=0).name == "l2_mean"
+
+    def test_size_counts_one_extra_word_for_the_running_sum(self):
+        sketch = L1MeanSketch(100, 32, 3, seed=0)
+        assert sketch.size_in_words() == 32 * 3 + 1

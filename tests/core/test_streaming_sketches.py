@@ -1,0 +1,110 @@
+"""Unit tests for the streaming variants (Section 4.4, Algorithm 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    L1BiasAwareSketch,
+    L2BiasAwareSketch,
+    StreamingL1BiasAwareSketch,
+    StreamingL2BiasAwareSketch,
+)
+
+
+class TestStreamingL1:
+    def test_bias_matches_batch_variant(self, rng):
+        vector = rng.normal(40.0, 3.0, size=2_000)
+        streaming = StreamingL1BiasAwareSketch(2_000, 64, 5, seed=1)
+        for index, value in enumerate(vector):
+            streaming.update(index, float(value))
+        batch = L1BiasAwareSketch(2_000, 64, 5, seed=1).fit(vector)
+        assert streaming.estimate_bias() == pytest.approx(batch.estimate_bias())
+
+    def test_recovery_matches_batch_variant(self, small_count_vector):
+        n = small_count_vector.size
+        streaming = StreamingL1BiasAwareSketch(n, 64, 5, seed=2)
+        for index in np.flatnonzero(small_count_vector):
+            streaming.update(int(index), float(small_count_vector[index]))
+        batch = L1BiasAwareSketch(n, 64, 5, seed=2).fit(small_count_vector)
+        np.testing.assert_allclose(streaming.recover(), batch.recover())
+
+    def test_bias_available_at_every_time_step(self, rng):
+        """Real-time queries: the bias estimate never needs a re-scan."""
+        streaming = StreamingL1BiasAwareSketch(500, 32, 3, seed=3)
+        biases = []
+        for index in range(500):
+            streaming.update(index, float(rng.normal(10.0, 1.0)))
+            if index % 100 == 0:
+                biases.append(streaming.estimate_bias())
+        assert len(biases) == 5
+        assert biases[-1] == pytest.approx(10.0, abs=2.0)
+
+    def test_fit_then_updates_keeps_sorted_structure_consistent(self, rng):
+        vector = rng.poisson(20.0, size=300).astype(float)
+        streaming = StreamingL1BiasAwareSketch(300, 32, 3, seed=4).fit(vector)
+        streaming.update(5, 7.0)
+        reference = L1BiasAwareSketch(300, 32, 3, seed=4).fit(vector)
+        reference.update(5, 7.0)
+        assert streaming.estimate_bias() == pytest.approx(reference.estimate_bias())
+
+    def test_copy_preserves_streaming_state(self, rng):
+        streaming = StreamingL1BiasAwareSketch(200, 32, 3, seed=5)
+        for index in range(100):
+            streaming.update(index, float(rng.normal(5.0, 1.0)))
+        clone = streaming.copy()
+        assert clone.estimate_bias() == pytest.approx(streaming.estimate_bias())
+        clone.update(0, 1_000.0)  # further updates do not leak back
+        assert streaming.query(0) != pytest.approx(clone.query(0))
+
+
+class TestStreamingL2:
+    def test_bias_matches_batch_variant_on_tie_free_data(self, rng):
+        vector = rng.normal(60.0, 5.0, size=2_000)
+        streaming = StreamingL2BiasAwareSketch(2_000, 64, 5, seed=1)
+        for index, value in enumerate(vector):
+            streaming.update(index, float(value))
+        batch = L2BiasAwareSketch(2_000, 64, 5, seed=1).fit(vector)
+        assert streaming.estimate_bias() == pytest.approx(batch.estimate_bias())
+
+    def test_point_queries_match_batch_variant(self, rng):
+        vector = rng.normal(60.0, 5.0, size=1_000)
+        streaming = StreamingL2BiasAwareSketch(1_000, 64, 5, seed=2)
+        for index, value in enumerate(vector):
+            streaming.update(index, float(value))
+        batch = L2BiasAwareSketch(1_000, 64, 5, seed=2).fit(vector)
+        for index in [0, 123, 999]:
+            assert streaming.query(index) == pytest.approx(batch.query(index))
+
+    def test_heap_invariants_after_long_stream(self, rng):
+        streaming = StreamingL2BiasAwareSketch(500, 32, 3, seed=3)
+        for _ in range(2_000):
+            streaming.update(int(rng.integers(0, 500)), float(rng.normal(3.0, 1.0)))
+        streaming.bias_heap.check_invariants()
+
+    def test_fit_rebuilds_the_heap(self, rng):
+        vector = rng.normal(30.0, 2.0, size=800)
+        streaming = StreamingL2BiasAwareSketch(800, 64, 5, seed=4).fit(vector)
+        batch = L2BiasAwareSketch(800, 64, 5, seed=4).fit(vector)
+        assert streaming.estimate_bias() == pytest.approx(batch.estimate_bias())
+
+    def test_merge_rebuilds_the_heap(self, rng):
+        x = rng.normal(30.0, 2.0, size=400)
+        y = rng.normal(50.0, 2.0, size=400)
+        a = StreamingL2BiasAwareSketch(400, 32, 3, seed=5).fit(x)
+        b = StreamingL2BiasAwareSketch(400, 32, 3, seed=5).fit(y)
+        a.merge(b)
+        direct = L2BiasAwareSketch(400, 32, 3, seed=5).fit(x + y)
+        assert a.estimate_bias() == pytest.approx(direct.estimate_bias())
+        np.testing.assert_allclose(a.recover(), direct.recover())
+
+    def test_update_and_query_interleaving(self, rng):
+        """Algorithm 6: queries can be issued at any point in the stream."""
+        streaming = StreamingL2BiasAwareSketch(300, 64, 5, seed=6)
+        truth = np.zeros(300)
+        for step in range(1_500):
+            index = int(rng.integers(0, 300))
+            streaming.update(index, 1.0)
+            truth[index] += 1.0
+            if step % 500 == 499:
+                queried = streaming.query(index)
+                assert queried == pytest.approx(truth[index], abs=10.0)

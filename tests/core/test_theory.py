@@ -1,0 +1,101 @@
+"""Unit tests for the theoretical bounds and parameter recommendations."""
+
+import numpy as np
+import pytest
+
+from repro.core import L2BiasAwareSketch
+from repro.core.theory import (
+    count_median_bound,
+    count_sketch_bound,
+    guarantee_report,
+    l1_bias_aware_bound,
+    l2_bias_aware_bound,
+    predicted_compression,
+    recommend_parameters,
+    sketch_size_words,
+)
+from repro.sketches import CountSketch
+
+
+class TestBoundValues:
+    def test_paper_running_example_scales(self, paper_example_vector):
+        """The four bounds on the Eq. (3) example reflect the 700 vs 12 split."""
+        report = guarantee_report(paper_example_vector, 2)
+        assert report.count_median_bound == pytest.approx(700.0 / 2)
+        assert report.count_sketch_bound == pytest.approx(
+            np.sqrt(69_428.0) / np.sqrt(2)
+        )
+        assert report.l1_bias_aware_bound == pytest.approx(12.0 / 2)
+        assert report.l2_bias_aware_bound == pytest.approx(
+            np.sqrt(28.0) / np.sqrt(2)
+        )
+        assert report.l1_improvement == pytest.approx(700.0 / 12.0)
+        assert report.l2_improvement > 40.0
+
+    def test_bias_aware_bounds_never_exceed_classical_ones(self, rng):
+        for _ in range(5):
+            x = rng.normal(rng.uniform(-100, 100), 10.0, size=300)
+            k = int(rng.integers(1, 30))
+            assert l1_bias_aware_bound(x, k) <= count_median_bound(x, k) + 1e-9
+            assert l2_bias_aware_bound(x, k) <= count_sketch_bound(x, k) + 1e-9
+
+    def test_improvement_is_one_for_unbiased_sparse_vectors(self):
+        x = np.zeros(100)
+        x[3] = 50.0
+        report = guarantee_report(x, 1)
+        assert report.l1_improvement == 1.0
+        assert report.l2_improvement == 1.0
+
+    def test_head_size_validation(self, paper_example_vector):
+        with pytest.raises(ValueError):
+            guarantee_report(paper_example_vector, 10)
+        with pytest.raises(ValueError):
+            count_median_bound(paper_example_vector, 0)
+
+    def test_measured_errors_respect_the_bounds(self, rng):
+        """Measured ℓ∞ errors stay within a small constant of the bound."""
+        n, k = 5_000, 16
+        x = rng.normal(400.0, 3.0, size=n)
+        x[rng.choice(n, k, replace=False)] += 3_000.0
+        ours = L2BiasAwareSketch(n, 16 * k, 9, seed=1).fit(x)
+        baseline = CountSketch(n, 16 * k, 10, seed=1).fit(x)
+        our_error = float(np.max(np.abs(ours.recover() - x)))
+        baseline_error = float(np.max(np.abs(baseline.recover() - x)))
+        assert our_error <= 20.0 * l2_bias_aware_bound(x, k)
+        assert baseline_error <= 20.0 * count_sketch_bound(x, k)
+
+
+class TestParameterRecommendations:
+    def test_width_follows_cs_times_k(self):
+        params = recommend_parameters(dimension=1_000_000, head_size=100)
+        assert params.width == 400
+        assert params.head_size == 100
+
+    def test_depth_scales_with_log_n(self):
+        small = recommend_parameters(dimension=1_000, head_size=10)
+        large = recommend_parameters(dimension=1_000_000, head_size=10)
+        assert large.depth > small.depth
+
+    def test_failure_probability_raises_depth(self):
+        loose = recommend_parameters(10_000, 10, failure_probability=0.1)
+        tight = recommend_parameters(10_000, 10, failure_probability=1e-6)
+        assert tight.depth > loose.depth
+
+    def test_width_factor_below_four_rejected(self):
+        with pytest.raises(ValueError, match="width_factor"):
+            recommend_parameters(1_000, 10, width_factor=2.0)
+
+    def test_invalid_failure_probability(self):
+        with pytest.raises(ValueError):
+            recommend_parameters(1_000, 10, failure_probability=0.0)
+
+    def test_words_property_counts_bias_row(self):
+        params = recommend_parameters(1_000, 10)
+        assert params.words == params.width * (params.depth + 1)
+
+    def test_sketch_size_and_compression(self):
+        words = sketch_size_words(dimension=10_000_000, head_size=100)
+        assert words < 10_000_000
+        assert predicted_compression(10_000_000, 100) == pytest.approx(
+            10_000_000 / words
+        )

@@ -1,0 +1,50 @@
+"""Unit tests for the dataset container and registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.registry import available_datasets, load_dataset
+
+
+class TestDataset:
+    def test_validates_vector(self):
+        with pytest.raises(ValueError):
+            Dataset(name="bad", vector=np.array([np.nan, 1.0]))
+
+    def test_total_mass_and_dimension(self):
+        ds = Dataset(name="toy", vector=[1.0, 2.0, 3.0])
+        assert ds.dimension == 3
+        assert ds.total_mass == pytest.approx(6.0)
+
+    def test_summary_keys(self):
+        ds = Dataset(name="toy", vector=np.arange(50, dtype=float))
+        summary = ds.summary(head_size=5)
+        for key in ("err1_tail", "err2_debiased", "bias_gain_l1", "optimal_bias_l2"):
+            assert key in summary
+
+    def test_summary_caps_head_size(self):
+        ds = Dataset(name="tiny", vector=[1.0, 2.0, 3.0])
+        summary = ds.summary(head_size=100)  # capped to n - 1 internally
+        assert np.isfinite(summary["err1_debiased"])
+
+
+class TestRegistry:
+    def test_all_registered_datasets_load(self):
+        for name in available_datasets():
+            ds = load_dataset(name, seed=0, dimension=300)
+            assert ds.dimension == 300
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            load_dataset("nonexistent")
+
+    def test_kwargs_forwarded_to_generator(self):
+        ds = load_dataset("gaussian", seed=1, dimension=500, bias=250.0)
+        assert ds.vector.mean() == pytest.approx(250.0, abs=3.0)
+
+    def test_expected_names_present(self):
+        names = available_datasets()
+        for expected in ("gaussian", "gaussian2", "wiki", "worldcup", "higgs",
+                         "meme", "hudong", "zipf"):
+            assert expected in names

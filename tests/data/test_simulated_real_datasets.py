@@ -1,0 +1,132 @@
+"""Unit tests for the simulated substitutes of the paper's real datasets.
+
+Each test checks the statistical property the corresponding experiment relies
+on (see DESIGN.md §4): bias strength, skew, non-negativity, and — for the
+Hudong substitute — the power-law degree structure and the stream/vector
+consistency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.higgs import simulated_higgs
+from repro.data.hudong import simulated_hudong
+from repro.data.meme import simulated_meme
+from repro.data.wiki import simulated_wiki
+from repro.data.worldcup import simulated_worldcup
+
+
+class TestWorldCup:
+    def test_counts_are_non_negative_integers(self):
+        ds = simulated_worldcup(dimension=5_000, seed=1)
+        assert np.all(ds.vector >= 0)
+        np.testing.assert_allclose(ds.vector, np.round(ds.vector))
+
+    def test_average_rate_is_calibrated(self):
+        # diurnal modulation averages out only over full days, so switch it
+        # off to check the rate calibration in isolation
+        ds = simulated_worldcup(dimension=20_000, average_rate=37.0,
+                                diurnal_amplitude=0.0, flash_crowds=0, seed=2)
+        assert ds.vector.mean() == pytest.approx(37.0, rel=0.15)
+
+    def test_flash_crowds_create_outliers(self):
+        calm = simulated_worldcup(dimension=10_000, flash_crowds=0, seed=3)
+        bursty = simulated_worldcup(dimension=10_000, flash_crowds=5,
+                                    flash_multiplier=20.0, seed=3)
+        assert bursty.vector.max() > 3 * calm.vector.max()
+
+    def test_moderate_bias_gain(self):
+        ds = simulated_worldcup(dimension=10_000, seed=4)
+        assert ds.summary(head_size=100)["bias_gain_l2"] > 1.2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            simulated_worldcup(diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            simulated_worldcup(average_rate=0.0)
+
+
+class TestWiki:
+    def test_strong_bias(self):
+        """Wiki-like data is tightly concentrated around a large mean."""
+        ds = simulated_wiki(dimension=10_000, seed=1)
+        coefficient_of_variation = ds.vector.std() / ds.vector.mean()
+        assert coefficient_of_variation < 0.25
+        assert ds.summary(head_size=100)["bias_gain_l2"] > 3.0
+
+    def test_mean_close_to_configured_rate(self):
+        ds = simulated_wiki(dimension=10_000, average_rate=3_700.0,
+                            diurnal_amplitude=0.0, weekly_amplitude=0.0,
+                            spikes=0, seed=2)
+        assert ds.vector.mean() == pytest.approx(3_700.0, rel=0.1)
+
+    def test_counts_non_negative(self):
+        ds = simulated_wiki(dimension=3_000, seed=3)
+        assert np.all(ds.vector >= 0)
+
+
+class TestHiggsAndMeme:
+    def test_higgs_non_negative_and_right_skewed(self):
+        ds = simulated_higgs(dimension=20_000, seed=1)
+        assert np.all(ds.vector >= 0)
+        mean, median = ds.vector.mean(), np.median(ds.vector)
+        assert mean > median  # right skew
+
+    def test_higgs_outliers_optional(self):
+        clean = simulated_higgs(dimension=5_000, outliers=0, seed=2)
+        dirty = simulated_higgs(dimension=5_000, outliers=10, outlier_value=100.0,
+                                seed=2)
+        assert dirty.vector.max() > clean.vector.max() + 50.0
+
+    def test_higgs_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            simulated_higgs(shape=0.0)
+        with pytest.raises(ValueError):
+            simulated_higgs(dimension=10, outliers=10)
+
+    def test_meme_lengths_are_small_positive_integers(self):
+        ds = simulated_meme(dimension=20_000, seed=1)
+        assert np.all(ds.vector >= 1)
+        np.testing.assert_allclose(ds.vector, np.round(ds.vector))
+        assert ds.vector.mean() == pytest.approx(8.0, rel=0.15)
+
+    def test_meme_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            simulated_meme(mean_length=1.0, minimum_length=1)
+        with pytest.raises(ValueError):
+            simulated_meme(dispersion=0.0)
+
+
+class TestHudong:
+    def test_stream_accumulates_to_degree_vector(self):
+        stream = simulated_hudong(dimension=500, edges=5_000, seed=1)
+        replayed = np.zeros(500)
+        for article, delta in stream.iter_updates():
+            replayed[article] += delta
+        np.testing.assert_allclose(replayed, stream.degree_vector())
+
+    def test_total_edges(self):
+        stream = simulated_hudong(dimension=300, edges=2_000, seed=2)
+        assert stream.updates == 2_000
+        assert stream.degree_vector().sum() == pytest.approx(2_000)
+
+    def test_preferential_attachment_is_heavy_tailed(self):
+        stream = simulated_hudong(dimension=2_000, edges=40_000, seed=3)
+        degrees = np.sort(stream.degree_vector())[::-1]
+        # the top articles accumulate far more links than the median article
+        assert degrees[0] > 5 * np.median(degrees[degrees > 0])
+
+    def test_to_dataset_round_trip(self):
+        stream = simulated_hudong(dimension=400, edges=3_000, seed=4)
+        ds = stream.to_dataset()
+        assert ds.name == "hudong"
+        np.testing.assert_allclose(ds.vector, stream.degree_vector())
+
+    def test_reproducible_with_seed(self):
+        a = simulated_hudong(dimension=200, edges=1_000, seed=5)
+        b = simulated_hudong(dimension=200, edges=1_000, seed=5)
+        np.testing.assert_array_equal(a.sources, b.sources)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            simulated_hudong(attachment_smoothing=0.0)

@@ -1,0 +1,94 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    gaussian_dataset,
+    gaussian2_dataset,
+    shifted_gaussian_dataset,
+    uniform_dataset,
+    zipf_dataset,
+)
+
+
+class TestGaussian:
+    def test_dimensions_and_parameters(self):
+        ds = gaussian_dataset(dimension=5_000, bias=100.0, sigma=15.0, seed=1)
+        assert ds.dimension == 5_000
+        assert ds.vector.mean() == pytest.approx(100.0, abs=1.0)
+        assert ds.vector.std() == pytest.approx(15.0, rel=0.1)
+
+    def test_reproducible_with_seed(self):
+        a = gaussian_dataset(dimension=100, seed=7)
+        b = gaussian_dataset(dimension=100, seed=7)
+        np.testing.assert_array_equal(a.vector, b.vector)
+
+    def test_bias_parameter_shifts_the_vector(self):
+        low = gaussian_dataset(dimension=2_000, bias=100.0, seed=1)
+        high = gaussian_dataset(dimension=2_000, bias=500.0, seed=1)
+        assert high.vector.mean() - low.vector.mean() == pytest.approx(400.0, abs=2.0)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_dataset(dimension=10, sigma=-1.0)
+
+    def test_summary_reports_large_bias_gain(self):
+        ds = gaussian_dataset(dimension=3_000, bias=500.0, sigma=15.0, seed=2)
+        summary = ds.summary(head_size=30)
+        assert summary["bias_gain_l2"] > 5.0
+        assert summary["optimal_bias_l2"] == pytest.approx(500.0, abs=5.0)
+
+
+class TestShiftedAndGaussian2:
+    def test_no_shift_reduces_to_plain_gaussian(self):
+        ds = gaussian2_dataset(dimension=1_000, shifted_entries=0, seed=3)
+        assert ds.name == "gaussian2"
+        assert ds.vector.mean() == pytest.approx(100.0, abs=2.0)
+
+    def test_shifted_entries_are_recorded_and_applied(self):
+        ds = shifted_gaussian_dataset(
+            dimension=2_000, shifted_entries=20, shift=50_000.0, seed=4
+        )
+        indices = ds.metadata["shifted_indices"]
+        assert len(indices) == 20
+        assert np.all(ds.vector[indices] > 10_000.0)
+
+    def test_shift_breaks_the_mean_but_not_the_optimal_bias(self):
+        ds = shifted_gaussian_dataset(
+            dimension=2_000, shifted_entries=20, shift=100_000.0, seed=5
+        )
+        summary = ds.summary(head_size=40)
+        assert abs(summary["mean"] - 100.0) > 500.0
+        assert summary["optimal_bias_l2"] == pytest.approx(100.0, abs=5.0)
+
+    def test_invalid_shifted_entries_rejected(self):
+        with pytest.raises(ValueError):
+            shifted_gaussian_dataset(dimension=10, shifted_entries=10)
+        with pytest.raises(ValueError):
+            shifted_gaussian_dataset(dimension=10, shifted_entries=-1)
+
+
+class TestOtherSynthetics:
+    def test_zipf_total_items(self):
+        ds = zipf_dataset(dimension=500, total_items=10_000, seed=6)
+        assert ds.vector.sum() == pytest.approx(10_000)
+        assert np.all(ds.vector >= 0)
+
+    def test_zipf_is_heavy_tailed(self):
+        ds = zipf_dataset(dimension=1_000, exponent=1.5, total_items=100_000, seed=7)
+        sorted_counts = np.sort(ds.vector)[::-1]
+        assert sorted_counts[0] > 20 * sorted_counts[100]
+
+    def test_zipf_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_dataset(dimension=10, exponent=0.0)
+
+    def test_uniform_bounds(self):
+        ds = uniform_dataset(dimension=2_000, low=10.0, high=20.0, seed=8)
+        assert ds.vector.min() >= 10.0
+        assert ds.vector.max() < 20.0
+
+    def test_uniform_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_dataset(dimension=10, low=5.0, high=5.0)

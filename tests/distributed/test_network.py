@@ -1,0 +1,33 @@
+"""Unit tests for communication accounting."""
+
+import pytest
+
+from repro.distributed.network import ChannelMessage, CommunicationLog
+
+
+class TestChannelMessage:
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            ChannelMessage(sender="s1", payload_words=-1)
+
+
+class TestCommunicationLog:
+    def test_totals_and_counts(self):
+        log = CommunicationLog()
+        log.record("s1", 100)
+        log.record("s2", 250)
+        log.record("s1", 50)
+        assert log.total_words == 400
+        assert log.message_count == 3
+
+    def test_words_by_sender(self):
+        log = CommunicationLog()
+        log.record("a", 10)
+        log.record("b", 20)
+        log.record("a", 30)
+        assert log.words_by_sender() == {"a": 40, "b": 20}
+
+    def test_empty_log(self):
+        log = CommunicationLog()
+        assert log.total_words == 0
+        assert log.words_by_sender() == {}

@@ -1,0 +1,45 @@
+"""Unit tests for the experiment registry (one entry per paper figure)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    available_experiments,
+    get_experiment,
+    run_experiment,
+)
+
+
+class TestRegistryContents:
+    def test_every_paper_figure_is_registered(self):
+        names = available_experiments()
+        figures = {get_experiment(name).figure for name in names}
+        for expected in ("Figure 1a-1b", "Figure 1c-1d", "Figure 2", "Figure 3",
+                         "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+                         "Figure 8a-8b", "Figure 8c-8d", "Figure 9"):
+            assert expected in figures
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            get_experiment("fig99")
+
+    def test_specs_have_descriptions(self):
+        for name in available_experiments():
+            spec = get_experiment(name)
+            assert spec.description
+            assert spec.sweep in ("width", "depth", "streaming")
+
+
+class TestRunExperiment:
+    def test_width_experiment_runs_scaled_down(self):
+        table = run_experiment("fig1_b100", seed=1, widths=[64, 128], depth=3)
+        assert len(table) == 2 * 6
+        assert {row.width for row in table} == {64, 128}
+
+    def test_mean_suite_experiment(self):
+        table = run_experiment("fig8_shifted", seed=1, widths=[128], depth=3)
+        assert set(table.algorithms()) == {"l1_sr", "l2_sr", "l1_mean", "l2_mean"}
+
+    def test_depth_experiment_uses_registered_depths(self):
+        spec = get_experiment("fig7")
+        assert spec.sweep == "depth"
+        assert spec.depths == (1, 3, 5, 7, 9)

@@ -1,0 +1,133 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.data.synthetic import gaussian_dataset
+from repro.eval.harness import (
+    depth_sweep,
+    evaluate_algorithms,
+    streaming_comparison,
+    width_sweep,
+)
+from repro.eval.timing import TimingResult, time_callable
+from repro.streaming.generators import stream_from_vector
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    return gaussian_dataset(dimension=3_000, bias=100.0, sigma=15.0, seed=5)
+
+
+class TestEvaluateAlgorithms:
+    def test_default_suite_produces_one_row_per_algorithm(self, small_dataset):
+        table = evaluate_algorithms(small_dataset, width=128, depth=3, seed=1)
+        assert len(table) == 6
+        assert set(table.algorithms()) == {
+            "l1_sr", "l2_sr", "count_sketch", "count_median",
+            "count_min_cu", "count_min_log_cu",
+        }
+
+    def test_space_budget_convention(self, small_dataset):
+        """Baselines get d+1 rows so every algorithm uses the same words."""
+        table = evaluate_algorithms(small_dataset, width=128, depth=3, seed=1)
+        words = {row.algorithm: row.sketch_words for row in table}
+        assert words["l2_sr"] == 128 * 3 + 128
+        assert words["count_sketch"] == 128 * 4
+        assert words["l2_sr"] == words["count_sketch"]
+
+    def test_bias_aware_wins_on_biased_gaussian(self, small_dataset):
+        table = evaluate_algorithms(small_dataset, width=128, depth=5, seed=2)
+        assert table.best_algorithm("average_error") in {"l1_sr", "l2_sr"}
+
+    def test_explicit_algorithm_subset(self, small_dataset):
+        table = evaluate_algorithms(
+            small_dataset, algorithms=["l2_sr", "count_sketch"], width=64, depth=3
+        )
+        assert table.algorithms() == ["l2_sr", "count_sketch"]
+
+    def test_accepts_raw_vectors(self, rng):
+        table = evaluate_algorithms(
+            rng.normal(50.0, 5.0, size=500),
+            algorithms=["l2_sr"],
+            width=32,
+            depth=3,
+        )
+        assert table.rows[0].dataset == "vector"
+
+    def test_repetitions_average_the_errors(self, small_dataset):
+        """Repetition averages differ from a single draw (fresh hash functions)."""
+        once = evaluate_algorithms(
+            small_dataset, algorithms=["count_sketch"], width=64, depth=3,
+            seed=3, repetitions=1,
+        )
+        thrice = evaluate_algorithms(
+            small_dataset, algorithms=["count_sketch"], width=64, depth=3,
+            seed=3, repetitions=3,
+        )
+        assert once.rows[0].average_error > 0
+        assert thrice.rows[0].average_error > 0
+        assert thrice.rows[0].average_error != once.rows[0].average_error
+
+    def test_same_seed_is_reproducible(self, small_dataset):
+        first = evaluate_algorithms(
+            small_dataset, algorithms=["l2_sr"], width=64, depth=3, seed=9
+        )
+        second = evaluate_algorithms(
+            small_dataset, algorithms=["l2_sr"], width=64, depth=3, seed=9
+        )
+        assert first.rows[0].average_error == second.rows[0].average_error
+
+
+class TestSweeps:
+    def test_width_sweep_row_count(self, small_dataset):
+        table = width_sweep(
+            small_dataset, widths=[32, 64], algorithms=["l2_sr", "count_sketch"],
+            depth=3, seed=1,
+        )
+        assert len(table) == 4
+        assert sorted({row.width for row in table}) == [32, 64]
+
+    def test_error_decreases_with_width(self, small_dataset):
+        table = width_sweep(
+            small_dataset, widths=[32, 256], algorithms=["count_sketch"],
+            depth=5, seed=1,
+        )
+        series = table.series("average_error")["count_sketch"]
+        assert series[-1][1] < series[0][1]
+
+    def test_depth_sweep_row_count_and_depths(self, small_dataset):
+        table = depth_sweep(
+            small_dataset, depths=[1, 3], algorithms=["l2_sr", "count_sketch"],
+            width=64, seed=1,
+        )
+        assert len(table) == 4
+        l2_depths = {row.depth for row in table.filter(algorithm="l2_sr")}
+        cs_depths = {row.depth for row in table.filter(algorithm="count_sketch")}
+        assert l2_depths == {1, 3}
+        assert cs_depths == {2, 4}  # baseline gets d + 1
+
+
+class TestStreamingComparison:
+    def test_reports_timing_columns(self, rng):
+        vector = rng.poisson(20.0, size=600).astype(float)
+        stream = stream_from_vector(vector)
+        table = streaming_comparison(
+            stream, algorithms=["l2_sr", "count_sketch"], width=64, depth=3,
+            query_count=50, seed=1,
+        )
+        assert len(table) == 2
+        for row in table:
+            assert row.update_seconds > 0
+            assert row.query_seconds > 0
+
+
+class TestTiming:
+    def test_time_callable(self):
+        result = time_callable(lambda: sum(range(1_000)), repetitions=5)
+        assert isinstance(result, TimingResult)
+        assert result.repetitions == 5
+        assert result.seconds_per_call > 0
+
+    def test_time_callable_rejects_zero_repetitions(self):
+        with pytest.raises(ValueError):
+            time_callable(lambda: None, repetitions=0)

@@ -1,0 +1,80 @@
+"""Unit tests for the recovery-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import (
+    average_error,
+    error_profile,
+    maximum_error,
+    quantile_error,
+    relative_average_error,
+    rmse,
+)
+
+
+class TestBasicMetrics:
+    def test_average_error_is_scaled_l1(self):
+        truth = np.array([1.0, 2.0, 3.0, 4.0])
+        estimate = np.array([1.0, 1.0, 5.0, 4.0])
+        assert average_error(truth, estimate) == pytest.approx(3.0 / 4.0)
+
+    def test_maximum_error_is_l_infinity(self):
+        truth = np.array([0.0, 0.0, 0.0])
+        estimate = np.array([1.0, -5.0, 2.0])
+        assert maximum_error(truth, estimate) == pytest.approx(5.0)
+
+    def test_rmse(self):
+        truth = np.zeros(4)
+        estimate = np.array([1.0, 1.0, 1.0, 1.0])
+        assert rmse(truth, estimate) == pytest.approx(1.0)
+
+    def test_zero_error_for_identical_vectors(self, rng):
+        x = rng.normal(size=100)
+        assert average_error(x, x) == 0.0
+        assert maximum_error(x, x) == 0.0
+        assert rmse(x, x) == 0.0
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            average_error(np.ones(3), np.ones(4))
+
+    def test_max_error_at_least_average_error(self, rng):
+        truth = rng.normal(size=200)
+        estimate = truth + rng.normal(size=200)
+        assert maximum_error(truth, estimate) >= average_error(truth, estimate)
+
+
+class TestRelativeAndQuantile:
+    def test_relative_average_error_normalisation(self):
+        truth = np.full(10, 100.0)
+        estimate = truth + 10.0
+        assert relative_average_error(truth, estimate) == pytest.approx(0.1)
+
+    def test_relative_error_of_zero_truth(self):
+        assert relative_average_error(np.zeros(3), np.zeros(3)) == 0.0
+        assert relative_average_error(np.zeros(3), np.ones(3)) == float("inf")
+
+    def test_quantile_error_bounds(self, rng):
+        truth = rng.normal(size=500)
+        estimate = truth + rng.normal(size=500)
+        p50 = quantile_error(truth, estimate, 0.5)
+        p99 = quantile_error(truth, estimate, 0.99)
+        assert p50 <= p99 <= maximum_error(truth, estimate)
+
+    def test_quantile_error_invalid_q(self):
+        with pytest.raises(ValueError):
+            quantile_error(np.ones(3), np.ones(3), q=2.0)
+
+    def test_error_profile_contains_all_metrics(self, rng):
+        truth = rng.normal(size=50)
+        estimate = truth + 1.0
+        profile = error_profile(truth, estimate)
+        assert set(profile) == {
+            "average_error",
+            "maximum_error",
+            "rmse",
+            "relative_average_error",
+            "p99_error",
+        }
+        assert profile["average_error"] == pytest.approx(1.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.eval.plots import ascii_series_plot, plot_result_table
+from repro.eval.results import ResultRow, ResultTable
+
+
+def _table():
+    rows = []
+    for algorithm, errors in [("l2_sr", [10.0, 5.0, 2.0]),
+                              ("count_sketch", [50.0, 30.0, 20.0])]:
+        for width, error in zip([100, 200, 400], errors):
+            rows.append(ResultRow(
+                dataset="gaussian", algorithm=algorithm, width=width, depth=9,
+                sketch_words=width * 10, average_error=error,
+                maximum_error=error * 3,
+            ))
+    return ResultTable("demo", rows=rows)
+
+
+class TestAsciiSeriesPlot:
+    def test_contains_markers_and_legend(self):
+        chart = ascii_series_plot(
+            {"a": [(1, 10.0), (2, 5.0)], "b": [(1, 100.0), (2, 50.0)]},
+            title="demo chart",
+        )
+        assert "demo chart" in chart
+        assert "o a" in chart and "x b" in chart
+        assert "o" in chart and "x" in chart
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError):
+            ascii_series_plot({})
+
+    def test_linear_scale_fallback_for_non_positive_values(self):
+        chart = ascii_series_plot({"a": [(0, -1.0), (1, 0.0)]}, log_y=True)
+        assert "log scale" not in chart
+
+    def test_dimensions_respected(self):
+        chart = ascii_series_plot({"a": [(0, 1.0), (10, 2.0)]},
+                                  width=30, height=8)
+        plotting_rows = [line for line in chart.splitlines() if "|" in line]
+        assert len(plotting_rows) == 8
+
+
+class TestPlotResultTable:
+    def test_renders_from_table(self):
+        chart = plot_result_table(_table())
+        assert "l2_sr" in chart
+        assert "count_sketch" in chart
+        assert "average_error" in chart
+
+    def test_algorithm_subset(self):
+        chart = plot_result_table(_table(), algorithms=["l2_sr"])
+        assert "count_sketch" not in chart
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ValueError):
+            plot_result_table(_table(), algorithms=["nope"])
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            plot_result_table(_table(), metric="nope")

@@ -1,0 +1,84 @@
+"""Unit tests for the result tables."""
+
+import pytest
+
+from repro.eval.results import ResultRow, ResultTable
+
+
+def make_row(algorithm="l2_sr", width=100, average_error=1.0, maximum_error=2.0,
+             dataset="gaussian"):
+    return ResultRow(
+        dataset=dataset,
+        algorithm=algorithm,
+        width=width,
+        depth=9,
+        sketch_words=width * 10,
+        average_error=average_error,
+        maximum_error=maximum_error,
+    )
+
+
+class TestResultTable:
+    def test_add_and_len(self):
+        table = ResultTable("t")
+        table.add(make_row())
+        table.extend([make_row(width=200), make_row(width=300)])
+        assert len(table) == 3
+
+    def test_filter_by_field(self):
+        table = ResultTable(rows=[make_row("l2_sr"), make_row("count_sketch")])
+        filtered = table.filter(algorithm="l2_sr")
+        assert len(filtered) == 1
+        assert filtered.rows[0].algorithm == "l2_sr"
+
+    def test_filter_unknown_field_rejected(self):
+        table = ResultTable(rows=[make_row()])
+        with pytest.raises(ValueError):
+            table.filter(bogus=1)
+
+    def test_series_sorted_by_width(self):
+        table = ResultTable(
+            rows=[
+                make_row(width=300, average_error=1.0),
+                make_row(width=100, average_error=3.0),
+                make_row(width=200, average_error=2.0),
+            ]
+        )
+        series = table.series("average_error")
+        assert series["l2_sr"] == [(100, 3.0), (200, 2.0), (300, 1.0)]
+
+    def test_series_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable(rows=[make_row()]).series("nope")
+
+    def test_best_algorithm(self):
+        table = ResultTable(
+            rows=[
+                make_row("l2_sr", average_error=1.0),
+                make_row("count_sketch", average_error=5.0),
+                make_row("l2_sr", average_error=2.0, width=200),
+                make_row("count_sketch", average_error=6.0, width=200),
+            ]
+        )
+        assert table.best_algorithm("average_error") == "l2_sr"
+
+    def test_best_algorithm_empty_table_raises(self):
+        with pytest.raises(ValueError):
+            ResultTable().best_algorithm()
+
+    def test_algorithms_in_first_seen_order(self):
+        table = ResultTable(rows=[make_row("b"), make_row("a"), make_row("b")])
+        assert table.algorithms() == ["b", "a"]
+
+    def test_to_text_contains_rows_and_title(self):
+        table = ResultTable("my experiment", rows=[make_row()])
+        text = table.to_text()
+        assert "my experiment" in text
+        assert "l2_sr" in text
+        assert "average_error" in text
+
+    def test_to_csv_round_trips_row_count(self):
+        table = ResultTable(rows=[make_row(), make_row(width=200)])
+        csv_text = table.to_csv()
+        assert len(csv_text.strip().splitlines()) == 3  # header + 2 rows
+        assert csv_text.splitlines()[0].startswith("dataset,algorithm")

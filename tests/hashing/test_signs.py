@@ -1,0 +1,54 @@
+"""Unit tests for the random sign functions."""
+
+import numpy as np
+import pytest
+
+from repro.hashing.signs import SignHash, sign_family
+
+
+class TestSignHash:
+    def test_values_are_plus_minus_one(self):
+        r = SignHash(seed=0)
+        values = {r(i) for i in range(200)}
+        assert values <= {-1, 1}
+        assert values == {-1, 1}  # both signs occur over 200 items
+
+    def test_deterministic_given_seed(self):
+        a = SignHash(seed=3)
+        b = SignHash(seed=3)
+        assert [a(i) for i in range(100)] == [b(i) for i in range(100)]
+
+    def test_sign_array_matches_scalar(self):
+        r = SignHash(seed=5)
+        items = np.arange(500)
+        np.testing.assert_array_equal(
+            r.sign_array(items), np.array([r(int(i)) for i in items])
+        )
+
+    def test_sign_all_equals_sign_array_of_range(self):
+        r = SignHash(seed=7)
+        np.testing.assert_array_equal(r.sign_all(300), r.sign_array(np.arange(300)))
+
+    def test_signs_roughly_balanced(self):
+        r = SignHash(seed=11)
+        signs = r.sign_all(10_000).astype(np.int64)
+        # mean should be near zero for a pairwise independent ±1 family
+        assert abs(signs.mean()) < 0.1
+
+
+class TestSignFamily:
+    def test_family_size_and_reproducibility(self):
+        first = sign_family(4, seed=1)
+        second = sign_family(4, seed=1)
+        assert len(first) == 4
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a.sign_all(50), b.sign_all(50))
+
+    def test_family_members_differ(self):
+        family = sign_family(3, seed=9)
+        outputs = [tuple(r.sign_all(64)) for r in family]
+        assert len(set(outputs)) == 3
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            sign_family(0, seed=0)

@@ -1,0 +1,62 @@
+"""Unit tests for the CM-matrix Π(h) (Definition 1)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.cm import CMMatrix
+
+
+@pytest.fixture
+def cm() -> CMMatrix:
+    return CMMatrix(buckets=8, dimension=50, seed=3)
+
+
+class TestStructure:
+    def test_shape(self, cm):
+        assert cm.shape == (8, 50)
+
+    def test_dense_has_one_entry_per_column(self, cm):
+        dense = cm.to_dense()
+        np.testing.assert_array_equal(dense.sum(axis=0), np.ones(50))
+        assert set(np.unique(dense)) <= {0.0, 1.0}
+
+    def test_bucket_matches_dense(self, cm):
+        dense = cm.to_dense()
+        for j in range(50):
+            assert dense[cm.bucket(j), j] == 1.0
+
+    def test_bucket_out_of_range(self, cm):
+        with pytest.raises(IndexError):
+            cm.bucket(50)
+
+    def test_column_sums_match_dense(self, cm):
+        np.testing.assert_array_equal(cm.column_sums(), cm.to_dense().sum(axis=1))
+
+    def test_mismatched_hash_function_rejected(self):
+        from repro.hashing.families import PairwiseHash
+
+        with pytest.raises(ValueError, match="range_size"):
+            CMMatrix(buckets=8, dimension=10, hash_function=PairwiseHash(9, seed=0))
+
+
+class TestApply:
+    def test_apply_matches_dense_product(self, cm, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(cm.apply(x), cm.to_dense() @ x)
+
+    def test_matmul_operator(self, cm, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(cm @ x, cm.apply(x))
+
+    def test_linearity(self, cm, rng):
+        x = rng.normal(size=50)
+        y = rng.normal(size=50)
+        np.testing.assert_allclose(cm.apply(x + y), cm.apply(x) + cm.apply(y))
+        np.testing.assert_allclose(cm.apply(2.5 * x), 2.5 * cm.apply(x))
+
+    def test_wrong_dimension_rejected(self, cm):
+        with pytest.raises(ValueError, match="dimension"):
+            cm.apply(np.ones(49))
+
+    def test_all_ones_vector_gives_column_sums(self, cm):
+        np.testing.assert_allclose(cm.apply(np.ones(50)), cm.column_sums())

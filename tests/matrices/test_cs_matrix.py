@@ -1,0 +1,54 @@
+"""Unit tests for the CS-matrix Ψ(h, r) (Definition 2)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.cs import CSMatrix
+
+
+@pytest.fixture
+def cs() -> CSMatrix:
+    return CSMatrix(buckets=8, dimension=60, seed=4)
+
+
+class TestStructure:
+    def test_dense_entries_are_signs(self, cs):
+        dense = cs.to_dense()
+        assert set(np.unique(dense)) <= {-1.0, 0.0, 1.0}
+        # exactly one non-zero per column
+        np.testing.assert_array_equal(np.count_nonzero(dense, axis=0), np.ones(60))
+
+    def test_bucket_and_sign_match_dense(self, cs):
+        dense = cs.to_dense()
+        for j in range(60):
+            assert dense[cs.bucket(j), j] == cs.sign(j)
+
+    def test_column_sums_are_signed(self, cs):
+        np.testing.assert_array_equal(cs.column_sums(), cs.to_dense().sum(axis=1))
+
+    def test_out_of_range_accessors(self, cs):
+        with pytest.raises(IndexError):
+            cs.bucket(60)
+        with pytest.raises(IndexError):
+            cs.sign(-1)
+
+
+class TestApply:
+    def test_apply_matches_dense_product(self, cs, rng):
+        x = rng.normal(size=60)
+        np.testing.assert_allclose(cs.apply(x), cs.to_dense() @ x)
+
+    def test_linearity(self, cs, rng):
+        x = rng.normal(size=60)
+        y = rng.normal(size=60)
+        np.testing.assert_allclose(cs.apply(x - y), cs.apply(x) - cs.apply(y))
+
+    def test_reproducible_with_seed(self, rng):
+        x = rng.normal(size=30)
+        a = CSMatrix(buckets=4, dimension=30, seed=77)
+        b = CSMatrix(buckets=4, dimension=30, seed=77)
+        np.testing.assert_allclose(a.apply(x), b.apply(x))
+
+    def test_wrong_dimension_rejected(self, cs):
+        with pytest.raises(ValueError):
+            cs.apply(np.ones(61))

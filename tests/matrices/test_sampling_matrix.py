@@ -1,0 +1,55 @@
+"""Unit tests for the sampling matrix Υ (Definition 3)."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.sampling import SamplingMatrix
+
+
+class TestStructure:
+    def test_dense_has_one_entry_per_row(self):
+        m = SamplingMatrix(samples=12, dimension=40, seed=1)
+        dense = m.to_dense()
+        np.testing.assert_array_equal(dense.sum(axis=1), np.ones(12))
+
+    def test_apply_picks_sampled_coordinates(self):
+        m = SamplingMatrix(samples=6, dimension=20, seed=2)
+        x = np.arange(20, dtype=float)
+        np.testing.assert_array_equal(m.apply(x), x[m.sampled_indices])
+
+    def test_apply_matches_dense(self, rng):
+        m = SamplingMatrix(samples=9, dimension=25, seed=3)
+        x = rng.normal(size=25)
+        np.testing.assert_allclose(m.apply(x), m.to_dense() @ x)
+
+    def test_column_sums_count_sample_multiplicity(self):
+        m = SamplingMatrix(samples=50, dimension=10, seed=4)
+        sums = m.column_sums()
+        assert sums.sum() == 50
+        np.testing.assert_array_equal(
+            sums, np.bincount(m.sampled_indices, minlength=10)
+        )
+
+    def test_linearity(self, rng):
+        m = SamplingMatrix(samples=7, dimension=30, seed=5)
+        x = rng.normal(size=30)
+        y = rng.normal(size=30)
+        np.testing.assert_allclose(m.apply(x + y), m.apply(x) + m.apply(y))
+
+
+class TestThetaLogN:
+    def test_sample_count_scales_with_log_n(self):
+        small = SamplingMatrix.theta_log_n(100, seed=0)
+        large = SamplingMatrix.theta_log_n(1_000_000, seed=0)
+        assert small.rows < large.rows
+        assert large.rows == int(np.ceil(20.0 * np.log(1_000_000)))
+
+    def test_constant_is_tunable(self):
+        default = SamplingMatrix.theta_log_n(10_000, seed=0)
+        doubled = SamplingMatrix.theta_log_n(10_000, constant=40.0, seed=0)
+        assert doubled.rows == int(np.ceil(40.0 * np.log(10_000)))
+        assert doubled.rows == pytest.approx(2 * default.rows, abs=1)
+
+    def test_rejects_non_positive_constant(self):
+        with pytest.raises(ValueError):
+            SamplingMatrix.theta_log_n(100, constant=0.0)

@@ -1,0 +1,70 @@
+"""Unit tests for vertical stacking of sketching operators."""
+
+import numpy as np
+import pytest
+
+from repro.matrices.cm import CMMatrix
+from repro.matrices.cs import CSMatrix
+from repro.matrices.sampling import SamplingMatrix
+from repro.matrices.stacked import StackedOperator
+
+
+@pytest.fixture
+def stack() -> StackedOperator:
+    """The implicit Φ of ℓ2-S/R: one CM block plus several CS blocks."""
+    dimension = 40
+    blocks = [CMMatrix(8, dimension, seed=1)] + [
+        CSMatrix(8, dimension, seed=10 + i) for i in range(3)
+    ]
+    return StackedOperator(blocks)
+
+
+class TestStackedOperator:
+    def test_total_rows(self, stack):
+        assert stack.rows == 8 * 4
+        assert stack.columns == 40
+
+    def test_apply_matches_dense(self, stack, rng):
+        x = rng.normal(size=40)
+        np.testing.assert_allclose(stack.apply(x), stack.to_dense() @ x)
+
+    def test_linearity_of_the_full_sketching_matrix(self, stack, rng):
+        x = rng.normal(size=40)
+        y = rng.normal(size=40)
+        np.testing.assert_allclose(
+            stack.apply(x + y), stack.apply(x) + stack.apply(y)
+        )
+
+    def test_split_inverts_concatenation(self, stack, rng):
+        x = rng.normal(size=40)
+        pieces = stack.split(stack.apply(x))
+        assert len(pieces) == 4
+        for piece, block in zip(pieces, stack.operators):
+            np.testing.assert_allclose(piece, block.apply(x))
+
+    def test_split_rejects_wrong_length(self, stack):
+        with pytest.raises(ValueError):
+            stack.split(np.zeros(stack.rows + 1))
+
+    def test_column_sums_equal_apply_to_ones(self, stack):
+        np.testing.assert_allclose(
+            stack.column_sums(), stack.apply(np.ones(40))
+        )
+
+    def test_mixed_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="column count"):
+            StackedOperator([CMMatrix(4, 10, seed=0), CMMatrix(4, 11, seed=0)])
+
+    def test_empty_stack_rejected(self):
+        with pytest.raises(ValueError):
+            StackedOperator([])
+
+    def test_l1_stack_includes_sampling_block(self, rng):
+        """The implicit Φ of ℓ1-S/R: CM blocks plus a sampling block."""
+        dimension = 30
+        stack = StackedOperator(
+            [CMMatrix(6, dimension, seed=i) for i in range(3)]
+            + [SamplingMatrix(10, dimension, seed=99)]
+        )
+        x = rng.normal(size=dimension)
+        assert stack.apply(x).shape == (6 * 3 + 10,)

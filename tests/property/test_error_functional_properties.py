@@ -1,0 +1,118 @@
+"""Property-based tests (hypothesis) for the error functionals and optimal bias."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.errors import debiased_err, err_pk, optimal_bias
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                          allow_infinity=False, width=64)
+
+
+def vectors(min_size=2, max_size=60):
+    return arrays(np.float64, st.integers(min_size, max_size),
+                  elements=finite_floats)
+
+
+@st.composite
+def vector_and_k(draw, min_size=2, max_size=60):
+    x = draw(vectors(min_size, max_size))
+    k = draw(st.integers(0, x.size - 1))
+    return x, k
+
+
+def _tolerance(x) -> float:
+    """A numerical tolerance proportional to the deviation scale of ``x``."""
+    spread = float(np.max(x) - np.min(x)) if x.size else 0.0
+    return 1e-9 * (1.0 + spread) * max(x.size, 1) + 1e-9
+
+
+class TestErrPkProperties:
+    @given(vector_and_k(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_and_monotone_in_k(self, data, p):
+        x, k = data
+        value = err_pk(x, k, p)
+        assert value >= 0.0
+        if k + 1 < x.size:
+            assert err_pk(x, k + 1, p) <= value + _tolerance(x)
+
+    @given(vector_and_k())
+    @settings(max_examples=60, deadline=None)
+    def test_l2_at_most_l1(self, data):
+        """For any vector the ℓ2 tail norm is at most the ℓ1 tail norm."""
+        x, k = data
+        assert err_pk(x, k, 2) <= err_pk(x, k, 1) + _tolerance(x)
+
+    @given(vector_and_k(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_under_permutation(self, data, p):
+        x, k = data
+        permuted = np.sort(x)[::-1].copy()
+        assert abs(err_pk(x, k, p) - err_pk(permuted, k, p)) <= _tolerance(x)
+
+    @given(vector_and_k(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_triangle_inequality_against_k_sparse_candidates(self, data, p):
+        """Err_p^k(x) is at most the norm of x with any k entries zeroed."""
+        x, k = data
+        zeroed = x.copy()
+        zeroed[:k] = 0.0
+        candidate = float(np.linalg.norm(zeroed, ord=p))
+        assert err_pk(x, k, p) <= candidate + _tolerance(x)
+
+
+class TestOptimalBiasProperties:
+    @given(vector_and_k(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_than_any_candidate_beta(self, data, p):
+        x, k = data
+        solution = optimal_bias(x, k, p)
+        for candidate in (0.0, float(np.mean(x)), float(np.median(x)), float(x[0])):
+            assert solution.error <= debiased_err(x, k, candidate, p) + _tolerance(x)
+
+    @given(vector_and_k(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_than_zero_bias(self, data, p):
+        """The headline claim: the de-biased bound never exceeds the biased one."""
+        x, k = data
+        assert optimal_bias(x, k, p).error <= err_pk(x, k, p) + _tolerance(x)
+
+    @given(vector_and_k(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_beta_lies_within_the_value_range(self, data, p):
+        x, k = data
+        solution = optimal_bias(x, k, p)
+        assert np.min(x) - 1e-9 <= solution.beta <= np.max(x) + 1e-9
+
+    @given(vector_and_k(), st.sampled_from([1, 2]),
+           st.floats(-1e3, 1e3, allow_nan=False, allow_infinity=False))
+    @settings(max_examples=60, deadline=None)
+    def test_translation_keeps_the_error(self, data, p, shift):
+        """Shifting every coordinate by a constant leaves the optimal error
+        unchanged (the optimal β absorbs the shift)."""
+        x, k = data
+        base = optimal_bias(x, k, p)
+        shifted = optimal_bias(x + shift, k, p)
+        assert abs(shifted.error - base.error) <= _tolerance(x) + 1e-6
+
+    @given(vectors(), st.sampled_from([1, 2]))
+    @settings(max_examples=60, deadline=None)
+    def test_head_indices_are_valid_and_distinct(self, x, p):
+        k = min(3, x.size - 1)
+        solution = optimal_bias(x, k, p)
+        assert solution.head_indices.size == k
+        assert len(set(solution.head_indices.tolist())) == k
+        assert np.all(solution.head_indices >= 0)
+        assert np.all(solution.head_indices < x.size)
+
+    @given(st.floats(-1e4, 1e4, allow_nan=False), st.integers(5, 40),
+           st.integers(1, 4))
+    @settings(max_examples=40, deadline=None)
+    def test_constant_vectors_have_zero_error(self, value, size, k):
+        x = np.full(size, value)
+        solution = optimal_bias(x, min(k, size - 1), 2)
+        assert solution.error <= 1e-6
+        assert solution.beta == np.float64(value)

@@ -1,0 +1,66 @@
+"""Property-based tests for the derived query structures and theory bounds."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    count_median_bound,
+    count_sketch_bound,
+    l1_bias_aware_bound,
+    l2_bias_aware_bound,
+    recommend_parameters,
+)
+from repro.queries.dyadic import DyadicRangeSketch
+
+
+class TestDyadicDecompositionProperties:
+    @given(st.integers(2, 4_096), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_decomposition_is_a_partition_of_the_range(self, dimension, data):
+        """Every decomposition covers [low, high) exactly once, for any range."""
+        structure = DyadicRangeSketch(dimension, 8, 1, algorithm="count_median",
+                                      seed=0)
+        low = data.draw(st.integers(0, dimension))
+        high = data.draw(st.integers(low, dimension))
+        covered = []
+        for level, start, end in structure._decompose(low, high):
+            assert 0 <= level < structure.levels
+            for block in range(start, end):
+                covered.extend(range(block << level, (block + 1) << level))
+        assert sorted(covered) == list(range(low, high))
+
+    @given(st.integers(2, 4_096), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_logarithmically_many_blocks(self, dimension, data):
+        structure = DyadicRangeSketch(dimension, 8, 1, algorithm="count_median",
+                                      seed=0)
+        low = data.draw(st.integers(0, dimension))
+        high = data.draw(st.integers(low, dimension))
+        blocks = structure.queries_per_range(low, high)
+        assert blocks <= 2 * structure.levels
+
+
+class TestTheoryBoundProperties:
+    vectors = st.lists(
+        st.floats(-1e5, 1e5, allow_nan=False, allow_infinity=False),
+        min_size=4, max_size=80,
+    )
+
+    @given(vectors, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_bias_aware_bounds_never_exceed_classical(self, values, data):
+        x = np.array(values, dtype=np.float64)
+        k = data.draw(st.integers(1, x.size - 1))
+        spread = float(np.max(x) - np.min(x)) if x.size else 0.0
+        tolerance = 1e-9 * (1.0 + spread) * x.size + 1e-9
+        assert l1_bias_aware_bound(x, k) <= count_median_bound(x, k) + tolerance
+        assert l2_bias_aware_bound(x, k) <= count_sketch_bound(x, k) + tolerance
+
+    @given(st.integers(2, 10**7), st.integers(1, 10**4))
+    @settings(max_examples=60, deadline=None)
+    def test_recommended_parameters_are_valid(self, dimension, head_size):
+        params = recommend_parameters(dimension, head_size)
+        assert params.width >= 4 * head_size
+        assert params.depth >= 3
+        assert params.words == params.width * (params.depth + 1)

@@ -1,0 +1,135 @@
+"""Property-based tests (hypothesis) for sketch invariants.
+
+These exercise the structural invariants the analysis relies on rather than
+statistical accuracy (which the unit and integration tests cover):
+linearity, streaming/batch equivalence, conservative-update monotonicity and
+the exactness of Count-Min overestimates.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import L1BiasAwareSketch, L2BiasAwareSketch
+from repro.sketches import CountMedian, CountMin, CountMinCU, CountSketch
+
+DIMENSION = 120
+
+# Vectors are integer-valued (stored as floats).  The recovery of the
+# bias-aware sketches sorts buckets by their average value, and with
+# arbitrary reals two mathematically-tied bucket keys can compare differently
+# depending on the floating-point summation order, which would make the
+# "merge equals sketch-of-sum" comparisons flaky for reasons unrelated to the
+# invariants under test.  Integer values keep all those sums exact.
+count_vectors = arrays(
+    np.float64,
+    st.just(DIMENSION),
+    elements=st.integers(min_value=0, max_value=10_000).map(float),
+)
+
+signed_vectors = arrays(
+    np.float64,
+    st.just(DIMENSION),
+    elements=st.integers(min_value=-10_000, max_value=10_000).map(float),
+)
+
+seeds = st.integers(0, 2**31 - 1)
+
+# Non-negative dyadic factors: scaling by them is exact in floating point and
+# preserves the bucket ordering that the ℓ2 bias window is defined over.
+# (Negative factors reverse the bucket order, so the scaled sketch and the
+# sketch of the scaled vector may legitimately pick different — equally valid —
+# middle windows; that asymmetry is not the invariant under test.)
+dyadic_factors = st.sampled_from([0.0, 0.25, 0.5, 1.0, 2.0, 3.0, 8.0])
+
+SKETCH_CLASSES = [CountMedian, CountSketch, L1BiasAwareSketch, L2BiasAwareSketch]
+
+
+class TestLinearityProperties:
+    @given(signed_vectors, signed_vectors, seeds,
+           st.sampled_from(SKETCH_CLASSES))
+    @settings(max_examples=40, deadline=None)
+    def test_merge_equals_sum(self, x, y, seed, sketch_class):
+        """sketch(x) + sketch(y) recovers the same estimates as sketch(x + y)."""
+        a = sketch_class(DIMENSION, 16, 3, seed=seed).fit(x)
+        b = sketch_class(DIMENSION, 16, 3, seed=seed).fit(y)
+        a.merge(b)
+        direct = sketch_class(DIMENSION, 16, 3, seed=seed).fit(x + y)
+        np.testing.assert_allclose(a.recover(), direct.recover(),
+                                   rtol=1e-9, atol=1e-6)
+
+    @given(signed_vectors, seeds, dyadic_factors,
+           st.sampled_from(SKETCH_CLASSES))
+    @settings(max_examples=40, deadline=None)
+    def test_scaling(self, x, seed, factor, sketch_class):
+        scaled = sketch_class(DIMENSION, 16, 3, seed=seed).fit(x).scale(factor)
+        direct = sketch_class(DIMENSION, 16, 3, seed=seed).fit(factor * x)
+        np.testing.assert_allclose(scaled.recover(), direct.recover(),
+                                   rtol=1e-9, atol=1e-6)
+
+    @given(signed_vectors, seeds, st.sampled_from(SKETCH_CLASSES))
+    @settings(max_examples=40, deadline=None)
+    def test_streaming_equals_batch(self, x, seed, sketch_class):
+        batch = sketch_class(DIMENSION, 16, 3, seed=seed).fit(x)
+        streamed = sketch_class(DIMENSION, 16, 3, seed=seed)
+        for index in np.flatnonzero(x):
+            streamed.update(int(index), float(x[index]))
+        np.testing.assert_allclose(batch.recover(), streamed.recover(),
+                                   rtol=1e-9, atol=1e-6)
+
+    @given(signed_vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_turnstile_cancellation(self, x, seed):
+        """Inserting then deleting every item returns the sketch to zero."""
+        sketch = CountSketch(DIMENSION, 16, 3, seed=seed)
+        for index in np.flatnonzero(x):
+            sketch.update(int(index), float(x[index]))
+        for index in np.flatnonzero(x):
+            sketch.update(int(index), -float(x[index]))
+        np.testing.assert_allclose(sketch.recover(), np.zeros(DIMENSION),
+                                   atol=1e-6)
+
+
+class TestCountMinProperties:
+    @given(count_vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_count_min_never_underestimates(self, x, seed):
+        sketch = CountMin(DIMENSION, 16, 3, seed=seed).fit(x)
+        assert np.all(sketch.recover() >= x - 1e-6)
+
+    @given(count_vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_conservative_update_sandwiched(self, x, seed):
+        """x ≤ CM-CU estimate ≤ CM estimate, coordinate-wise."""
+        cm = CountMin(DIMENSION, 16, 3, seed=seed).fit(x)
+        cu = CountMinCU(DIMENSION, 16, 3, seed=seed).fit(x)
+        assert np.all(cu.recover() >= x - 1e-6)
+        assert np.all(cu.recover() <= cm.recover() + 1e-6)
+
+    @given(count_vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_row_sums_preserve_total_mass(self, x, seed):
+        """Every CM row is a partition of the vector: row sums equal Σx."""
+        sketch = CountMin(DIMENSION, 16, 3, seed=seed).fit(x)
+        np.testing.assert_allclose(sketch.table.sum(axis=1),
+                                   np.full(3, x.sum()), rtol=1e-9, atol=1e-6)
+
+
+class TestBiasAwareProperties:
+    @given(count_vectors, seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_bias_estimate_within_value_range(self, x, seed):
+        for sketch_class in (L1BiasAwareSketch, L2BiasAwareSketch):
+            sketch = sketch_class(DIMENSION, 16, 3, seed=seed).fit(x)
+            beta = sketch.estimate_bias()
+            assert np.min(x) - 1e-6 <= beta <= np.max(x) + 1e-6
+
+    @given(st.floats(-1e4, 1e4, allow_nan=False), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_constant_vector_recovered_exactly(self, value, seed):
+        """A perfectly biased vector (all coordinates equal) is recovered
+        exactly by the ℓ2 bias-aware sketch: the de-biased vector is zero."""
+        x = np.full(DIMENSION, value)
+        sketch = L2BiasAwareSketch(DIMENSION, 16, 3, seed=seed).fit(x)
+        np.testing.assert_allclose(sketch.recover(), x, rtol=1e-9, atol=1e-6)

@@ -1,0 +1,63 @@
+"""Unit tests for heavy-hitter queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import L2BiasAwareSketch
+from repro.queries.heavy_hitters import heavy_hitters
+from repro.sketches import CountSketch
+
+
+@pytest.fixture
+def outlier_vector(rng):
+    """A biased vector whose interesting items are the ones far above the bias."""
+    vector = rng.normal(100.0, 5.0, size=4_000)
+    hot = rng.choice(4_000, size=15, replace=False)
+    vector[hot] += 5_000.0
+    return vector, set(int(i) for i in hot)
+
+
+class TestHeavyHitters:
+    def test_absolute_threshold_finds_planted_outliers(self, outlier_vector):
+        vector, hot = outlier_vector
+        sketch = L2BiasAwareSketch(4_000, 256, 7, seed=1).fit(vector)
+        found = heavy_hitters(sketch, threshold=2_000.0)
+        assert {h.index for h in found} == hot
+
+    def test_relative_to_bias_mode(self, outlier_vector):
+        """Thresholding the de-biased score isolates outliers above the bias."""
+        vector, hot = outlier_vector
+        sketch = L2BiasAwareSketch(4_000, 256, 7, seed=2).fit(vector)
+        found = heavy_hitters(sketch, threshold=1_000.0, relative_to_bias=True)
+        assert {h.index for h in found} == hot
+        # without de-biasing, an absolute threshold of 1000 would flag everything
+        plain = heavy_hitters(sketch, threshold=1_000.0)
+        assert len(plain) < 100  # estimates near the bias (100) stay below 1000
+
+    def test_phi_threshold(self, rng):
+        vector = np.zeros(1_000)
+        vector[7] = 900.0
+        vector[13] = 60.0
+        sketch = CountSketch(1_000, 128, 5, seed=3).fit(vector)
+        found = heavy_hitters(sketch, phi=0.5, total_mass=float(vector.sum()))
+        assert [h.index for h in found] == [7]
+
+    def test_top_k_truncation_and_sorting(self, outlier_vector):
+        vector, hot = outlier_vector
+        sketch = L2BiasAwareSketch(4_000, 256, 7, seed=4).fit(vector)
+        found = heavy_hitters(sketch, threshold=2_000.0, top_k=5)
+        assert len(found) == 5
+        scores = [h.score for h in found]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_argument_validation(self, outlier_vector):
+        vector, _ = outlier_vector
+        sketch = CountSketch(4_000, 64, 3, seed=5).fit(vector)
+        with pytest.raises(ValueError, match="exactly one"):
+            heavy_hitters(sketch)
+        with pytest.raises(ValueError, match="exactly one"):
+            heavy_hitters(sketch, threshold=1.0, phi=0.1)
+        with pytest.raises(ValueError):
+            heavy_hitters(sketch, phi=1.5)
+        with pytest.raises(ValueError):
+            heavy_hitters(sketch, threshold=1.0, top_k=0)

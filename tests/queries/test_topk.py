@@ -1,0 +1,60 @@
+"""Unit tests for the streaming top-k tracker."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingL2BiasAwareSketch
+from repro.queries.topk import StreamingTopK
+from repro.sketches import CountSketch
+
+
+class TestStreamingTopK:
+    def test_finds_planted_heavy_items(self, rng):
+        sketch = CountSketch(2_000, 256, 5, seed=1)
+        tracker = StreamingTopK(sketch, k=3)
+        heavy = [11, 222, 1_999]
+        for _ in range(3_000):
+            tracker.update(int(rng.integers(0, 2_000)), 1.0)
+        for item in heavy:
+            for _ in range(500):
+                tracker.update(item, 1.0)
+        assert set(tracker.top_indices()) == set(heavy)
+
+    def test_scores_sorted_descending(self, rng):
+        sketch = CountSketch(500, 128, 5, seed=2)
+        tracker = StreamingTopK(sketch, k=5)
+        for item, count in [(1, 100), (2, 80), (3, 60), (4, 40), (5, 20)]:
+            for _ in range(count):
+                tracker.update(item, 1.0)
+        entries = tracker.top()
+        scores = [entry.score for entry in entries]
+        assert scores == sorted(scores, reverse=True)
+        assert entries[0].index == 1
+
+    def test_capacity_bounds_memory(self, rng):
+        sketch = CountSketch(5_000, 64, 3, seed=3)
+        tracker = StreamingTopK(sketch, k=2, capacity=10)
+        for item in rng.integers(0, 5_000, size=2_000):
+            tracker.update(int(item), 1.0)
+        assert tracker.candidate_count <= 10
+
+    def test_relative_to_bias_mode_finds_outliers_not_large_counts(self, rng):
+        """On a biased stream, score relative to the bias isolates outliers."""
+        dimension = 1_000
+        sketch = StreamingL2BiasAwareSketch(dimension, 256, 5, seed=4)
+        tracker = StreamingTopK(sketch, k=2, relative_to_bias=True)
+        # every item gets a common background of ~50; two items get much more
+        background = rng.poisson(50.0, size=dimension)
+        for index, count in enumerate(background):
+            if count > 0:
+                tracker.update(index, float(count))
+        tracker.update(123, 5_000.0)
+        tracker.update(789, 4_000.0)
+        assert set(tracker.top_indices()) == {123, 789}
+
+    def test_parameter_validation(self):
+        sketch = CountSketch(100, 16, 3, seed=5)
+        with pytest.raises(ValueError):
+            StreamingTopK(sketch, k=0)
+        with pytest.raises(ValueError):
+            StreamingTopK(sketch, k=5, capacity=3)

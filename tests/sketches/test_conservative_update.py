@@ -1,0 +1,64 @@
+"""Unit tests for Count-Min with conservative update (CM-CU)."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import CountMin, CountMinCU
+
+
+class TestConservativeUpdate:
+    def test_never_underestimates(self, small_count_vector):
+        sketch = CountMinCU(small_count_vector.size, 32, 4, seed=1)
+        sketch.fit(small_count_vector)
+        assert np.all(sketch.recover() >= small_count_vector - 1e-9)
+
+    def test_never_worse_than_plain_count_min(self, rng):
+        """Conservative update tightens the Count-Min overestimate pointwise."""
+        vector = rng.poisson(15.0, size=600).astype(float)
+        cm = CountMin(600, 32, 4, seed=7).fit(vector)
+        cu = CountMinCU(600, 32, 4, seed=7).fit(vector)
+        assert np.all(cu.recover() <= cm.recover() + 1e-9)
+        assert np.mean(cu.recover() - vector) < np.mean(cm.recover() - vector)
+
+    def test_single_item_stream_is_exact(self):
+        sketch = CountMinCU(100, 16, 3, seed=0)
+        for _ in range(25):
+            sketch.update(42, 1.0)
+        assert sketch.query(42) == pytest.approx(25.0)
+
+    def test_zero_delta_is_a_noop(self):
+        sketch = CountMinCU(50, 8, 3, seed=0)
+        sketch.update(1, 5.0)
+        before = sketch.table.copy()
+        sketch.update(2, 0.0)
+        np.testing.assert_array_equal(sketch.table, before)
+
+    def test_rejects_negative_updates(self):
+        sketch = CountMinCU(50, 8, 3, seed=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            sketch.update(3, -1.0)
+
+    def test_rejects_negative_vector(self):
+        sketch = CountMinCU(10, 8, 2, seed=0)
+        with pytest.raises(ValueError):
+            sketch.fit(np.array([1.0, -2.0] + [0.0] * 8))
+
+    def test_merge_raises_type_error(self, small_count_vector):
+        """CM-CU is not linear — the library refuses to merge it."""
+        a = CountMinCU(small_count_vector.size, 32, 4, seed=1).fit(small_count_vector)
+        b = CountMinCU(small_count_vector.size, 32, 4, seed=1).fit(small_count_vector)
+        with pytest.raises(TypeError, match="not linear"):
+            a.merge(b)
+
+    def test_order_dependence_is_possible_but_estimates_stay_upper_bounds(self, rng):
+        """CU is order dependent; regardless of order it never under-counts."""
+        vector = rng.poisson(8.0, size=200).astype(float)
+        forward = CountMinCU(200, 16, 3, seed=5)
+        backward = CountMinCU(200, 16, 3, seed=5)
+        nonzero = np.flatnonzero(vector)
+        for index in nonzero:
+            forward.update(int(index), float(vector[index]))
+        for index in reversed(nonzero):
+            backward.update(int(index), float(vector[index]))
+        assert np.all(forward.recover() >= vector - 1e-9)
+        assert np.all(backward.recover() >= vector - 1e-9)

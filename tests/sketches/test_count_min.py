@@ -1,0 +1,47 @@
+"""Unit tests specific to the Count-Min baseline."""
+
+import numpy as np
+import pytest
+
+from repro.sketches import CountMin
+
+
+class TestCountMinEstimation:
+    def test_never_underestimates_nonnegative_vectors(self, small_count_vector):
+        sketch = CountMin(small_count_vector.size, 32, 4, seed=1)
+        sketch.fit(small_count_vector)
+        recovered = sketch.recover()
+        assert np.all(recovered >= small_count_vector - 1e-9)
+
+    def test_rejects_negative_vector_in_fit(self):
+        sketch = CountMin(10, 8, 2, seed=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            sketch.fit(np.array([1.0, -1.0] + [0.0] * 8))
+
+    def test_rejects_negative_scaling(self, small_count_vector):
+        sketch = CountMin(small_count_vector.size, 32, 4, seed=1)
+        sketch.fit(small_count_vector)
+        with pytest.raises(ValueError):
+            sketch.scale(-1.0)
+
+    def test_overestimate_shrinks_with_width(self, rng):
+        vector = rng.poisson(10.0, size=1_000).astype(float)
+        narrow = CountMin(1_000, 16, 5, seed=3).fit(vector)
+        wide = CountMin(1_000, 256, 5, seed=3).fit(vector)
+        narrow_error = np.mean(narrow.recover() - vector)
+        wide_error = np.mean(wide.recover() - vector)
+        assert wide_error < narrow_error
+
+    def test_exact_on_isolated_heavy_item(self):
+        vector = np.zeros(500)
+        vector[123] = 999.0
+        sketch = CountMin(500, 64, 5, seed=9).fit(vector)
+        assert sketch.query(123) == pytest.approx(999.0)
+
+    def test_merge_matches_union_stream(self, rng):
+        a_vec = rng.poisson(3.0, size=200).astype(float)
+        b_vec = rng.poisson(3.0, size=200).astype(float)
+        merged = CountMin(200, 32, 4, seed=5).fit(a_vec)
+        merged.merge(CountMin(200, 32, 4, seed=5).fit(b_vec))
+        direct = CountMin(200, 32, 4, seed=5).fit(a_vec + b_vec)
+        np.testing.assert_allclose(merged.recover(), direct.recover())

@@ -1,0 +1,75 @@
+"""Unit tests for the sketch registry."""
+
+import pytest
+
+from repro.sketches.registry import (
+    available_sketches,
+    get_spec,
+    make_sketch,
+    mean_heuristic_suite,
+    paper_reference_suite,
+    register_sketch,
+)
+
+
+class TestRegistryLookup:
+    def test_paper_suite_contains_six_algorithms(self):
+        suite = paper_reference_suite()
+        assert suite == [
+            "l1_sr",
+            "l2_sr",
+            "count_sketch",
+            "count_median",
+            "count_min_cu",
+            "count_min_log_cu",
+        ]
+
+    def test_mean_heuristic_suite(self):
+        assert mean_heuristic_suite() == ["l1_sr", "l2_sr", "l1_mean", "l2_mean"]
+
+    def test_all_registered_names_buildable(self):
+        for name in available_sketches():
+            sketch = make_sketch(name, dimension=50, width=8, depth=2, seed=1)
+            assert sketch.dimension == 50
+
+    def test_bias_aware_flag(self):
+        assert get_spec("l2_sr").bias_aware is True
+        assert get_spec("count_sketch").bias_aware is False
+
+    def test_linearity_flag_matches_merge_behaviour(self):
+        assert get_spec("count_min_cu").linear is False
+        assert get_spec("l1_sr").linear is True
+
+    def test_unknown_name_raises_keyerror_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            make_sketch("no_such_sketch", 10, 4, 2)
+
+    def test_baselines_listed_before_bias_aware(self):
+        names = available_sketches()
+        first_bias_aware = min(
+            i for i, name in enumerate(names) if get_spec(name).bias_aware
+        )
+        last_baseline = max(
+            i for i, name in enumerate(names) if not get_spec(name).bias_aware
+        )
+        assert last_baseline < first_bias_aware
+
+    def test_exclude_bias_aware(self):
+        names = available_sketches(include_bias_aware=False)
+        assert names
+        assert all(not get_spec(name).bias_aware for name in names)
+
+
+class TestRegistration:
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_sketch(
+                "count_sketch",
+                "duplicate",
+                lambda n, s, d, seed: None,
+                linear=True,
+            )
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_sketch("", "label", lambda n, s, d, seed: None, linear=True)

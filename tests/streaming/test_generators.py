@@ -1,0 +1,57 @@
+"""Unit tests for the stream generators."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.generators import (
+    stream_from_edges,
+    stream_from_items,
+    stream_from_vector,
+)
+from repro.streaming.stream import StreamKind
+
+
+class TestStreamFromVector:
+    def test_accumulates_back_to_the_vector(self, rng):
+        vector = rng.poisson(3.0, size=50).astype(float)
+        stream = stream_from_vector(vector)
+        np.testing.assert_allclose(stream.accumulate(), vector)
+
+    def test_one_update_per_nonzero(self, rng):
+        vector = rng.poisson(0.5, size=100).astype(float)
+        stream = stream_from_vector(vector)
+        assert len(stream) == int(np.count_nonzero(vector))
+
+    def test_shuffle_changes_order_not_sum(self, rng):
+        vector = rng.poisson(3.0, size=80).astype(float)
+        plain = stream_from_vector(vector)
+        shuffled = stream_from_vector(vector, shuffle=True, seed=1)
+        assert [u.index for u in plain] != [u.index for u in shuffled]
+        np.testing.assert_allclose(plain.accumulate(), shuffled.accumulate())
+
+    def test_negative_values_produce_turnstile_stream(self):
+        stream = stream_from_vector(np.array([1.0, -2.0, 0.0]))
+        assert stream.kind is StreamKind.TURNSTILE
+
+
+class TestStreamFromItems:
+    def test_unit_updates(self):
+        stream = stream_from_items([0, 1, 1, 2, 2, 2], dimension=4)
+        np.testing.assert_allclose(stream.accumulate(), [1.0, 2.0, 3.0, 0.0])
+        assert all(u.delta == 1.0 for u in stream)
+
+    def test_rejects_out_of_range_items(self):
+        with pytest.raises(IndexError):
+            stream_from_items([0, 5], dimension=3)
+
+
+class TestStreamFromEdges:
+    def test_counts_out_degrees(self):
+        edges = [(0, 1), (0, 2), (1, 2), (2, 0), (0, 3)]
+        stream = stream_from_edges(edges, dimension=4)
+        np.testing.assert_allclose(stream.accumulate(), [3.0, 1.0, 1.0, 0.0])
+
+    def test_destination_is_ignored_for_the_degree_vector(self):
+        a = stream_from_edges([(1, 0)], dimension=3)
+        b = stream_from_edges([(1, 2)], dimension=3)
+        np.testing.assert_allclose(a.accumulate(), b.accumulate())

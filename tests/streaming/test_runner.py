@@ -1,0 +1,55 @@
+"""Unit tests for the stream replay runner."""
+
+import numpy as np
+import pytest
+
+from repro.core import StreamingL2BiasAwareSketch
+from repro.sketches import CountSketch
+from repro.streaming.generators import stream_from_vector
+from repro.streaming.runner import StreamRunner
+
+
+@pytest.fixture
+def stream(rng):
+    vector = rng.poisson(25.0, size=400).astype(float)
+    return stream_from_vector(vector)
+
+
+class TestStreamRunner:
+    def test_truth_matches_accumulated_stream(self, stream):
+        runner = StreamRunner(stream)
+        np.testing.assert_allclose(runner.truth, stream.accumulate())
+
+    def test_report_fields_are_sensible(self, stream):
+        runner = StreamRunner(stream)
+        sketch = CountSketch(400, 64, 5, seed=1)
+        report = runner.run(sketch, query_count=50, seed=2)
+        assert report.updates == len(stream)
+        assert report.queries == 50
+        assert report.update_seconds > 0
+        assert report.query_seconds > 0
+        assert report.average_error >= 0
+        assert report.maximum_error >= report.average_error
+
+    def test_explicit_query_indices(self, stream):
+        runner = StreamRunner(stream)
+        sketch = CountSketch(400, 64, 5, seed=1)
+        report = runner.run(sketch, query_indices=[0, 1, 2])
+        assert report.queries == 3
+
+    def test_dimension_mismatch_rejected(self, stream):
+        runner = StreamRunner(stream)
+        with pytest.raises(ValueError, match="dimension"):
+            runner.run(CountSketch(401, 64, 5, seed=1))
+
+    def test_streaming_bias_sketch_gets_accurate_state(self, rng):
+        vector = rng.normal(100.0, 5.0, size=300)
+        stream = stream_from_vector(vector)
+        runner = StreamRunner(stream)
+        report = runner.run(StreamingL2BiasAwareSketch(300, 64, 5, seed=3))
+        assert report.average_error < 5.0
+
+    def test_sketch_name_recorded(self, stream):
+        runner = StreamRunner(stream)
+        report = runner.run(CountSketch(400, 32, 3, seed=1), query_count=10)
+        assert report.sketch_name == "count_sketch"

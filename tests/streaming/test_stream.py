@@ -1,0 +1,69 @@
+"""Unit tests for update streams."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.stream import StreamKind, StreamUpdate, UpdateStream
+
+
+class TestStreamUpdate:
+    def test_default_delta_is_one(self):
+        assert StreamUpdate(3).delta == 1.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            StreamUpdate(-1)
+
+
+class TestUpdateStream:
+    def test_append_accepts_pairs_and_objects(self):
+        stream = UpdateStream(10)
+        stream.append((1, 2.0))
+        stream.append(StreamUpdate(2, 3.0))
+        assert len(stream) == 2
+        assert stream[0].index == 1 and stream[0].delta == 2.0
+
+    def test_out_of_range_index_rejected(self):
+        stream = UpdateStream(5)
+        with pytest.raises(IndexError):
+            stream.append((5, 1.0))
+
+    def test_cash_register_rejects_negative_delta(self):
+        stream = UpdateStream(5, kind=StreamKind.CASH_REGISTER)
+        with pytest.raises(ValueError, match="TURNSTILE"):
+            stream.append((1, -1.0))
+
+    def test_turnstile_allows_deletions(self):
+        stream = UpdateStream(5, kind=StreamKind.TURNSTILE)
+        stream.append((1, -2.0))
+        assert stream.deltas()[0] == -2.0
+
+    def test_accumulate_matches_manual_sum(self):
+        stream = UpdateStream(4, updates=[(0, 1.0), (1, 2.0), (0, 3.0)])
+        np.testing.assert_allclose(stream.accumulate(), [4.0, 2.0, 0.0, 0.0])
+
+    def test_accumulate_empty_stream_is_zero_vector(self):
+        np.testing.assert_allclose(UpdateStream(3).accumulate(), np.zeros(3))
+
+    def test_prefix(self):
+        stream = UpdateStream(4, updates=[(0, 1.0), (1, 2.0), (2, 3.0)])
+        prefix = stream.prefix(2)
+        assert len(prefix) == 2
+        np.testing.assert_allclose(prefix.accumulate(), [1.0, 2.0, 0.0, 0.0])
+
+    def test_split_preserves_total_and_order(self):
+        updates = [(i % 7, float(i)) for i in range(50)]
+        stream = UpdateStream(7, updates=updates)
+        parts = stream.split(4)
+        assert sum(len(p) for p in parts) == 50
+        total = sum(p.accumulate() for p in parts)
+        np.testing.assert_allclose(total, stream.accumulate())
+
+    def test_iteration_preserves_order(self):
+        stream = UpdateStream(3, updates=[(2, 1.0), (0, 1.0), (1, 1.0)])
+        assert [u.index for u in stream] == [2, 0, 1]
+
+    def test_indices_and_deltas_arrays(self):
+        stream = UpdateStream(5, updates=[(4, 2.0), (3, 1.5)])
+        np.testing.assert_array_equal(stream.indices(), [4, 3])
+        np.testing.assert_allclose(stream.deltas(), [2.0, 1.5])

@@ -1,0 +1,77 @@
+"""Unit tests for trace reading/writing."""
+
+import numpy as np
+import pytest
+
+from repro.streaming.stream import StreamKind, UpdateStream
+from repro.streaming.trace import (
+    read_csv_trace,
+    read_npz_trace,
+    write_csv_trace,
+    write_npz_trace,
+)
+
+
+@pytest.fixture
+def sample_stream(rng):
+    stream = UpdateStream(50, kind=StreamKind.TURNSTILE)
+    for _ in range(200):
+        stream.append((int(rng.integers(0, 50)), float(rng.normal(0.0, 3.0))))
+    return stream
+
+
+class TestCsvTrace:
+    def test_round_trip(self, sample_stream, tmp_path):
+        path = tmp_path / "trace.csv"
+        write_csv_trace(sample_stream, path)
+        loaded = read_csv_trace(path)
+        assert loaded.dimension == sample_stream.dimension
+        assert loaded.kind == sample_stream.kind
+        np.testing.assert_array_equal(loaded.indices(), sample_stream.indices())
+        np.testing.assert_allclose(loaded.deltas(), sample_stream.deltas())
+
+    def test_integer_deltas_written_compactly(self, tmp_path):
+        stream = UpdateStream(5, updates=[(0, 3.0), (1, 7.0)])
+        path = tmp_path / "trace.csv"
+        write_csv_trace(stream, path)
+        body = path.read_text().splitlines()[1:]
+        assert body == ["0,3", "1,7"]
+
+    def test_header_required(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0,1\n")
+        with pytest.raises(ValueError, match="header"):
+            read_csv_trace(path)
+
+    def test_malformed_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# dimension=5 kind=cash_register\n0,1\nnot-a-line\n")
+        with pytest.raises(ValueError, match="line 3"):
+            read_csv_trace(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "# dimension=5 kind=cash_register\n\n# a comment\n2,4\n"
+        )
+        stream = read_csv_trace(path)
+        assert len(stream) == 1
+        assert stream[0].index == 2
+
+
+class TestNpzTrace:
+    def test_round_trip(self, sample_stream, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz_trace(sample_stream, path)
+        loaded = read_npz_trace(path)
+        assert loaded.dimension == sample_stream.dimension
+        assert loaded.kind == sample_stream.kind
+        np.testing.assert_allclose(loaded.deltas(), sample_stream.deltas())
+
+    def test_accumulated_vector_preserved(self, sample_stream, tmp_path):
+        path = tmp_path / "trace.npz"
+        write_npz_trace(sample_stream, path)
+        loaded = read_npz_trace(path)
+        np.testing.assert_allclose(
+            loaded.accumulate(), sample_stream.accumulate()
+        )

@@ -1,0 +1,69 @@
+"""Unit tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    exit_code = main(list(argv), out=buffer)
+    return exit_code, buffer.getvalue()
+
+
+class TestDatasetsCommand:
+    def test_lists_all_datasets_with_bias_gain(self):
+        code, output = run_cli("datasets", "--dimension", "2000",
+                               "--head-size", "20")
+        assert code == 0
+        for name in ("gaussian", "wiki", "worldcup", "higgs", "meme"):
+            assert name in output
+        assert "bias gain" in output
+
+
+class TestSketchCommand:
+    def test_reports_accuracy_and_bias(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "5000",
+            "--width", "256", "--depth", "5", "--algorithm", "l2_sr",
+        )
+        assert code == 0
+        assert "average error" in output
+        assert "estimated bias" in output
+
+    def test_list_algorithms(self):
+        code, output = run_cli("sketch", "--list-algorithms")
+        assert code == 0
+        assert "l2_sr" in output
+        assert "count_min_cu" in output
+
+    def test_baseline_without_bias_estimate(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "zipf", "--dimension", "2000",
+            "--width", "128", "--depth", "4", "--algorithm", "count_min",
+        )
+        assert code == 0
+        assert "estimated bias" not in output
+
+
+class TestExperimentCommand:
+    def test_list(self):
+        code, output = run_cli("experiment", "--list")
+        assert code == 0
+        assert "fig1_b100" in output
+        assert "Figure 9" in output
+
+    def test_listing_is_default_without_a_name(self):
+        code, output = run_cli("experiment")
+        assert code == 0
+        assert "fig2" in output
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_cli("experiment", "fig99")
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,64 @@
+"""Unit tests for seeded random-number management."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, derive_seed, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(123).integers(0, 1_000_000, size=5)
+        b = as_rng(123).integers(0, 1_000_000, size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert as_rng(generator) is generator
+
+    def test_rejects_bool_and_strings(self):
+        with pytest.raises(TypeError):
+            as_rng(True)
+        with pytest.raises(TypeError):
+            as_rng("seed")
+
+
+class TestDeriveSeed:
+    def test_deterministic_for_int_source(self):
+        assert derive_seed(42, 7) == derive_seed(42, 7)
+
+    def test_different_salts_differ(self):
+        assert derive_seed(42, 1) != derive_seed(42, 2)
+
+    def test_different_sources_differ(self):
+        assert derive_seed(1, 3) != derive_seed(2, 3)
+
+    def test_non_negative(self):
+        for salt in range(20):
+            assert derive_seed(99, salt) >= 0
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 4)) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(7, 2)
+        a = children[0].integers(0, 1_000_000, size=10)
+        b = children[1].integers(0, 1_000_000, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_reproducible_from_same_seed(self):
+        first = spawn_rngs(5, 3)
+        second = spawn_rngs(5, 3)
+        for x, y in zip(first, second):
+            np.testing.assert_array_equal(
+                x.integers(0, 1000, size=5), y.integers(0, 1000, size=5)
+            )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,111 @@
+"""Unit tests for the validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ensure_1d_float_array,
+    require_in_range,
+    require_index,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestRequirePositiveInt:
+    def test_accepts_plain_int(self):
+        assert require_positive_int(5, "x") == 5
+
+    def test_accepts_numpy_integer(self):
+        assert require_positive_int(np.int64(7), "x") == 7
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="x must be an integer"):
+            require_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            require_positive_int(3.0, "x")
+
+    def test_rejects_below_minimum(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            require_positive_int(0, "x")
+
+    def test_custom_minimum(self):
+        assert require_positive_int(0, "x", minimum=0) == 0
+        with pytest.raises(ValueError):
+            require_positive_int(1, "x", minimum=2)
+
+
+class TestRequireProbability:
+    def test_accepts_interior_value(self):
+        assert require_probability(0.5, "p") == 0.5
+
+    @pytest.mark.parametrize("value", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_boundary_and_outside(self, value):
+        with pytest.raises(ValueError):
+            require_probability(value, "p")
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        assert require_in_range(1.0, "v", low=1.0, high=2.0) == 1.0
+        assert require_in_range(2.0, "v", low=1.0, high=2.0) == 2.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            require_in_range(1.0, "v", low=1.0, inclusive=False)
+        with pytest.raises(ValueError):
+            require_in_range(2.0, "v", high=2.0, inclusive=False)
+
+    def test_violations_name_the_argument(self):
+        with pytest.raises(ValueError, match="myvalue"):
+            require_in_range(5.0, "myvalue", high=1.0)
+
+
+class TestRequireIndex:
+    def test_valid_index(self):
+        assert require_index(3, 10) == 3
+
+    def test_rejects_negative(self):
+        with pytest.raises(IndexError):
+            require_index(-1, 10)
+
+    def test_rejects_too_large(self):
+        with pytest.raises(IndexError):
+            require_index(10, 10)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError):
+            require_index(1.5, 10)
+
+
+class TestEnsure1dFloatArray:
+    def test_copies_input(self):
+        source = np.array([1.0, 2.0])
+        result = ensure_1d_float_array(source)
+        result[0] = 99.0
+        assert source[0] == 1.0
+
+    def test_converts_lists(self):
+        result = ensure_1d_float_array([1, 2, 3])
+        assert result.dtype == np.float64
+        np.testing.assert_array_equal(result, [1.0, 2.0, 3.0])
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ensure_1d_float_array(3.0)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            ensure_1d_float_array(np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ensure_1d_float_array([])
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_1d_float_array([1.0, np.nan])
+        with pytest.raises(ValueError, match="finite"):
+            ensure_1d_float_array([np.inf, 1.0])
