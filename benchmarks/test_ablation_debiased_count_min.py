@@ -11,8 +11,6 @@ planted outliers, to check both halves of that remark:
   and the estimator falls far behind ℓ2-S/R.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.common import PAPER_DEPTH, report
 from repro.data.synthetic import shifted_gaussian_dataset

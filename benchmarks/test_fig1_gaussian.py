@@ -14,7 +14,6 @@ every baseline's error does.
 import pytest
 
 from benchmarks.common import (
-    DEFAULT_WIDTHS,
     PAPER_DEPTH,
     error_by_algorithm,
     report,

@@ -10,7 +10,6 @@ paper's introduction motivates).  It compares, on the WorldCup-style workload:
 both over the ℓ2 bias-aware sketch.
 """
 
-import numpy as np
 import pytest
 
 from repro.data.worldcup import simulated_worldcup

@@ -1,27 +1,11 @@
 """Setup shim.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that the
-package can be installed editable (``pip install -e .``) on machines whose
-setuptools/pip are too old for PEP 660 editable wheels (e.g. offline
-environments without the ``wheel`` package).
+The project metadata lives in ``pyproject.toml`` (PEP 621); this file exists
+so that the package can be installed editable (``pip install -e .``) on
+machines whose setuptools/pip are too old for PEP 660 editable wheels (e.g.
+offline environments without the ``wheel`` package).
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Bias-Aware Sketches (Chen & Zhang, VLDB 2017): bias-aware linear "
-        "sketches for point queries over streaming and distributed frequency "
-        "vectors"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.9",
-    install_requires=["numpy>=1.21"],
-    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
-    entry_points={
-        "console_scripts": ["repro-sketches = repro.cli:main"],
-    },
-)
+setup()

@@ -71,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--list", action="store_true",
                             help="print the registered experiments and exit")
     experiment.add_argument("--seed", type=int, default=2017)
+    experiment.add_argument("--batch-size", type=int, default=None,
+                            help="replay streaming experiments through the "
+                                 "vectorised update_batch path in chunks of "
+                                 "this many updates (default: scalar "
+                                 "update-at-a-time replay)")
     experiment.add_argument("--plot", action="store_true",
                             help="also render the series as an ASCII chart")
     experiment.add_argument("--metric", default="average_error",
@@ -126,7 +131,7 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
             spec = get_experiment(name)
             print(f"{name:<14} {spec.figure:<14} {spec.description}", file=out)
         return 0
-    table = run_experiment(args.name, seed=args.seed)
+    table = run_experiment(args.name, seed=args.seed, batch_size=args.batch_size)
     metrics = ("average_error", "maximum_error")
     if any(row.update_seconds is not None for row in table):
         metrics = ("average_error", "maximum_error", "update_seconds",

@@ -26,7 +26,7 @@ import numpy as np
 from repro.compressive.gaussian import GaussianSketch
 from repro.compressive.omp import orthogonal_matching_pursuit
 from repro.utils.rng import RandomSource
-from repro.utils.validation import ensure_1d_float_array, require_positive_int
+from repro.utils.validation import require_positive_int
 
 
 @dataclass(frozen=True)

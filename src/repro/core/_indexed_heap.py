@@ -13,7 +13,7 @@ Ties are broken by node id so the structure is fully deterministic.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 
 class IndexedMinHeap:

@@ -113,6 +113,22 @@ class SamplingMedianEstimator(BiasEstimator):
         for slot in self._slots_of.get(int(index), ()):
             self.sample_values[slot] += delta
 
+    def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a batch of updates to the samples (order-preserving).
+
+        Only the batch entries that hit a sampled coordinate are visited, so
+        the cost is ``O(m log t)`` for the membership test plus work linear in
+        the (typically tiny) number of hits.
+        """
+        if len(indices) == 0:
+            return
+        hits = np.isin(indices, self.sampled_indices)
+        if not np.any(hits):
+            return
+        for index, delta in zip(indices[hits].tolist(), deltas[hits].tolist()):
+            for slot in self._slots_of[int(index)]:
+                self.sample_values[slot] += delta
+
     def merge(self, other: "SamplingMedianEstimator") -> None:
         """Merge another estimator built with the same seed (adds sample values)."""
         if not np.array_equal(self.sampled_indices, other.sampled_indices):
@@ -225,6 +241,11 @@ class MeanEstimator(BiasEstimator):
     def update(self, index: int, delta: float) -> None:
         """Apply the streaming update ``x[index] += delta`` to the running sum."""
         self._running_sum += delta
+
+    def update_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a batch of updates to the running sum in one reduction."""
+        if len(deltas):
+            self._running_sum += float(np.sum(deltas))
 
     def merge(self, other: "MeanEstimator") -> None:
         """Add another estimator's running sum (linearity)."""

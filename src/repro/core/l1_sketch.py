@@ -84,6 +84,14 @@ class L1BiasAwareSketch(LinearSketch):
         self._bias_estimator.update(index, delta)
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "L1BiasAwareSketch":
+        """Vectorised batch ingestion: scatter-add plus the sampled coordinates."""
+        idx, d = self._check_batch(indices, deltas)
+        self._table.add_batch(idx, d)
+        self._bias_estimator.update_batch(idx, d)
+        self._items_processed += idx.size
+        return self
+
     def fit(self, x) -> "L1BiasAwareSketch":
         arr = self._check_vector(x)
         self._table.add_vector(arr)
@@ -107,6 +115,16 @@ class L1BiasAwareSketch(LinearSketch):
             self._table.table[rows, buckets] - beta * self._pi[rows, buckets]
         )
         return float(np.median(debiased)) + beta
+
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        beta = self.estimate_bias()
+        cols = self._table.buckets[:, idx]
+        debiased = (
+            np.take_along_axis(self._table.table, cols, axis=1)
+            - beta * np.take_along_axis(self._pi, cols, axis=1)
+        )
+        return np.median(debiased, axis=0) + beta
 
     def recover(self) -> np.ndarray:
         beta = self.estimate_bias()

@@ -98,6 +98,14 @@ class L2BiasAwareSketch(LinearSketch):
         self._bias_row.add_update(index, delta)
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "L2BiasAwareSketch":
+        """Vectorised batch ingestion: one scatter-add per table per chunk."""
+        idx, d = self._check_batch(indices, deltas)
+        self._cs_table.add_batch(idx, d)
+        self._bias_row.add_batch(idx, d)
+        self._items_processed += idx.size
+        return self
+
     def fit(self, x) -> "L2BiasAwareSketch":
         arr = self._check_vector(x)
         self._cs_table.add_vector(arr)
@@ -118,6 +126,17 @@ class L2BiasAwareSketch(LinearSketch):
         index = self._check_index(index)
         beta = self.estimate_bias()
         return self._query_with_bias(index, beta)
+
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        beta = self.estimate_bias()
+        cols = self._cs_table.buckets[:, idx]
+        debiased = (
+            np.take_along_axis(self._cs_table.table, cols, axis=1)
+            - beta * np.take_along_axis(self._psi, cols, axis=1)
+        )
+        signed = debiased * self._cs_table.sign_values[:, idx]
+        return np.median(signed, axis=0) + beta
 
     def _query_with_bias(self, index: int, beta: float) -> float:
         buckets = self._cs_table.buckets[:, index]

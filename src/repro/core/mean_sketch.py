@@ -63,6 +63,14 @@ class MeanBiasSketch(LinearSketch):
         self._bias_estimator.update(index, delta)
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "MeanBiasSketch":
+        """Vectorised batch ingestion: scatter-add plus the running sum."""
+        idx, d = self._check_batch(indices, deltas)
+        self._table.add_batch(idx, d)
+        self._bias_estimator.update_batch(idx, d)
+        self._items_processed += idx.size
+        return self
+
     def fit(self, x) -> "MeanBiasSketch":
         arr = self._check_vector(x)
         self._table.add_vector(arr)
@@ -89,6 +97,18 @@ class MeanBiasSketch(LinearSketch):
         if self.signed:
             debiased = debiased * self._table.sign_values[rows, index]
         return float(np.median(debiased)) + beta
+
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        beta = self.estimate_bias()
+        cols = self._table.buckets[:, idx]
+        debiased = (
+            np.take_along_axis(self._table.table, cols, axis=1)
+            - beta * np.take_along_axis(self._column_sums, cols, axis=1)
+        )
+        if self.signed:
+            debiased = debiased * self._table.sign_values[:, idx]
+        return np.median(debiased, axis=0) + beta
 
     def recover(self) -> np.ndarray:
         beta = self.estimate_bias()

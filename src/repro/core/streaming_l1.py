@@ -83,6 +83,17 @@ class StreamingL1BiasAwareSketch(L1BiasAwareSketch):
             self._sorted_samples.replace(old, old + delta)
         super().update(index, delta)
 
+    def update_batch(self, indices, deltas=None) -> "StreamingL1BiasAwareSketch":
+        """Batched ingestion: vectorised updates, then one sorted-set rebuild.
+
+        Rebuilding the sorted multiset once per chunk costs ``O(t log t)`` and
+        yields exactly the structure the per-update replacements would have
+        maintained, so bias estimates agree with the scalar path.
+        """
+        super().update_batch(indices, deltas)
+        self._sorted_samples = _SortedValues(self._bias_estimator.sample_values)
+        return self
+
     def fit(self, x) -> "StreamingL1BiasAwareSketch":
         super().fit(x)
         # bulk ingestion: rebuild the sorted structure from the refreshed samples

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
-
 from repro.core.bias_heap import BiasHeap
 from repro.core.l2_sketch import L2BiasAwareSketch
 from repro.utils.rng import RandomSource
@@ -51,6 +49,18 @@ class StreamingL2BiasAwareSketch(L2BiasAwareSketch):
         super().update(index, delta)
         bucket = int(self._bias_row.buckets[0, index])
         self._bias_heap.update(bucket, delta)
+
+    def update_batch(self, indices, deltas=None) -> "StreamingL2BiasAwareSketch":
+        """Batched ingestion: vectorised updates, then one heap rebuild.
+
+        The rebuilt Bias-Heap reflects exactly the bias row the per-update
+        maintenance would have produced; as with :meth:`fit`, estimates may
+        differ from the incrementally-maintained heap only in how ties
+        between equal per-bucket averages are broken.
+        """
+        super().update_batch(indices, deltas)
+        self._rebuild_heap()
+        return self
 
     def fit(self, x) -> "StreamingL2BiasAwareSketch":
         super().fit(x)

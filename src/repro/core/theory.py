@@ -19,8 +19,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.errors import err_pk, optimal_bias_error
 from repro.utils.validation import ensure_1d_float_array, require_positive_int
 

@@ -14,8 +14,6 @@ extreme outliers, disabled by default to mirror the clean real feature).
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.data.dataset import Dataset
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import require_positive_int

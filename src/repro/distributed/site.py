@@ -93,15 +93,33 @@ class Site:
         self.sketch.fit(local_vector)
         return self
 
-    def observe_stream(self, stream: UpdateStream) -> "Site":
-        """Ingest the site's local update stream one update at a time."""
-        for update in stream:
-            self.sketch.update(update.index, update.delta)
+    def observe_stream(
+        self, stream: UpdateStream, batch_size: Optional[int] = None
+    ) -> "Site":
+        """Ingest the site's local update stream.
+
+        With ``batch_size=None`` the stream is replayed one update at a time
+        (the paper's streaming model); with an integer it is replayed in
+        order through the sketch's vectorised ``update_batch`` path in
+        chunks of that many updates, reaching an equivalent state much
+        faster.
+        """
+        if batch_size is None:
+            for update in stream:
+                self.sketch.update(update.index, update.delta)
+        else:
+            for indices, deltas in stream.iter_batches(batch_size):
+                self.sketch.update_batch(indices, deltas)
         return self
 
     def observe_update(self, index: int, delta: float = 1.0) -> "Site":
         """Ingest a single local update."""
         self.sketch.update(index, delta)
+        return self
+
+    def observe_batch(self, indices, deltas=None) -> "Site":
+        """Ingest a batch of local updates through the vectorised path."""
+        self.sketch.update_batch(indices, deltas)
         return self
 
     def local_sketch(self) -> LinearSketch:

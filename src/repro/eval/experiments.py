@@ -140,8 +140,16 @@ def run_experiment(
     seed: RandomSource = 2017,
     widths: Optional[Sequence[int]] = None,
     depth: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> ResultTable:
-    """Run one registered experiment and return its result table."""
+    """Run one registered experiment and return its result table.
+
+    ``batch_size`` applies to streaming experiments only: it replays the
+    stream through the sketches' vectorised ``update_batch`` path in chunks
+    of that many updates instead of update-at-a-time (see
+    :func:`repro.eval.harness.streaming_comparison`).  Sweep experiments
+    ingest whole vectors and ignore it.
+    """
     spec = get_experiment(name)
     algorithms = (
         paper_reference_suite() if spec.suite == "paper" else mean_heuristic_suite()
@@ -158,6 +166,7 @@ def run_experiment(
             seed=seed,
             dataset_name=spec.dataset,
             title=f"{spec.figure}: {spec.description}",
+            batch_size=batch_size,
         )
 
     dataset = load_dataset(spec.dataset, seed=seed, **spec.dataset_kwargs)

@@ -65,6 +65,9 @@ class HashedCounterTable:
 
         #: the counters themselves
         self.table = np.zeros((depth, width), dtype=np.float64)
+        # per-row offsets into the flattened table, used by the batched
+        # scatter-add (shape (depth, 1) so it broadcasts against gathers)
+        self._row_offsets = (np.arange(depth, dtype=np.int64) * width)[:, None]
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -77,6 +80,29 @@ class HashedCounterTable:
             self.table[rows, cols] += delta * self.sign_values[:, index]
         else:
             self.table[rows, cols] += delta
+
+    def add_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
+        """Apply a batch of ``(index, delta)`` updates to every row at once.
+
+        The scatter-add is performed with a single ``np.bincount`` over the
+        flattened ``(depth, width)`` table: per-row bucket columns are gathered
+        for the whole batch, offset by ``row * width``, and accumulated in one
+        pass.  For integer-valued deltas the resulting counters are bit-exact
+        equal to replaying the batch through :meth:`add_update`; for general
+        floats they agree up to summation order.
+        """
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            return
+        cols = self.buckets[:, indices]
+        if self.signed:
+            weights = deltas * self.sign_values[:, indices]
+        else:
+            weights = np.broadcast_to(deltas, cols.shape)
+        flat = cols + self._row_offsets
+        self.table += np.bincount(
+            flat.ravel(), weights=weights.ravel(), minlength=self.table.size
+        ).reshape(self.depth, self.width)
 
     def add_vector(self, x: np.ndarray) -> None:
         """Apply a whole frequency vector ``x`` at once (vectorised path)."""
@@ -95,6 +121,18 @@ class HashedCounterTable:
         values = self.table[rows, self.buckets[:, index]]
         if self.signed:
             values = values * self.sign_values[:, index]
+        return values
+
+    def row_estimates_batch(self, indices: np.ndarray) -> np.ndarray:
+        """A ``(depth, len(indices))`` array of per-row estimates for a batch.
+
+        Column ``j`` equals :meth:`row_estimates` of ``indices[j]``; the whole
+        batch is gathered with one fancy-indexing pass.
+        """
+        cols = self.buckets[:, indices]
+        values = np.take_along_axis(self.table, cols, axis=1)
+        if self.signed:
+            values = values * self.sign_values[:, indices]
         return values
 
     def all_row_estimates(self) -> np.ndarray:

@@ -1,9 +1,13 @@
 """Abstract sketch interfaces.
 
-Every sketch in the library supports two ingestion paths:
+Every sketch in the library supports three ingestion paths:
 
 * **streaming** — :meth:`Sketch.update` applies a single ``(index, delta)``
   update, which is the streaming model of the paper (Section 1);
+* **batched streaming** — :meth:`Sketch.update_batch` applies a chunk of
+  ``(index, delta)`` updates in stream order; subclasses vectorise the chunk
+  through numpy scatter-adds, which is what makes trace replay run at
+  hardware speed rather than python-loop speed;
 * **vectorised** — :meth:`Sketch.fit` ingests a whole frequency vector at
   once through numpy, which is how the evaluation harness sketches the
   datasets efficiently.
@@ -18,13 +22,14 @@ paths apply the same per-item updates in index order.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
 
 from repro.utils.rng import RandomSource
 from repro.utils.validation import (
     ensure_1d_float_array,
+    ensure_batch_arrays,
     require_index,
     require_positive_int,
 )
@@ -88,12 +93,46 @@ class Sketch(abc.ABC):
             self.update(int(index), float(delta))
         return self
 
+    def update_batch(self, indices, deltas=None) -> "Sketch":
+        """Apply a batch of streaming updates ``x[indices[j]] += deltas[j]``.
+
+        Parameters
+        ----------
+        indices:
+            1-D integer array-like of coordinates, in stream order.
+        deltas:
+            Matching 1-D float array-like of increments, a scalar broadcast to
+            every index, or ``None`` for unit increments.
+
+        The default implementation replays the batch through :meth:`update`
+        one entry at a time; subclasses override it with a vectorised path.
+        For *linear* sketches the batched path reaches exactly the same state
+        as the scalar replay (bit-identical for integer-valued deltas, up to
+        floating-point summation order otherwise); the conservative-update
+        sketches preserve index-order semantics so the two paths stay
+        equivalent as well.  Returns ``self`` for chaining.
+        """
+        idx, d = self._check_batch(indices, deltas)
+        for index, delta in zip(idx.tolist(), d.tolist()):
+            self.update(index, delta)
+        return self
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     @abc.abstractmethod
     def query(self, index: int) -> float:
         """Return the point-query estimate of coordinate ``index``."""
+
+    def query_batch(self, indices) -> np.ndarray:
+        """Point-query a batch of coordinates; returns one estimate per index.
+
+        Equivalent to ``np.array([self.query(i) for i in indices])`` but
+        vectorised by subclasses so the evaluation harness can issue thousands
+        of queries per call.
+        """
+        idx, _ = self._check_batch(indices, None)
+        return np.array([self.query(int(i)) for i in idx], dtype=np.float64)
 
     def recover(self) -> np.ndarray:
         """Return the full recovered vector ``x̂`` (one estimate per coordinate).
@@ -128,6 +167,9 @@ class Sketch(abc.ABC):
 
     def _check_index(self, index: int) -> int:
         return require_index(index, self.dimension)
+
+    def _check_batch(self, indices, deltas):
+        return ensure_batch_arrays(indices, deltas, self.dimension)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

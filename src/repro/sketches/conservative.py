@@ -61,6 +61,45 @@ class CountMinCU(Sketch):
         self._table.table[self._rows, cols] = np.maximum(current, target)
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "CountMinCU":
+        """Chunked semi-vectorised batch ingestion preserving stream order.
+
+        Conservative update is order-dependent, so the batch cannot be a
+        single scatter-add.  Instead the bucket columns of the whole chunk are
+        gathered up front (one fancy-indexing pass instead of one per update)
+        and consecutive runs of the *same* index are coalesced into one
+        weighted update — exact for CM-CU, since applying ``Δ₁`` then ``Δ₂``
+        to an untouched item raises its counters exactly as ``Δ₁ + Δ₂`` does.
+        The remaining per-run loop applies the usual min/max rule in stream
+        order, so the final state equals the scalar replay (bit-identical for
+        integer-valued deltas).
+        """
+        idx, d = self._check_batch(indices, deltas)
+        if np.any(d < 0):
+            raise ValueError(
+                "conservative update only supports non-negative increments"
+            )
+        if idx.size == 0:
+            return self
+        applied = int(np.count_nonzero(d))
+        # coalesce consecutive runs of the same index
+        starts = np.concatenate(([0], np.flatnonzero(np.diff(idx) != 0) + 1))
+        run_indices = idx[starts]
+        run_deltas = np.add.reduceat(d, starts)
+        cols = self._table.buckets[:, run_indices]
+        table = self._table.table
+        rows = self._rows
+        for j in range(run_indices.size):
+            delta = run_deltas[j]
+            if delta == 0:
+                continue
+            run_cols = cols[:, j]
+            current = table[rows, run_cols]
+            target = float(np.min(current)) + delta
+            table[rows, run_cols] = np.maximum(current, target)
+        self._items_processed += applied
+        return self
+
     def fit(self, x) -> "CountMinCU":
         """Ingest a frequency vector by one weighted conservative update per item.
 
@@ -82,6 +121,10 @@ class CountMinCU(Sketch):
     def query(self, index: int) -> float:
         index = self._check_index(index)
         return float(np.min(self._table.row_estimates(index)))
+
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        return np.min(self._table.row_estimates_batch(idx), axis=0)
 
     def recover(self) -> np.ndarray:
         return np.min(self._table.all_row_estimates(), axis=0)

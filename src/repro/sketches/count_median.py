@@ -45,6 +45,13 @@ class CountMedian(LinearSketch):
         self._table.add_update(index, float(delta))
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "CountMedian":
+        """Vectorised batch ingestion: one scatter-add per chunk."""
+        idx, d = self._check_batch(indices, deltas)
+        self._table.add_batch(idx, d)
+        self._items_processed += idx.size
+        return self
+
     def fit(self, x) -> "CountMedian":
         arr = self._check_vector(x)
         self._table.add_vector(arr)
@@ -57,6 +64,10 @@ class CountMedian(LinearSketch):
     def query(self, index: int) -> float:
         index = self._check_index(index)
         return float(np.median(self._table.row_estimates(index)))
+
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        return np.median(self._table.row_estimates_batch(idx), axis=0)
 
     def recover(self) -> np.ndarray:
         return np.median(self._table.all_row_estimates(), axis=0)

@@ -43,6 +43,13 @@ class CountMin(LinearSketch):
         self._table.add_update(index, float(delta))
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "CountMin":
+        """Vectorised batch ingestion: one scatter-add per chunk."""
+        idx, d = self._check_batch(indices, deltas)
+        self._table.add_batch(idx, d)
+        self._items_processed += idx.size
+        return self
+
     def fit(self, x) -> "CountMin":
         arr = self._check_vector(x)
         if np.any(arr < 0):
@@ -57,6 +64,10 @@ class CountMin(LinearSketch):
     def query(self, index: int) -> float:
         index = self._check_index(index)
         return float(np.min(self._table.row_estimates(index)))
+
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        return np.min(self._table.row_estimates_batch(idx), axis=0)
 
     def recover(self) -> np.ndarray:
         return np.min(self._table.all_row_estimates(), axis=0)

@@ -69,6 +69,11 @@ class CountMinLogCU(Sketch):
         """Decode a log counter into the count it represents."""
         return (self.base ** counter - 1.0) / (self.base - 1.0)
 
+    def _decode_counters(self, counters: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`counter_to_value` (may differ by 1 ulp from the
+        scalar ``**`` path, as ``np.power`` rounds independently)."""
+        return (np.power(self.base, counters) - 1.0) / (self.base - 1.0)
+
     def value_to_counter(self, value: float) -> float:
         """Encode a count into (fractional) log-counter units."""
         if value < 0:
@@ -105,6 +110,42 @@ class CountMinLogCU(Sketch):
         self._table.table[self._rows, cols] = np.maximum(counters, target_counter)
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "CountMinLogCU":
+        """Chunked semi-vectorised batch ingestion preserving stream order.
+
+        The bucket columns of the whole chunk are gathered once up front; the
+        per-update loop then applies exactly the arithmetic of :meth:`update`
+        in stream order, drawing from the same RNG in the same sequence, so
+        the batched path reaches a bit-identical state.  (Unlike CM-CU,
+        consecutive equal indices are *not* coalesced: merging them would
+        change the randomised-rounding draws.)
+        """
+        idx, d = self._check_batch(indices, deltas)
+        if np.any(d < 0):
+            raise ValueError(
+                "Count-Min-Log only supports non-negative increments"
+            )
+        if idx.size == 0:
+            return self
+        cols = self._table.buckets[:, idx]
+        table = self._table.table
+        rows = self._rows
+        applied = 0
+        for j in range(idx.size):
+            delta = float(d[j])
+            if delta == 0:
+                continue
+            update_cols = cols[:, j]
+            counters = table[rows, update_cols]
+            current_value = self.counter_to_value(float(np.min(counters)))
+            target_counter = self._randomised_round(
+                self.value_to_counter(current_value + delta)
+            )
+            table[rows, update_cols] = np.maximum(counters, target_counter)
+            applied += 1
+        self._items_processed += applied
+        return self
+
     def fit(self, x) -> "CountMinLogCU":
         """Ingest a frequency vector by weighted conservative updates per item."""
         arr = self._check_vector(x)
@@ -122,9 +163,14 @@ class CountMinLogCU(Sketch):
         min_counter = float(np.min(self._table.row_estimates(index)))
         return self.counter_to_value(min_counter)
 
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        min_counters = np.min(self._table.row_estimates_batch(idx), axis=0)
+        return self._decode_counters(min_counters)
+
     def recover(self) -> np.ndarray:
         min_counters = np.min(self._table.all_row_estimates(), axis=0)
-        return (np.power(self.base, min_counters) - 1.0) / (self.base - 1.0)
+        return self._decode_counters(min_counters)
 
     def merge(self, other) -> "CountMinLogCU":
         """CML-CU is not a linear sketch; merging is undefined."""

@@ -64,6 +64,14 @@ class DebiasedCountMin(LinearSketch):
         self._total_mass += delta
         self._items_processed += 1
 
+    def update_batch(self, indices, deltas=None) -> "DebiasedCountMin":
+        """Vectorised batch ingestion: scatter-add plus the running ‖x‖₁."""
+        idx, d = self._check_batch(indices, deltas)
+        self._table.add_batch(idx, d)
+        self._total_mass += float(np.sum(d))
+        self._items_processed += idx.size
+        return self
+
     def fit(self, x) -> "DebiasedCountMin":
         arr = self._check_vector(x)
         self._table.add_vector(arr)
@@ -93,6 +101,16 @@ class DebiasedCountMin(LinearSketch):
         outside_items = np.maximum(self.dimension - bucket_sizes, 1.0)
         background = outside_mass / outside_items * (bucket_sizes - 1.0)
         return float(np.median(counters - background))
+
+    def query_batch(self, indices) -> np.ndarray:
+        idx, _ = self._check_batch(indices, None)
+        cols = self._table.buckets[:, idx]
+        counters = np.take_along_axis(self._table.table, cols, axis=1)
+        bucket_sizes = np.take_along_axis(self._pi, cols, axis=1)
+        outside_mass = self._total_mass - counters
+        outside_items = np.maximum(self.dimension - bucket_sizes, 1.0)
+        background = outside_mass / outside_items * (bucket_sizes - 1.0)
+        return np.median(counters - background, axis=0)
 
     def recover(self) -> np.ndarray:
         return np.median(self._debiased_estimates(), axis=0)

@@ -10,7 +10,7 @@ that package is imported (which :func:`paper_reference_suite` guarantees).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.sketches.base import Sketch
 from repro.sketches.conservative import CountMinCU

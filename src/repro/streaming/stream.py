@@ -14,11 +14,11 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.utils.validation import require_positive_int
+from repro.utils.validation import ensure_batch_arrays, require_positive_int
 
 
 class StreamKind(enum.Enum):
@@ -63,12 +63,43 @@ class UpdateStream:
         self.dimension = require_positive_int(dimension, "dimension")
         self.kind = StreamKind(kind)
         self._updates: List[StreamUpdate] = []
+        self._indices_cache: Optional[np.ndarray] = None
+        self._deltas_cache: Optional[np.ndarray] = None
         for update in updates:
             self.append(update)
 
     # ------------------------------------------------------------------ #
     # construction
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls,
+        dimension: int,
+        indices,
+        deltas=None,
+        kind: StreamKind = StreamKind.CASH_REGISTER,
+    ) -> "UpdateStream":
+        """Build a stream from parallel ``indices`` / ``deltas`` arrays.
+
+        ``deltas`` may be ``None`` (unit increments) or a matching 1-D float
+        array-like.  Validation is vectorised, so this is the fast way to
+        construct large streams (e.g. when loading traces).
+        """
+        stream = cls(dimension, kind=kind)
+        idx, d = ensure_batch_arrays(indices, deltas, stream.dimension)
+        if stream.kind is StreamKind.CASH_REGISTER and idx.size and np.any(d < 0):
+            raise ValueError(
+                "negative delta in a cash-register stream; declare the stream "
+                "as StreamKind.TURNSTILE to allow deletions"
+            )
+        stream._updates = [
+            StreamUpdate(index, delta)
+            for index, delta in zip(idx.tolist(), d.tolist())
+        ]
+        stream._indices_cache = idx
+        stream._deltas_cache = d
+        return stream
+
     def append(self, update) -> None:
         """Append one update (a :class:`StreamUpdate` or an ``(index, delta)`` pair)."""
         if not isinstance(update, StreamUpdate):
@@ -85,6 +116,8 @@ class UpdateStream:
                 "as StreamKind.TURNSTILE to allow deletions"
             )
         self._updates.append(update)
+        self._indices_cache = None
+        self._deltas_cache = None
 
     # ------------------------------------------------------------------ #
     # inspection
@@ -98,19 +131,47 @@ class UpdateStream:
     def __getitem__(self, position: int) -> StreamUpdate:
         return self._updates[position]
 
+    def _arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (cached) parallel index/delta arrays; treated as read-only."""
+        if self._indices_cache is None:
+            self._indices_cache = np.array(
+                [u.index for u in self._updates], dtype=np.int64
+            )
+            self._deltas_cache = np.array(
+                [u.delta for u in self._updates], dtype=np.float64
+            )
+        return self._indices_cache, self._deltas_cache
+
     def indices(self) -> np.ndarray:
         """All update indices, in stream order."""
-        return np.array([u.index for u in self._updates], dtype=np.int64)
+        return self._arrays()[0].copy()
 
     def deltas(self) -> np.ndarray:
         """All update deltas, in stream order."""
-        return np.array([u.delta for u in self._updates], dtype=np.float64)
+        return self._arrays()[1].copy()
+
+    def iter_batches(
+        self, batch_size: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(indices, deltas)`` array chunks of at most ``batch_size``.
+
+        Chunks partition the stream in order, so feeding every chunk to
+        :meth:`~repro.sketches.base.Sketch.update_batch` replays the stream
+        with the same semantics as update-at-a-time ingestion.  The yielded
+        arrays are views of an internal cache and must not be mutated.
+        """
+        batch_size = require_positive_int(batch_size, "batch_size")
+        all_indices, all_deltas = self._arrays()
+        for start in range(0, len(self._updates), batch_size):
+            stop = start + batch_size
+            yield all_indices[start:stop], all_deltas[start:stop]
 
     def accumulate(self) -> np.ndarray:
         """Materialise the frequency vector the stream accumulates to."""
         vector = np.zeros(self.dimension, dtype=np.float64)
         if self._updates:
-            np.add.at(vector, self.indices(), self.deltas())
+            all_indices, all_deltas = self._arrays()
+            np.add.at(vector, all_indices, all_deltas)
         return vector
 
     def prefix(self, count: int) -> "UpdateStream":

@@ -9,7 +9,7 @@ experiment seeded once at the top is reproducible end to end.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -82,3 +82,46 @@ def ensure_1d_float_array(x, name: str = "x") -> np.ndarray:
     if not np.all(np.isfinite(arr)):
         raise ValueError(f"{name} must contain only finite values")
     return arr.copy()
+
+
+def ensure_batch_arrays(indices, deltas, dimension, name: str = "indices"):
+    """Validate a batch of ``(indices, deltas)`` updates and return them as arrays.
+
+    ``indices`` must be a 1-D integer array-like with every entry in
+    ``[0, dimension)``.  ``deltas`` may be ``None`` (unit increments), a scalar
+    (broadcast to every index) or a 1-D float array-like of the same length.
+    Returns ``(int64 array, float64 array)`` of equal shape; the pair may be
+    empty, which every batch operation treats as a no-op.
+    """
+    idx = np.asarray(indices)
+    if idx.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {idx.shape}")
+    if idx.size and not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(
+            f"{name} must be an integer array, got dtype {idx.dtype}"
+        )
+    idx = idx.astype(np.int64, copy=False)
+    if idx.size:
+        low = int(idx.min())
+        high = int(idx.max())
+        if low < 0 or high >= dimension:
+            bad = low if low < 0 else high
+            raise IndexError(
+                f"{name} must be in [0, {dimension}), got {bad}"
+            )
+
+    if deltas is None:
+        d = np.ones(idx.size, dtype=np.float64)
+    else:
+        d = np.asarray(deltas, dtype=np.float64)
+        if d.ndim == 0:
+            d = np.full(idx.size, float(d), dtype=np.float64)
+        elif d.shape != idx.shape:
+            raise ValueError(
+                f"deltas must match {name} in shape; got {d.shape} vs {idx.shape}"
+            )
+        else:
+            d = d.astype(np.float64, copy=False)
+    if d.size and not np.all(np.isfinite(d)):
+        raise ValueError("deltas must contain only finite values")
+    return idx, d

@@ -1,6 +1,5 @@
 """Unit tests for the indexed min/max heaps backing the Bias-Heap."""
 
-import numpy as np
 import pytest
 
 from repro.core._indexed_heap import IndexedMaxHeap, IndexedMinHeap

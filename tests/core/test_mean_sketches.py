@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import (
-    L1BiasAwareSketch,
     L1MeanSketch,
     L2BiasAwareSketch,
     L2MeanSketch,

@@ -61,6 +61,30 @@ class TestDistributedProtocol:
             vector_site.sketch.recover(), stream_site.sketch.recover()
         )
 
+    def test_batched_site_ingestion_matches_scalar(self, global_vector):
+        n = global_vector.size
+        locals_ = partition_vector(global_vector, 2, seed=4, by="coordinates")
+        stream = stream_from_vector(locals_[0])
+        scalar_site = Site("s", self._factory(n)).observe_stream(stream)
+        batched_site = Site("b", self._factory(n)).observe_stream(
+            stream, batch_size=512
+        )
+        np.testing.assert_allclose(
+            scalar_site.sketch.recover(), batched_site.sketch.recover()
+        )
+
+    def test_observe_batch_matches_observe_updates(self, global_vector):
+        n = global_vector.size
+        indices = np.array([5, 17, 5, 99], dtype=np.int64)
+        deltas = np.array([2.0, 1.0, 3.0, 4.0])
+        scalar_site = Site("s", self._factory(n))
+        for index, delta in zip(indices, deltas):
+            scalar_site.observe_update(int(index), float(delta))
+        batched_site = Site("b", self._factory(n)).observe_batch(indices, deltas)
+        np.testing.assert_array_equal(
+            scalar_site.sketch.table, batched_site.sketch.table
+        )
+
     def test_communication_is_sites_times_sketch_size(self, global_vector):
         n = global_vector.size
         locals_ = partition_vector(global_vector, 6, seed=5, by="coordinates")

@@ -5,7 +5,6 @@ and assert the *qualitative* outcomes the paper reports (who wins, by roughly
 what factor) — the reproduction criteria recorded in EXPERIMENTS.md.
 """
 
-import numpy as np
 import pytest
 
 from repro.data.registry import load_dataset

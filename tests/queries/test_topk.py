@@ -1,6 +1,5 @@
 """Unit tests for the streaming top-k tracker."""
 
-import numpy as np
 import pytest
 
 from repro.core import StreamingL2BiasAwareSketch

@@ -1,0 +1,93 @@
+"""Batched stream replay: iter_batches, from_arrays, and the batched runner."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.count_min import CountMin
+from repro.sketches.count_sketch import CountSketch
+from repro.streaming.runner import StreamRunner
+from repro.streaming.stream import StreamKind, UpdateStream
+
+
+@pytest.fixture
+def stream(rng) -> UpdateStream:
+    indices = rng.integers(0, 300, size=5_000)
+    deltas = rng.integers(1, 4, size=5_000).astype(np.float64)
+    return UpdateStream.from_arrays(300, indices, deltas)
+
+
+class TestFromArrays:
+    def test_round_trips_indices_and_deltas(self, stream):
+        assert len(stream) == 5_000
+        assert stream.indices().dtype == np.int64
+        assert stream.deltas().dtype == np.float64
+        first = stream[0]
+        assert first.index == int(stream.indices()[0])
+        assert first.delta == float(stream.deltas()[0])
+
+    def test_unit_deltas_by_default(self):
+        built = UpdateStream.from_arrays(10, np.array([1, 2, 1]))
+        assert built.deltas().tolist() == [1.0, 1.0, 1.0]
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(IndexError):
+            UpdateStream.from_arrays(10, np.array([0, 10]))
+
+    def test_rejects_negative_deltas_in_cash_register(self):
+        with pytest.raises(ValueError):
+            UpdateStream.from_arrays(10, np.array([0, 1]), np.array([1.0, -1.0]))
+        turnstile = UpdateStream.from_arrays(
+            10, np.array([0, 1]), np.array([1.0, -1.0]), kind=StreamKind.TURNSTILE
+        )
+        assert turnstile.accumulate()[1] == -1.0
+
+
+class TestIterBatches:
+    def test_partitions_the_stream_in_order(self, stream):
+        chunks = list(stream.iter_batches(1_024))
+        assert sum(len(indices) for indices, _ in chunks) == len(stream)
+        reassembled = np.concatenate([indices for indices, _ in chunks])
+        np.testing.assert_array_equal(reassembled, stream.indices())
+
+    def test_single_chunk_when_batch_exceeds_stream(self, stream):
+        chunks = list(stream.iter_batches(10**6))
+        assert len(chunks) == 1
+
+    def test_rejects_non_positive_batch_size(self, stream):
+        with pytest.raises(ValueError):
+            list(stream.iter_batches(0))
+
+    def test_append_invalidates_cached_arrays(self):
+        built = UpdateStream.from_arrays(10, np.array([1, 2]))
+        assert len(list(built.iter_batches(10))[0][0]) == 2
+        built.append((3, 2.0))
+        indices, deltas = next(iter(built.iter_batches(10)))
+        assert indices.tolist() == [1, 2, 3]
+        assert deltas.tolist() == [1.0, 1.0, 2.0]
+
+
+class TestBatchedRunner:
+    def test_batched_replay_matches_scalar_state(self, stream):
+        runner = StreamRunner(stream)
+        scalar = runner.run(CountMin(300, 32, 3, seed=4), seed=0)
+        batched = runner.run(
+            CountMin(300, 32, 3, seed=4), seed=0, batch_size=512
+        )
+        assert scalar.average_error == batched.average_error
+        assert scalar.maximum_error == batched.maximum_error
+        assert scalar.updates == batched.updates
+        assert scalar.batch_size is None
+        assert batched.batch_size == 512
+
+    def test_batched_replay_signed_sketch(self, stream):
+        runner = StreamRunner(stream)
+        scalar_sketch = CountSketch(300, 32, 3, seed=4)
+        batched_sketch = CountSketch(300, 32, 3, seed=4)
+        runner.run(scalar_sketch, seed=0)
+        runner.run(batched_sketch, seed=0, batch_size=777)
+        np.testing.assert_array_equal(scalar_sketch.table, batched_sketch.table)
+
+    def test_rejects_non_positive_batch_size(self, stream):
+        runner = StreamRunner(stream)
+        with pytest.raises(ValueError):
+            runner.run(CountMin(300, 32, 3, seed=4), batch_size=0)

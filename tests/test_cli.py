@@ -64,6 +64,16 @@ class TestExperimentCommand:
         with pytest.raises(KeyError):
             run_cli("experiment", "fig99")
 
+    def test_batch_size_flag_is_parsed(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["experiment", "fig6", "--batch-size", "4096"]
+        )
+        assert args.batch_size == 4096
+        default = _build_parser().parse_args(["experiment", "fig6"])
+        assert default.batch_size is None
+
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
