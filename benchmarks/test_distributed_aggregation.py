@@ -45,16 +45,22 @@ def test_distributed_aggregation(benchmark, global_vector):
     per_site_words = centralised.size_in_words()
 
     print()
-    print("  sites  communication(words)  max |distributed - centralised|")
+    print("  sites  communication(words)  communication(bytes)  "
+          "max |distributed - centralised|")
     for sites in SITE_COUNTS:
         coordinator = _run_protocol(global_vector, sites)
         deviation = float(np.max(np.abs(coordinator.recover() - reference)))
         print(f"  {sites:5d}  {coordinator.total_communication_words:20d}  "
+              f"{coordinator.total_communication_bytes:20d}  "
               f"{deviation:12.3e}")
         # the merged sketch is exactly the centralised one (linearity)
         assert deviation < 1e-6
         # the communication is sites × sketch size, far below shipping vectors
         assert coordinator.total_communication_words == sites * per_site_words
         assert coordinator.total_communication_words < sites * DIMENSION
+        # the byte accounting reflects real payloads: 8 bytes per state word
+        # plus a bounded header, and no sketch mis-declares its size
+        assert coordinator.total_communication_bytes > 8 * sites * per_site_words
+        assert coordinator.log.inconsistent_messages() == []
 
     benchmark(_run_protocol, global_vector, 4)

@@ -1,0 +1,131 @@
+"""Sharded vs single-process ingestion on the Figure 6 streaming workload.
+
+The sharded ingestion engine partitions the stream across worker processes,
+each replaying its shard into a local sketch through the PR-1 batched path,
+then merges the *serialized* shard results — linearity makes the partition
+lossless, so the merged state must equal single-process batch ingestion bit
+for bit on this unit-delta stream.
+
+The benchmark replays the scaled-down Hudong edge stream both ways for the
+linear reference sketches and records the wall-clock speedup.  Parallel
+efficiency is bounded by the cores actually available: the speedup bar is
+only enforced when the machine has ≥ 2 usable cores (the correctness
+assertion — identical state — always runs), and the result file records the
+core count alongside the measurements so numbers from different machines are
+comparable.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a reduced-size configuration (used by CI).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import RESULTS_DIR
+from repro.data.hudong import simulated_hudong
+from repro.sketches.registry import make_sketch
+from repro.streaming import ingest_stream_sharded
+from repro.streaming.generators import stream_from_items
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+try:
+    CORES = len(os.sched_getaffinity(0))
+except AttributeError:  # pragma: no cover - non-linux
+    CORES = os.cpu_count() or 1
+
+DIMENSION = 2_000 if SMOKE else 20_000
+EDGES = 40_000 if SMOKE else 800_000
+WIDTH = 256 if SMOKE else 2_048
+DEPTH = 9
+BATCH_SIZE = 8_192
+SHARD_COUNTS = (2, 4)
+
+#: linear sketches replayed both ways (non-linear sketches cannot be sharded
+#: — the engine rejects them, which tests/streaming/test_sharded.py covers)
+ALGORITHMS = ("count_min", "count_sketch", "l2_sr")
+
+#: required speedup at 4 shards — only enforced on genuinely multi-core
+#: machines; a process pool on one core measures pure overhead
+SPEEDUP_BAR = 1.3
+
+
+@pytest.fixture(scope="module")
+def fig6_stream():
+    data = simulated_hudong(dimension=DIMENSION, edges=EDGES, seed=66)
+    return stream_from_items(data.sources, data.dimension)
+
+
+@pytest.mark.figure("6-sharded")
+def test_sharded_ingestion_speedup_and_equivalence(fig6_stream):
+    indices, deltas = fig6_stream.indices(), fig6_stream.deltas()
+    rows = []
+    for algorithm in ALGORITHMS:
+        single = make_sketch(algorithm, DIMENSION, WIDTH, DEPTH, seed=17)
+        start = time.perf_counter()
+        for begin in range(0, indices.size, BATCH_SIZE):
+            stop = begin + BATCH_SIZE
+            single.update_batch(indices[begin:stop], deltas[begin:stop])
+        single_seconds = time.perf_counter() - start
+        single_state = single.state_dict()["arrays"]
+
+        for shards in SHARD_COUNTS:
+            report = ingest_stream_sharded(
+                fig6_stream, algorithm, WIDTH, DEPTH, seed=17,
+                shards=shards, batch_size=BATCH_SIZE,
+            )
+            sharded_state = report.sketch.state_dict()["arrays"]
+            identical = all(
+                np.array_equal(single_state[key], sharded_state[key])
+                for key in single_state
+            )
+            speedup = single_seconds / report.elapsed_seconds
+            rows.append((algorithm, shards, single_seconds,
+                         report.elapsed_seconds, speedup, identical,
+                         sum(report.payload_bytes)))
+
+            # linearity: the merged shard sketches must reproduce the
+            # single-process counters bit for bit on this unit-delta stream
+            assert identical, (
+                f"{algorithm} @ {shards} shards: merged state diverged from "
+                "single-process ingestion"
+            )
+            assert report.sketch.items_processed == indices.size
+
+    if CORES >= 2 and not SMOKE:
+        best = {}
+        for algorithm, shards, _, _, speedup, _, _ in rows:
+            best[algorithm] = max(best.get(algorithm, 0.0), speedup)
+        for algorithm, speedup in best.items():
+            assert speedup >= SPEEDUP_BAR, (
+                f"{algorithm}: sharded ingestion only {speedup:.2f}x on "
+                f"{CORES} cores (bar: {SPEEDUP_BAR}x)"
+            )
+
+    lines = [
+        f"sharded ingestion on the Figure 6 stream "
+        f"(n={DIMENSION}, updates={indices.size}, s={WIDTH}, d={DEPTH}, "
+        f"batch_size={BATCH_SIZE}, cores={CORES}"
+        f"{', smoke' if SMOKE else ''})",
+        "",
+        "workers replay contiguous shards via update_batch and the parent",
+        "merges their serialized (to_bytes) payloads; 'identical' compares",
+        "the merged counters against single-process batch ingestion.",
+        "speedup >1 requires >=2 usable cores; on a 1-core machine the",
+        "sharded path measures pure process-pool + serialization overhead.",
+        "",
+        f"{'algorithm':<14} {'shards':>7} {'single_s':>10} {'sharded_s':>10} "
+        f"{'speedup':>9} {'identical':>10} {'payload_B':>10}",
+    ]
+    for algorithm, shards, single_s, sharded_s, speedup, identical, payload in rows:
+        lines.append(
+            f"{algorithm:<14} {shards:>7d} {single_s:>10.3f} {sharded_s:>10.3f} "
+            f"{speedup:>8.2f}x {str(identical):>10} {payload:>10d}"
+        )
+    print()
+    print("\n".join(lines))
+    if not SMOKE:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / "sharded_ingestion.txt").write_text("\n".join(lines) + "\n")

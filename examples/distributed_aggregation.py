@@ -50,12 +50,16 @@ def main() -> None:
 
     per_site_words = sites[0].sketch.size_in_words()
     naive_words = sites_count * n
-    print("Communication:")
-    print(f"  per-site sketch          : {per_site_words} words")
-    print(f"  total (sketch protocol)  : {coordinator.total_communication_words} words")
+    print("Communication (sites ship serialized payloads, not live objects):")
+    print(f"  per-site sketch          : {per_site_words} words "
+          f"({sites[0].sketch.size_in_bytes()} bytes on the wire)")
+    print(f"  total (sketch protocol)  : {coordinator.total_communication_words} "
+          f"words / {coordinator.total_communication_bytes} bytes")
     print(f"  total (naive, raw vectors): {naive_words} words")
     print(f"  saving                   : "
           f"{naive_words / coordinator.total_communication_words:.0f}x")
+    print(f"  size declarations flagged : "
+          f"{len(coordinator.log.inconsistent_messages())}")
     print()
 
     # the merged sketch answers point queries on the global vector

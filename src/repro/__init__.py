@@ -27,7 +27,10 @@ Package layout
 * :mod:`repro.hashing`, :mod:`repro.matrices` — the hashing and sketching-
   matrix substrate (Definitions 1-3).
 * :mod:`repro.streaming`, :mod:`repro.distributed` — the streaming and
-  distributed computation models.
+  distributed computation models (including multi-core sharded ingestion).
+* :mod:`repro.serialization` — the versioned binary wire format behind the
+  ``state_dict()/from_state()`` and ``to_bytes()/from_bytes()`` state
+  protocol every sketch implements.
 * :mod:`repro.data` — the paper's synthetic datasets plus simulated
   substitutes for its real datasets.
 * :mod:`repro.queries` — point / heavy-hitter / range / inner-product queries
@@ -72,7 +75,13 @@ from repro.sketches import (
     make_sketch,
     paper_reference_suite,
 )
-from repro.streaming import StreamRunner, UpdateStream, stream_from_vector
+from repro.serialization import sketch_from_bytes, sketch_from_state
+from repro.streaming import (
+    StreamRunner,
+    UpdateStream,
+    ingest_stream_sharded,
+    stream_from_vector,
+)
 
 __version__ = "1.0.0"
 
@@ -112,6 +121,10 @@ __all__ = [
     "StreamRunner",
     "UpdateStream",
     "stream_from_vector",
+    # portable state and sharded ingestion
+    "sketch_from_bytes",
+    "sketch_from_state",
+    "ingest_stream_sharded",
     # queries
     "heavy_hitters",
     "point_query",

@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Three subcommands cover the everyday uses of the library without writing any
+Five subcommands cover the everyday uses of the library without writing any
 Python:
 
 * ``repro datasets`` — list the available workloads and their bias profiles;
 * ``repro sketch`` — sketch a workload with one algorithm and report its
-  accuracy and size;
+  accuracy and size (``--shards N`` ingests through the multi-core sharded
+  engine);
+* ``repro save`` — sketch a workload and persist the sketch state to disk in
+  the versioned binary wire format;
+* ``repro load`` — restore a saved sketch and query it, independently of the
+  process (or machine) that built it;
 * ``repro experiment`` — regenerate one of the paper's figures (see
   ``repro experiment --list``) and optionally render it as an ASCII chart.
 
@@ -21,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import serialization
 from repro.data.registry import available_datasets, load_dataset
 from repro.eval.experiments import (
     available_experiments,
@@ -29,7 +35,8 @@ from repro.eval.experiments import (
 )
 from repro.eval.metrics import average_error, maximum_error
 from repro.eval.plots import plot_result_table
-from repro.sketches.registry import available_sketches, make_sketch
+from repro.sketches.registry import available_sketches, get_spec, make_sketch
+from repro.streaming.sharded import ingest_stream_sharded
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,16 +59,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sketch = subparsers.add_parser(
         "sketch", help="sketch one workload with one algorithm and report accuracy"
     )
-    sketch.add_argument("--dataset", default="gaussian",
-                        choices=available_datasets())
-    sketch.add_argument("--algorithm", default="l2_sr",
-                        help="sketch algorithm (see --list-algorithms)")
+    _add_sketch_arguments(sketch)
     sketch.add_argument("--list-algorithms", action="store_true",
                         help="print the registered algorithms and exit")
-    sketch.add_argument("--dimension", type=int, default=50_000)
-    sketch.add_argument("--width", type=int, default=2_048)
-    sketch.add_argument("--depth", type=int, default=9)
-    sketch.add_argument("--seed", type=int, default=0)
+
+    save = subparsers.add_parser(
+        "save", help="sketch a workload and persist the sketch state to disk"
+    )
+    _add_sketch_arguments(save)
+    save.add_argument("--output", required=True,
+                      help="path the serialized sketch is written to")
+
+    load = subparsers.add_parser(
+        "load", help="restore a saved sketch and query it"
+    )
+    load.add_argument("path", help="file written by 'repro save' (or to_bytes())")
+    load.add_argument("--query", type=int, nargs="*", default=None,
+                      help="coordinates to point-query on the restored sketch")
 
     experiment = subparsers.add_parser(
         "experiment", help="regenerate one of the paper's figures"
@@ -83,6 +97,22 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
+    """Workload/algorithm/geometry options shared by ``sketch`` and ``save``."""
+    parser.add_argument("--dataset", default="gaussian",
+                        choices=available_datasets())
+    parser.add_argument("--algorithm", default="l2_sr",
+                        help="sketch algorithm (see sketch --list-algorithms)")
+    parser.add_argument("--dimension", type=int, default=50_000)
+    parser.add_argument("--width", type=int, default=2_048)
+    parser.add_argument("--depth", type=int, default=9)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="ingest through the multi-core sharded engine "
+                             "with this many shards (linear sketches only; "
+                             "default 1 = single-process fit)")
+
+
 def _command_datasets(args: argparse.Namespace, out) -> int:
     print(f"{'dataset':<12} {'mean':>12} {'std':>12} {'bias gain (l2)':>16}",
           file=out)
@@ -100,18 +130,44 @@ def _command_datasets(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _build_workload_sketch(args: argparse.Namespace, out):
+    """Sketch the requested workload (single-process or sharded); or None on error."""
+    dataset = load_dataset(args.dataset, seed=args.seed, dimension=args.dimension)
+    shards = getattr(args, "shards", 1)
+    if shards > 1:
+        if not get_spec(args.algorithm).linear:
+            print(f"error: {args.algorithm} is not a linear sketch and cannot "
+                  "be sharded; drop --shards or pick a linear algorithm",
+                  file=out)
+            return None, None
+        # replay the workload's non-zero coordinates as a weighted update
+        # stream partitioned across worker processes
+        indices = np.flatnonzero(dataset.vector)
+        deltas = dataset.vector[indices]
+        report = ingest_stream_sharded(
+            (indices, deltas), args.algorithm, args.width, args.depth,
+            seed=args.seed, shards=shards, dimension=dataset.dimension,
+        )
+        return dataset, report.sketch
+    sketch = make_sketch(args.algorithm, dataset.dimension, args.width,
+                         args.depth, seed=args.seed)
+    sketch.fit(dataset.vector)
+    return dataset, sketch
+
+
 def _command_sketch(args: argparse.Namespace, out) -> int:
     if args.list_algorithms:
         for name in available_sketches():
             print(name, file=out)
         return 0
-    dataset = load_dataset(args.dataset, seed=args.seed, dimension=args.dimension)
-    sketch = make_sketch(args.algorithm, dataset.dimension, args.width,
-                         args.depth, seed=args.seed)
-    sketch.fit(dataset.vector)
+    dataset, sketch = _build_workload_sketch(args, out)
+    if sketch is None:
+        return 2
     recovered = sketch.recover()
     print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
     print(f"algorithm        : {args.algorithm}", file=out)
+    if getattr(args, "shards", 1) > 1:
+        print(f"ingestion        : sharded ({args.shards} shards)", file=out)
     print(f"sketch size      : {sketch.size_in_words()} words "
           f"({dataset.dimension / sketch.size_in_words():.1f}x compression)",
           file=out)
@@ -122,6 +178,44 @@ def _command_sketch(args: argparse.Namespace, out) -> int:
     if hasattr(sketch, "estimate_bias"):
         print(f"estimated bias   : {sketch.estimate_bias():.4f}", file=out)
         print(f"vector mean      : {float(np.mean(dataset.vector)):.4f}", file=out)
+    return 0
+
+
+def _command_save(args: argparse.Namespace, out) -> int:
+    dataset, sketch = _build_workload_sketch(args, out)
+    if sketch is None:
+        return 2
+    payload = sketch.to_bytes()
+    with open(args.output, "wb") as handle:
+        handle.write(payload)
+    print(f"saved            : {args.output}", file=out)
+    print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
+    print(f"algorithm        : {args.algorithm}", file=out)
+    print(f"payload          : {len(payload)} bytes "
+          f"({sketch.size_in_words()} state words)", file=out)
+    return 0
+
+
+def _command_load(args: argparse.Namespace, out) -> int:
+    with open(args.path, "rb") as handle:
+        payload = handle.read()
+    state = serialization.decode_state(payload)
+    sketch = serialization.sketch_from_state(state)
+    config = state["config"]
+    print(f"loaded           : {args.path}", file=out)
+    print(f"kind             : {state['kind']} "
+          f"(state_version {state['state_version']})", file=out)
+    settings = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+    print(f"config           : {settings}", file=out)
+    print(f"payload          : {len(payload)} bytes "
+          f"({serialization.state_word_count(state)} state words)", file=out)
+    if hasattr(sketch, "items_processed"):
+        print(f"items processed  : {sketch.items_processed}", file=out)
+    if hasattr(sketch, "estimate_bias"):
+        print(f"estimated bias   : {sketch.estimate_bias():.4f}", file=out)
+    if args.query:
+        for index in args.query:
+            print(f"query x[{index}]      : {sketch.query(index):.4f}", file=out)
     return 0
 
 
@@ -153,6 +247,10 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _command_datasets(args, out)
     if args.command == "sketch":
         return _command_sketch(args, out)
+    if args.command == "save":
+        return _command_save(args, out)
+    if args.command == "load":
+        return _command_load(args, out)
     if args.command == "experiment":
         return _command_experiment(args, out)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

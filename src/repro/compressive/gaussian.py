@@ -8,8 +8,16 @@ which is what this class does as well.
 
 from __future__ import annotations
 
+from typing import Any, Dict
+
 import numpy as np
 
+from repro.serialization import (
+    StateProtocolMixin,
+    check_reconstructible,
+    check_state_version,
+    register_serializable,
+)
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import (
     ensure_1d_float_array,
@@ -18,7 +26,7 @@ from repro.utils.validation import (
 )
 
 
-class GaussianSketch:
+class GaussianSketch(StateProtocolMixin):
     """A dense Gaussian linear sketch ``y = Φx`` (the BOMP measurement step).
 
     Parameters
@@ -88,3 +96,52 @@ class GaussianSketch:
     def size_in_words(self) -> int:
         """Words shipped per sketch: the measurement vector (Φ is regenerated)."""
         return self.measurements
+
+    # ------------------------------------------------------------------ #
+    # state protocol (mirrors repro.sketches.base.Sketch)
+    # ------------------------------------------------------------------ #
+    #: see :attr:`repro.sketches.base.Sketch.state_version`
+    state_version = 1
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the sketch state; Φ is regenerated from the seed."""
+        seed = int(self.seed) if isinstance(self.seed, np.integer) else self.seed
+        return {
+            "kind": self.name,
+            "state_version": self.state_version,
+            "config": {
+                "dimension": self.dimension,
+                "measurements": self.measurements,
+                "seed": seed,
+            },
+            "scalars": {},
+            "meta": {},
+            "arrays": {"measurements": self.measurements_vector.copy()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "GaussianSketch":
+        """Reconstruct from a snapshot (Φ re-drawn from the validated seed)."""
+        if state["kind"] != cls.name:
+            raise TypeError(
+                f"state of kind {state['kind']!r} is not a {cls.__name__}"
+            )
+        check_state_version(state, cls)
+        check_reconstructible(state)
+        config = state["config"]
+        sketch = cls(config["dimension"], config["measurements"],
+                     seed=config.get("seed"))
+        restored = np.array(state["arrays"]["measurements"], dtype=np.float64)
+        if restored.shape != sketch.measurements_vector.shape:
+            raise ValueError(
+                f"restored measurement vector has shape {restored.shape}, "
+                f"expected {sketch.measurements_vector.shape}"
+            )
+        sketch.measurements_vector = restored
+        return sketch
+
+    # to_bytes / from_bytes / size_in_bytes / copy come from
+    # StateProtocolMixin, layered on state_dict() / from_state().
+
+
+register_serializable(GaussianSketch)

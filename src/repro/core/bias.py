@@ -141,6 +141,16 @@ class SamplingMedianEstimator(BiasEstimator):
         """Scale the maintained sample values (linearity of Υx)."""
         self.sample_values *= factor
 
+    def load_sample_values(self, values) -> None:
+        """Replace the maintained sample values with a restored snapshot."""
+        arr = np.array(values, dtype=np.float64)
+        if arr.shape != (self.samples,):
+            raise ValueError(
+                f"restored sample values have shape {arr.shape}, expected "
+                f"({self.samples},)"
+            )
+        self.sample_values = arr
+
     def current_estimate(self) -> float:
         """The bias estimate from the currently maintained sample values."""
         return float(np.median(self.sample_values))

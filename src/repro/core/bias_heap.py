@@ -47,6 +47,13 @@ class BiasHeap:
     initial_w:
         Optional initial bucket sums ``w`` (e.g. when attaching a Bias-Heap to
         a sketch that already ingested data); defaults to all zeros.
+    initial_locations:
+        Optional per-bucket rank-set assignment (0 = bottom, 1 = middle,
+        2 = top) to restore instead of re-deriving the partition by sorting.
+        Used by the state protocol: ties between equal per-bucket averages
+        may be broken either way by a fresh sort, so restoring the recorded
+        membership is what makes a deserialized sketch answer bias queries
+        bit-identically.  Set sizes must match the rank boundaries.
     """
 
     def __init__(
@@ -54,6 +61,7 @@ class BiasHeap:
         bucket_counts: np.ndarray,
         head_size: Optional[int] = None,
         initial_w: Optional[np.ndarray] = None,
+        initial_locations: Optional[np.ndarray] = None,
     ) -> None:
         pi = np.asarray(bucket_counts, dtype=np.float64)
         if pi.ndim != 1 or pi.size == 0:
@@ -95,7 +103,10 @@ class BiasHeap:
         self._total_w_sum = float(np.sum(self.w))
         self._total_pi_sum = float(np.sum(self.pi))
 
-        self._initialise_partition()
+        if initial_locations is None:
+            self._initialise_partition()
+        else:
+            self._restore_partition(np.asarray(initial_locations))
 
     # ------------------------------------------------------------------ #
     # construction
@@ -123,6 +134,39 @@ class BiasHeap:
             else:
                 self._location[bucket] = _TOP
                 self._top_min.push(bucket, key)
+
+    def _restore_partition(self, locations: np.ndarray) -> None:
+        """Rebuild the heaps from a recorded bottom/middle/top assignment."""
+        if locations.shape != (self.buckets,):
+            raise ValueError(
+                f"initial_locations must have shape ({self.buckets},), got "
+                f"{locations.shape}"
+            )
+        counts = [int(np.sum(locations == loc)) for loc in (_BOTTOM, _MIDDLE, _TOP)]
+        expected = [self._low, self._high - self._low, self.buckets - self._high]
+        if counts != expected:
+            raise ValueError(
+                f"initial_locations set sizes {counts} do not match the rank "
+                f"boundaries {expected}"
+            )
+        for bucket in range(self.buckets):
+            location = int(locations[bucket])
+            key = self._key(bucket)
+            self._location[bucket] = location
+            if location == _BOTTOM:
+                self._bottom_max.push(bucket, key)
+            elif location == _MIDDLE:
+                self._middle_min.push(bucket, key)
+                self._middle_max.push(bucket, key)
+                self._middle_w_sum += self.w[bucket]
+                self._middle_pi_sum += self.pi[bucket]
+            else:
+                self._top_min.push(bucket, key)
+
+    @property
+    def locations(self) -> np.ndarray:
+        """Per-bucket rank-set assignment (0 = bottom, 1 = middle, 2 = top)."""
+        return self._location.copy()
 
     # ------------------------------------------------------------------ #
     # streaming updates

@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.bias import SamplingMedianEstimator
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import LinearSketch
 from repro.utils.rng import RandomSource, derive_seed
@@ -148,19 +149,6 @@ class L1BiasAwareSketch(LinearSketch):
         self._bias_estimator.scale(factor)
         return self
 
-    def copy(self) -> "L1BiasAwareSketch":
-        clone = L1BiasAwareSketch(
-            self.dimension,
-            self.width,
-            self.depth,
-            bias_samples=self._bias_estimator.samples,
-            seed=self.seed,
-        )
-        self._table.copy_into(clone._table)
-        clone._bias_estimator.sample_values = self._bias_estimator.sample_values.copy()
-        clone._items_processed = self._items_processed
-        return clone
-
     def _check_compatible(self, other: "L1BiasAwareSketch") -> None:
         super()._check_compatible(other)
         if other._bias_estimator.samples != self._bias_estimator.samples:
@@ -174,6 +162,28 @@ class L1BiasAwareSketch(LinearSketch):
     def size_in_words(self) -> int:
         return self._table.counter_count + self._bias_estimator.size_in_words()
 
+    def _config_dict(self):
+        config = super()._config_dict()
+        config["bias_samples"] = self._bias_estimator.samples
+        return config
+
+    @classmethod
+    def _from_config(cls, config):
+        return cls(config["dimension"], config["width"], config["depth"],
+                   bias_samples=config.get("bias_samples"),
+                   seed=config.get("seed"))
+
+    def _state_arrays(self):
+        return {
+            "table": self._table.table,
+            "samples": self._bias_estimator.sample_values,
+        }
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._table.load_table(arrays["table"])
+        self._bias_estimator.load_sample_values(arrays["samples"])
+
     @property
     def table(self) -> np.ndarray:
         """The raw ``(depth, width)`` Count-Median counter table (for inspection)."""
@@ -183,3 +193,6 @@ class L1BiasAwareSketch(LinearSketch):
     def sample_values(self) -> np.ndarray:
         """The maintained sampled coordinates S = Υx (for inspection)."""
         return self._bias_estimator.sample_values
+
+
+register_serializable(L1BiasAwareSketch)

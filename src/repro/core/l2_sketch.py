@@ -29,6 +29,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.bias import MiddleBucketsMeanEstimator
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import LinearSketch
 from repro.utils.rng import RandomSource, derive_seed
@@ -172,19 +173,6 @@ class L2BiasAwareSketch(LinearSketch):
         self._bias_row.scale_by(factor)
         return self
 
-    def copy(self) -> "L2BiasAwareSketch":
-        clone = L2BiasAwareSketch(
-            self.dimension,
-            self.width,
-            self.depth,
-            head_size=self.head_size,
-            seed=self.seed,
-        )
-        self._cs_table.copy_into(clone._cs_table)
-        self._bias_row.copy_into(clone._bias_row)
-        clone._items_processed = self._items_processed
-        return clone
-
     def _check_compatible(self, other: "L2BiasAwareSketch") -> None:
         super()._check_compatible(other)
         if other.head_size != self.head_size:
@@ -197,6 +185,27 @@ class L2BiasAwareSketch(LinearSketch):
     # ------------------------------------------------------------------ #
     def size_in_words(self) -> int:
         return self._cs_table.counter_count + self._bias_row.counter_count
+
+    def _config_dict(self):
+        config = super()._config_dict()
+        config["head_size"] = self.head_size
+        return config
+
+    @classmethod
+    def _from_config(cls, config):
+        return cls(config["dimension"], config["width"], config["depth"],
+                   head_size=config.get("head_size"), seed=config.get("seed"))
+
+    def _state_arrays(self):
+        return {
+            "table": self._cs_table.table,
+            "bias_row": self._bias_row.table,
+        }
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._cs_table.load_table(arrays["table"])
+        self._bias_row.load_table(arrays["bias_row"])
 
     @property
     def table(self) -> np.ndarray:
@@ -212,3 +221,6 @@ class L2BiasAwareSketch(LinearSketch):
     def bias_bucket_counts(self) -> np.ndarray:
         """π for the bias row: how many coordinates hash to each bucket of g."""
         return self._pi_g
+
+
+register_serializable(L2BiasAwareSketch)

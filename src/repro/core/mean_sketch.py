@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.bias import MeanEstimator
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import LinearSketch
 from repro.utils.rng import RandomSource
@@ -136,22 +137,32 @@ class MeanBiasSketch(LinearSketch):
         self._bias_estimator.scale(factor)
         return self
 
-    def copy(self) -> "MeanBiasSketch":
-        if type(self) is MeanBiasSketch:
-            clone = MeanBiasSketch(
-                self.dimension, self.width, self.depth, self.signed, seed=self.seed
-            )
-        else:
-            clone = type(self)(
-                self.dimension, self.width, self.depth, seed=self.seed
-            )
-        self._table.copy_into(clone._table)
-        clone._bias_estimator._running_sum = self._bias_estimator._running_sum
-        clone._items_processed = self._items_processed
-        return clone
-
     def size_in_words(self) -> int:
         return self._table.counter_count + self._bias_estimator.size_in_words()
+
+    def _config_dict(self):
+        config = super()._config_dict()
+        config["signed"] = self.signed
+        return config
+
+    @classmethod
+    def _from_config(cls, config):
+        if cls is MeanBiasSketch:
+            return cls(config["dimension"], config["width"], config["depth"],
+                       bool(config.get("signed")), seed=config.get("seed"))
+        return cls(config["dimension"], config["width"], config["depth"],
+                   seed=config.get("seed"))
+
+    def _state_arrays(self):
+        return {"table": self._table.table}
+
+    def _state_scalars(self):
+        return {"running_sum": float(self._bias_estimator._running_sum)}
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._table.load_table(arrays["table"])
+        self._bias_estimator._running_sum = float(scalars["running_sum"])
 
     @property
     def table(self) -> np.ndarray:
@@ -187,3 +198,8 @@ class L2MeanSketch(MeanBiasSketch):
         seed: RandomSource = None,
     ) -> None:
         super().__init__(dimension, width, depth, signed=True, seed=seed)
+
+
+register_serializable(MeanBiasSketch)
+register_serializable(L1MeanSketch)
+register_serializable(L2MeanSketch)

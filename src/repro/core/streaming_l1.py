@@ -23,6 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.l1_sketch import L1BiasAwareSketch
+from repro.serialization import register_serializable
 from repro.utils.rng import RandomSource
 
 
@@ -110,20 +111,19 @@ class StreamingL1BiasAwareSketch(L1BiasAwareSketch):
         self._sorted_samples = _SortedValues(self._bias_estimator.sample_values)
         return self
 
-    def copy(self) -> "StreamingL1BiasAwareSketch":
-        clone = StreamingL1BiasAwareSketch(
-            self.dimension,
-            self.width,
-            self.depth,
-            bias_samples=self._bias_estimator.samples,
-            seed=self.seed,
-        )
-        self._table.copy_into(clone._table)
-        clone._bias_estimator.sample_values = self._bias_estimator.sample_values.copy()
-        clone._sorted_samples = _SortedValues(clone._bias_estimator.sample_values)
-        clone._items_processed = self._items_processed
-        return clone
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        """Restore the base state, then rebuild the sorted-sample structure.
+
+        The sorted multiset is canonical given the sample values, so a
+        restored sketch answers bias queries bit-identically to the one that
+        was serialized.
+        """
+        super()._load_state_payload(arrays, scalars, meta)
+        self._sorted_samples = _SortedValues(self._bias_estimator.sample_values)
 
     def estimate_bias(self) -> float:
         """β̂ from the maintained sorted samples — O(1) at query time."""
         return self._sorted_samples.median()
+
+
+register_serializable(StreamingL1BiasAwareSketch)

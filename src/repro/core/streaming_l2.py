@@ -17,8 +17,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.core.bias_heap import BiasHeap
 from repro.core.l2_sketch import L2BiasAwareSketch
+from repro.serialization import register_serializable
 from repro.utils.rng import RandomSource
 
 
@@ -77,19 +80,24 @@ class StreamingL2BiasAwareSketch(L2BiasAwareSketch):
         self._rebuild_heap()
         return self
 
-    def copy(self) -> "StreamingL2BiasAwareSketch":
-        clone = StreamingL2BiasAwareSketch(
-            self.dimension,
-            self.width,
-            self.depth,
-            head_size=self.head_size,
-            seed=self.seed,
-        )
-        self._cs_table.copy_into(clone._cs_table)
-        self._bias_row.copy_into(clone._bias_row)
-        clone._items_processed = self._items_processed
-        clone._rebuild_heap()
-        return clone
+    def _state_meta(self):
+        # the heap's bottom/middle/top membership is recorded so that a
+        # restored sketch breaks rank ties exactly as the serialized one did
+        meta = super()._state_meta()
+        meta["heap_locations"] = [int(v) for v in self._bias_heap.locations]
+        return meta
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        if "heap_locations" in meta:
+            self._bias_heap = BiasHeap(
+                self._pi_g,
+                head_size=self.head_size,
+                initial_w=self._bias_row.table[0],
+                initial_locations=np.asarray(meta["heap_locations"], dtype=np.int8),
+            )
+        else:
+            self._rebuild_heap()
 
     def _rebuild_heap(self) -> None:
         """Rebuild the Bias-Heap from the current bias-row state (bulk paths)."""
@@ -110,3 +118,6 @@ class StreamingL2BiasAwareSketch(L2BiasAwareSketch):
     def bias_heap(self) -> BiasHeap:
         """The underlying Bias-Heap (for inspection and tests)."""
         return self._bias_heap
+
+
+register_serializable(StreamingL2BiasAwareSketch)

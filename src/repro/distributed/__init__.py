@@ -7,13 +7,19 @@ local sketch ``Φx^i`` and the coordinator adds them to obtain the global
 sketch ``Φx``; the communication is ``t`` times the sketch size instead of
 ``t`` times the vector dimension.
 
-This package simulates that protocol:
+This package simulates that protocol *byte-accurately*: sites serialize
+their sketches into the versioned wire format of :mod:`repro.serialization`
+(:meth:`Site.ship_state`) and the coordinator reconstructs them from the
+payload alone — no Python objects are shared between the two sides.
 
-* :class:`Site` — holds a local vector or stream and produces its local sketch;
-* :class:`Coordinator` — merges the local sketches and answers queries on the
-  global vector;
-* :class:`CommunicationLog` — accounts for the words transferred over each
-  channel, so the communication-vs-accuracy trade-off can be benchmarked.
+* :class:`Site` — holds a local vector or stream and ships its local sketch
+  as a serialized payload;
+* :class:`Coordinator` — decodes and merges the payloads
+  (:meth:`Coordinator.receive` is the byte-level entry point) and answers
+  queries on the global vector;
+* :class:`CommunicationLog` — accounts for both the declared words
+  (``size_in_words()``) and the true serialized bytes per message, and
+  flags any sketch whose declaration disagrees with its encoded state.
 
 Non-linear sketches (CM-CU, CML-CU) raise when used here — exactly the
 limitation the paper points out.

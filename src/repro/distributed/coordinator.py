@@ -1,4 +1,14 @@
-"""The coordinator of the simulated distributed protocol."""
+"""The coordinator of the simulated distributed protocol.
+
+The protocol transmits *bytes*, not live Python objects: every site encodes
+its local sketch with :meth:`~repro.sketches.base.Sketch.to_bytes` and the
+coordinator reconstructs it with :func:`repro.serialization.sketch_from_bytes`
+before folding it into the global sketch.  That makes the simulation
+byte-accurate — what the :class:`~repro.distributed.network.CommunicationLog`
+records is exactly what a real deployment would put on the network — and
+keeps the two sides fully decoupled (a payload written by one process can be
+collected by another process, machine, or a later run).
+"""
 
 from __future__ import annotations
 
@@ -6,18 +16,20 @@ from typing import Iterable, List, Optional
 
 import numpy as np
 
+from repro.serialization import decode_state, sketch_from_state, state_word_count
 from repro.distributed.network import CommunicationLog
 from repro.distributed.site import Site
 from repro.sketches.base import LinearSketch
 
 
 class Coordinator:
-    """Collects local sketches from sites and answers queries on the global vector.
+    """Collects serialized site sketches and answers queries on the global vector.
 
     The protocol is the one described in the paper's introduction: each site
-    sends its local sketch ``Φx^i`` (a vector of ``size_in_words()`` words);
-    the coordinator adds them, obtaining ``Φx`` for the global vector
-    ``x = Σ_i x^i`` by linearity, and runs the recovery procedure on the sum.
+    sends its local sketch ``Φx^i`` — here as an actual serialized payload of
+    ``size_in_bytes()`` bytes carrying ``size_in_words()`` words of state;
+    the coordinator decodes and adds them, obtaining ``Φx`` for the global
+    vector ``x = Σ_i x^i`` by linearity, and runs recovery on the sum.
     """
 
     def __init__(self, log: Optional[CommunicationLog] = None) -> None:
@@ -29,24 +41,45 @@ class Coordinator:
     # protocol
     # ------------------------------------------------------------------ #
     def collect(self, site: Site) -> "Coordinator":
-        """Receive one site's local sketch and fold it into the global sketch."""
-        local = site.local_sketch()
-        self.log.record(
-            sender=site.name,
-            payload_words=local.size_in_words(),
-            description=f"local sketch from {site.name}",
-        )
-        if self._global_sketch is None:
-            self._global_sketch = local.copy()
-        else:
-            self._global_sketch.merge(local)
-        self._sites_collected.append(site.name)
-        return self
+        """Receive one site's serialized sketch and fold it into the global one."""
+        return self.receive(site.name, site.ship_state())
 
     def collect_all(self, sites: Iterable[Site]) -> "Coordinator":
-        """Receive the local sketches of every site."""
+        """Receive the serialized sketches of every site."""
         for site in sites:
             self.collect(site)
+        return self
+
+    def receive(self, sender: str, payload: bytes) -> "Coordinator":
+        """Receive one serialized sketch payload from a named sender.
+
+        This is the byte-level entry point of the protocol: ``payload`` must
+        be a wire payload produced by ``to_bytes()``.  The message is logged
+        with its declared word size, its true byte size, and the word count
+        measured in the encoding (mismatches are flagged in the log).
+        """
+        state = decode_state(payload)
+        local = sketch_from_state(state)
+        if not isinstance(local, LinearSketch):
+            raise TypeError(
+                f"sender {sender!r} shipped a non-linear sketch "
+                f"({type(local).__name__}); only linear sketches can be "
+                "combined by the coordinator"
+            )
+        self.log.record(
+            sender=sender,
+            payload_words=local.size_in_words(),
+            payload_bytes=len(payload),
+            measured_words=state_word_count(state),
+            description=f"serialized sketch from {sender}",
+        )
+        if self._global_sketch is None:
+            # the decoded sketch is already a private reconstruction — no
+            # state is shared with the sender
+            self._global_sketch = local
+        else:
+            self._global_sketch.merge(local)
+        self._sites_collected.append(sender)
         return self
 
     # ------------------------------------------------------------------ #
@@ -74,5 +107,10 @@ class Coordinator:
 
     @property
     def total_communication_words(self) -> int:
-        """Total words shipped from sites to the coordinator."""
+        """Total declared words shipped from sites to the coordinator."""
         return self.log.total_words
+
+    @property
+    def total_communication_bytes(self) -> int:
+        """Total serialized bytes shipped from sites to the coordinator."""
+        return self.log.total_bytes

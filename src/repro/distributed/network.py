@@ -1,24 +1,73 @@
-"""Communication accounting for the simulated distributed protocol."""
+"""Communication accounting for the simulated distributed protocol.
+
+Every message carries two measures of its cost:
+
+* ``payload_words`` — the sketch's *declared* size, ``size_in_words()``,
+  which is the unit the paper's communication bounds are stated in;
+* ``payload_bytes`` — the *true* size of the serialized wire payload
+  (:meth:`repro.sketches.base.Sketch.to_bytes`) that actually crossed the
+  channel.
+
+The log additionally reconciles the declaration against the encoding: the
+coordinator measures the number of 8-byte state words the payload really
+carries (:func:`repro.serialization.state_word_count`) and any sketch whose
+``size_in_words()`` disagrees with its encoded state is *flagged* — a
+mis-declared size would silently corrupt every communication-vs-accuracy
+trade-off built on the log.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
 class ChannelMessage:
-    """One message sent from a site to the coordinator."""
+    """One message sent from a site to the coordinator.
+
+    Attributes
+    ----------
+    sender:
+        Name of the sending site.
+    payload_words:
+        The sender's declared sketch size (``size_in_words()``).
+    description:
+        Human-readable tag for the message.
+    payload_bytes:
+        True size of the serialized payload in bytes (0 when the message was
+        recorded from a word count alone, e.g. in unit tests).
+    measured_words:
+        State words actually found in the encoded payload, or ``None`` when
+        no payload was inspected.
+    """
 
     sender: str
     payload_words: int
     description: str = ""
+    payload_bytes: int = 0
+    measured_words: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.payload_words < 0:
             raise ValueError(
                 f"payload_words must be non-negative, got {self.payload_words}"
             )
+        if self.payload_bytes < 0:
+            raise ValueError(
+                f"payload_bytes must be non-negative, got {self.payload_bytes}"
+            )
+
+    @property
+    def words_consistent(self) -> Optional[bool]:
+        """Whether the declared word count matches the encoded state.
+
+        ``None`` when no payload was inspected; otherwise ``True`` iff
+        ``payload_words == measured_words``.
+        """
+        if self.measured_words is None:
+            return None
+        return self.measured_words == self.payload_words
 
 
 @dataclass
@@ -27,17 +76,36 @@ class CommunicationLog:
 
     messages: List[ChannelMessage] = field(default_factory=list)
 
-    def record(self, sender: str, payload_words: int, description: str = "") -> None:
+    def record(
+        self,
+        sender: str,
+        payload_words: int,
+        description: str = "",
+        payload_bytes: int = 0,
+        measured_words: Optional[int] = None,
+    ) -> None:
         """Record one site → coordinator message."""
         self.messages.append(
-            ChannelMessage(sender=sender, payload_words=int(payload_words),
-                           description=description)
+            ChannelMessage(
+                sender=sender,
+                payload_words=int(payload_words),
+                description=description,
+                payload_bytes=int(payload_bytes),
+                measured_words=(
+                    None if measured_words is None else int(measured_words)
+                ),
+            )
         )
 
     @property
     def total_words(self) -> int:
-        """Total words sent over all channels."""
+        """Total declared words sent over all channels."""
         return sum(message.payload_words for message in self.messages)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total serialized bytes sent over all channels."""
+        return sum(message.payload_bytes for message in self.messages)
 
     @property
     def message_count(self) -> int:
@@ -45,8 +113,23 @@ class CommunicationLog:
         return len(self.messages)
 
     def words_by_sender(self) -> Dict[str, int]:
-        """Total words sent per site."""
+        """Total declared words sent per site."""
         totals: Dict[str, int] = {}
         for message in self.messages:
             totals[message.sender] = totals.get(message.sender, 0) + message.payload_words
         return totals
+
+    def bytes_by_sender(self) -> Dict[str, int]:
+        """Total serialized bytes sent per site."""
+        totals: Dict[str, int] = {}
+        for message in self.messages:
+            totals[message.sender] = totals.get(message.sender, 0) + message.payload_bytes
+        return totals
+
+    def inconsistent_messages(self) -> List[ChannelMessage]:
+        """Messages whose declared ``size_in_words()`` disagrees with the
+        state words measured in their encoded payload."""
+        return [
+            message for message in self.messages
+            if message.words_consistent is False
+        ]

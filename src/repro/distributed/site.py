@@ -123,8 +123,18 @@ class Site:
         return self
 
     def local_sketch(self) -> LinearSketch:
-        """The local sketch to be shipped to the coordinator."""
+        """The site's local sketch object (local inspection only)."""
         return self.sketch  # type: ignore[return-value]
+
+    def ship_state(self) -> bytes:
+        """Serialize the local sketch for transmission to the coordinator.
+
+        This is the only thing a site ever sends: a self-contained wire
+        payload (:meth:`~repro.sketches.base.Sketch.to_bytes`), never a live
+        Python object.  Requires the sketch to be built from an explicit
+        integer seed so the coordinator can reconstruct its hash functions.
+        """
+        return self.local_sketch().to_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Site(name={self.name!r})"

@@ -1,0 +1,340 @@
+"""Versioned binary wire format for portable sketch state.
+
+Every sketch in the library exposes an explicit *state protocol*:
+
+* ``state_dict()`` / ``from_state()`` — the in-memory form: a plain dict
+  holding the constructor configuration (including the integer seed, from
+  which all hash functions, sign functions and sampling matrices are
+  re-derived) plus the mutable state (counter tables, maintained samples,
+  running sums, RNG state).
+* ``to_bytes()`` / ``from_bytes()`` — the wire form: the state dict encoded
+  in the versioned binary format defined here, so sketch state can be
+  snapshotted to disk, shipped between processes or machines, and restored
+  independently of the constructing process.
+
+Wire format (version 1)
+-----------------------
+::
+
+    offset  size       field
+    0       4          magic  b"RPSK"
+    4       2          wire-format version, uint16 little-endian
+    6       4          header length H, uint32 little-endian
+    10      H          header, UTF-8 JSON (sorted keys)
+    10+H    ...        array payloads, concatenated in header order,
+                       raw little-endian bytes
+
+The JSON header carries ``kind`` (the registry name of the sketch class),
+``state_version`` (bumped when a sketch's state layout changes), ``config``
+(constructor arguments), ``scalars`` (named scalar state that counts toward
+the sketch's word footprint), ``meta`` (bookkeeping that does not, e.g.
+``items_processed`` or the CML-CU generator state) and an ``arrays`` manifest
+of ``{name, dtype, shape}`` entries describing the payloads that follow.
+
+The format is *seed-reproducible*: data-independent structure (hash buckets,
+signs, sampled coordinate indices, dense Gaussian matrices) is never encoded —
+it is regenerated from ``config["seed"]`` on decode, which keeps payloads at
+essentially the information-theoretic size of the counters.  Consequently a
+sketch must be constructed with an integer seed to be serialized;
+:func:`encode_state` rejects generator-seeded sketches.
+
+Word accounting
+---------------
+:func:`state_word_count` computes the number of 8-byte words of actual sketch
+state in a payload (array elements plus counted scalars).  The distributed
+layer reconciles this *measured* size against each sketch's declared
+``size_in_words()`` and flags disagreements — see
+:class:`repro.distributed.network.CommunicationLog`.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Type
+
+import numpy as np
+
+#: 4-byte magic prefixing every serialized sketch
+WIRE_MAGIC = b"RPSK"
+#: current wire-format version (the ``uint16`` following the magic)
+WIRE_VERSION = 1
+
+_PREAMBLE = struct.Struct("<4sHI")  # magic, version, header length
+
+#: kind -> class; populated by :func:`register_serializable` at import time
+_KIND_REGISTRY: Dict[str, Type] = {}
+
+
+class SerializationError(ValueError):
+    """Raised when a payload cannot be encoded or decoded."""
+
+
+def is_serializable_seed(seed: Any) -> bool:
+    """Whether ``seed`` lets a sketch's structure be reproduced elsewhere."""
+    return isinstance(seed, (int, np.integer)) and not isinstance(seed, bool)
+
+
+def check_reconstructible(state: Dict[str, Any]) -> None:
+    """Reject states whose hash structure cannot be re-derived on restore.
+
+    Reconstruction regenerates all data-independent structure (hash buckets,
+    signs, sampled indices, dense matrices) from ``config["seed"]``; with no
+    integer seed, a restored sketch would silently pair the recorded counters
+    with freshly drawn, different structure.  Fail loudly instead.
+    """
+    if not is_serializable_seed(state.get("config", {}).get("seed")):
+        raise ValueError(
+            f"state of kind {state.get('kind')!r} was captured from a sketch "
+            "without an explicit integer seed; its hash structure cannot be "
+            "reproduced, so it cannot be restored (or copied through the "
+            "state protocol) — construct the sketch with an integer seed"
+        )
+
+
+def check_state_version(state: Dict[str, Any], klass: Type) -> None:
+    """Reject snapshots whose per-sketch state layout differs from ours.
+
+    Any mismatch — older or newer — fails loudly: a bumped ``state_version``
+    means the meaning of the arrays/scalars changed, and loading across the
+    bump would silently misinterpret them.
+    """
+    recorded = int(state.get("state_version", 1))
+    supported = int(getattr(klass, "state_version", 1))
+    if recorded != supported:
+        raise ValueError(
+            f"state of kind {state.get('kind')!r} has state_version "
+            f"{recorded}, but {klass.__name__} reads state_version "
+            f"{supported}; re-snapshot the sketch with a matching build"
+        )
+
+
+class StateProtocolMixin:
+    """Wire-format plumbing shared by everything with a ``state_dict``.
+
+    Hosts the four derived operations — :meth:`to_bytes`,
+    :meth:`from_bytes`, :meth:`size_in_bytes` and :meth:`copy` — on top of
+    the two primitives the class itself provides (``state_dict()`` /
+    ``from_state()``), so :class:`repro.sketches.base.Sketch` and the dense
+    :class:`repro.compressive.gaussian.GaussianSketch` share one audited
+    implementation (including the integer-seed validation).
+    """
+
+    def to_bytes(self) -> bytes:
+        """Encode the state in the versioned binary wire format.
+
+        Requires an integer ``seed`` (structure is regenerated from it on
+        decode); raises ``ValueError`` for unseeded or generator-seeded
+        sketches, whose structure cannot be reproduced elsewhere.
+        """
+        if not is_serializable_seed(getattr(self, "seed", None)):
+            raise ValueError(
+                f"{type(self).__name__} was constructed with seed "
+                f"{getattr(self, 'seed', None)!r}; only sketches built from "
+                "an explicit integer seed can be serialized (the wire format "
+                "regenerates hash functions and matrices from the seed)"
+            )
+        return encode_state(self.state_dict())
+
+    @classmethod
+    def from_bytes(cls, data: bytes):
+        """Decode a wire payload produced by :meth:`to_bytes`."""
+        return cls.from_state(decode_state(data))
+
+    def size_in_bytes(self) -> int:
+        """Exact size of this sketch's serialized wire payload."""
+        return len(self.to_bytes())
+
+    def copy(self):
+        """Deep copy through the state protocol (same structure, copied state).
+
+        Requires an integer seed, like every reconstruction: restoring state
+        against freshly drawn structure would silently corrupt the copy.
+        """
+        return type(self).from_state(self.state_dict())
+
+
+def register_serializable(cls: Type, kind: str = None) -> Type:
+    """Register ``cls`` under ``kind`` (default: its ``name`` attribute).
+
+    The registered class must expose a ``from_state(state_dict)`` classmethod;
+    :func:`sketch_from_state` dispatches to it.  Usable as a decorator.
+    """
+    key = kind if kind is not None else getattr(cls, "name", None)
+    if not key:
+        raise ValueError(f"{cls.__name__} has no 'name' attribute to register under")
+    _KIND_REGISTRY[key] = cls
+    return cls
+
+
+def lookup_kind(kind: str) -> Type:
+    """Return the class registered under ``kind``, importing defaults first."""
+    _ensure_default_kinds()
+    try:
+        return _KIND_REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(sorted(_KIND_REGISTRY))
+        raise SerializationError(
+            f"unknown sketch kind {kind!r}; registered kinds: {known}"
+        ) from None
+
+
+def registered_kinds() -> list:
+    """Names of every registered serializable kind (sorted)."""
+    _ensure_default_kinds()
+    return sorted(_KIND_REGISTRY)
+
+
+def _ensure_default_kinds() -> None:
+    """Import the packages whose classes self-register with this module."""
+    import repro.compressive  # noqa: F401  (registers GaussianSketch)
+    import repro.core  # noqa: F401  (registers the bias-aware sketches)
+    import repro.sketches.registry  # noqa: F401  (registers the baselines)
+
+
+# --------------------------------------------------------------------------- #
+# encoding
+# --------------------------------------------------------------------------- #
+def _json_safe(value: Any, context: str) -> Any:
+    """Validate/normalise header values to deterministic JSON-able types."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v, context) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v, context) for k, v in value.items()}
+    raise SerializationError(
+        f"{context} contains a non-serializable value of type "
+        f"{type(value).__name__}; sketches must be constructed with an "
+        "integer seed (not a numpy Generator) to be serialized"
+    )
+
+
+def encode_state(state: Dict[str, Any]) -> bytes:
+    """Encode a sketch state dict into the versioned binary wire format."""
+    arrays = state.get("arrays", {})
+    manifest = []
+    payloads = []
+    for name, array in arrays.items():
+        arr = np.ascontiguousarray(array)
+        little = arr.astype(arr.dtype.newbyteorder("<"), copy=False)
+        manifest.append(
+            {"name": str(name), "dtype": little.dtype.str, "shape": list(arr.shape)}
+        )
+        payloads.append(little.tobytes())
+    header = {
+        "kind": state["kind"],
+        "state_version": int(state.get("state_version", 1)),
+        "config": _json_safe(state.get("config", {}), "config"),
+        "scalars": _json_safe(state.get("scalars", {}), "scalars"),
+        "meta": _json_safe(state.get("meta", {}), "meta"),
+        "arrays": manifest,
+    }
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    parts = [_PREAMBLE.pack(WIRE_MAGIC, WIRE_VERSION, len(header_bytes)), header_bytes]
+    parts.extend(payloads)
+    return b"".join(parts)
+
+
+# --------------------------------------------------------------------------- #
+# decoding
+# --------------------------------------------------------------------------- #
+def _decode_header(data: bytes) -> tuple:
+    if len(data) < _PREAMBLE.size:
+        raise SerializationError(
+            f"payload of {len(data)} bytes is too short to be a serialized sketch"
+        )
+    magic, version, header_len = _PREAMBLE.unpack_from(data, 0)
+    if magic != WIRE_MAGIC:
+        raise SerializationError(
+            f"bad magic {magic!r}; not a serialized sketch payload"
+        )
+    if version != WIRE_VERSION:
+        raise SerializationError(
+            f"unsupported wire-format version {version}; this build reads "
+            f"version {WIRE_VERSION}"
+        )
+    start = _PREAMBLE.size
+    end = start + header_len
+    if len(data) < end:
+        raise SerializationError("truncated payload: header is incomplete")
+    try:
+        header = json.loads(data[start:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt payload header: {exc}") from exc
+    return header, end
+
+
+def decode_state(data: bytes) -> Dict[str, Any]:
+    """Decode a wire payload back into a sketch state dict."""
+    header, offset = _decode_header(data)
+    arrays: Dict[str, np.ndarray] = {}
+    for entry in header.get("arrays", []):
+        dtype = np.dtype(entry["dtype"])
+        shape = tuple(int(s) for s in entry["shape"])
+        nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+        chunk = data[offset:offset + nbytes]
+        if len(chunk) != nbytes:
+            raise SerializationError(
+                f"truncated payload: array {entry['name']!r} expects "
+                f"{nbytes} bytes, got {len(chunk)}"
+            )
+        arrays[entry["name"]] = (
+            np.frombuffer(chunk, dtype=dtype).reshape(shape).astype(
+                dtype.newbyteorder("="), copy=True
+            )
+        )
+        offset += nbytes
+    return {
+        "kind": header["kind"],
+        "state_version": int(header.get("state_version", 1)),
+        "config": header.get("config", {}),
+        "scalars": header.get("scalars", {}),
+        "meta": header.get("meta", {}),
+        "arrays": arrays,
+    }
+
+
+# --------------------------------------------------------------------------- #
+# dispatch
+# --------------------------------------------------------------------------- #
+def sketch_from_state(state: Dict[str, Any]):
+    """Reconstruct a sketch from a state dict, dispatching on ``state["kind"]``."""
+    return lookup_kind(state["kind"]).from_state(state)
+
+
+def sketch_from_bytes(data: bytes):
+    """Reconstruct a sketch from a wire payload (any registered kind)."""
+    return sketch_from_state(decode_state(data))
+
+
+# --------------------------------------------------------------------------- #
+# word accounting
+# --------------------------------------------------------------------------- #
+def state_word_count(state: Dict[str, Any]) -> int:
+    """Number of 8-byte state words a payload actually carries.
+
+    Counts every element of every state array plus every counted scalar;
+    ``meta`` entries (bookkeeping such as ``items_processed`` or RNG state)
+    are excluded.  This is the measured quantity the distributed layer
+    reconciles against each sketch's declared ``size_in_words()``.
+    """
+    words = len(state.get("scalars", {}))
+    for array in state.get("arrays", {}).values():
+        words += int(np.asarray(array).size)
+    return words
+
+
+def payload_word_count(data: bytes) -> int:
+    """:func:`state_word_count` computed from a wire payload's header alone."""
+    header, _ = _decode_header(data)
+    words = len(header.get("scalars", {}))
+    for entry in header.get("arrays", []):
+        words += int(np.prod([int(s) for s in entry["shape"]], dtype=np.int64))
+    return words

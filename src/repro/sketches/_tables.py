@@ -172,9 +172,18 @@ class HashedCounterTable:
         """Multiply all counters by ``factor``."""
         self.table *= factor
 
-    def copy_into(self, other: "HashedCounterTable") -> None:
-        """Copy this table's counters into ``other`` (same shape assumed)."""
-        other.table = self.table.copy()
+    # ------------------------------------------------------------------ #
+    # state protocol support
+    # ------------------------------------------------------------------ #
+    def load_table(self, table) -> None:
+        """Replace the counters with a restored snapshot (shape-checked)."""
+        arr = np.array(table, dtype=np.float64)
+        if arr.shape != (self.depth, self.width):
+            raise ValueError(
+                f"restored table has shape {arr.shape}, expected "
+                f"({self.depth}, {self.width})"
+            )
+        self.table = arr
 
     @property
     def counter_count(self) -> int:

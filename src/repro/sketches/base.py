@@ -17,15 +17,42 @@ partial vectors can be merged (:meth:`LinearSketch.merge`), which is the
 property that makes them usable in the distributed model (Section 1).
 Non-linear sketches (conservative update variants) only guarantee that both
 paths apply the same per-item updates in index order.
+
+Every sketch additionally implements the **state protocol**: its complete
+mutable state is an explicit, portable artifact.
+
+* :meth:`Sketch.state_dict` / :meth:`Sketch.from_state` — snapshot and
+  restore the state as a plain dict (config + scalars + meta + arrays);
+* :meth:`Sketch.to_bytes` / :meth:`Sketch.from_bytes` — the same state in
+  the versioned, seed-reproducible binary wire format of
+  :mod:`repro.serialization`, suitable for shipping between processes or
+  machines (the distributed protocol and the sharded ingestion engine both
+  exchange exactly these payloads);
+* :meth:`Sketch.copy` — a deep copy routed through
+  ``from_state(state_dict())``, so every sketch (linear or not) copies
+  through the same audited path.
+
+Data-independent structure (hash buckets, signs, sampled indices) is *not*
+part of the state: it is re-derived from the integer ``seed`` on restore,
+which keeps payloads at the size of the counters.  Subclasses participate by
+overriding the small hooks :meth:`Sketch._config_dict`,
+:meth:`Sketch._state_arrays`, :meth:`Sketch._state_scalars`,
+:meth:`Sketch._state_meta` and :meth:`Sketch._load_state_payload`.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Tuple
+from typing import Any, Dict, Iterable, Tuple
 
 import numpy as np
 
+from repro.serialization import (
+    StateProtocolMixin,
+    check_reconstructible,
+    check_state_version,
+    lookup_kind,
+)
 from repro.utils.rng import RandomSource
 from repro.utils.validation import (
     ensure_1d_float_array,
@@ -35,7 +62,7 @@ from repro.utils.validation import (
 )
 
 
-class Sketch(abc.ABC):
+class Sketch(StateProtocolMixin, abc.ABC):
     """Base class for all frequency sketches over vectors in ``R^dimension``.
 
     Parameters
@@ -52,8 +79,14 @@ class Sketch(abc.ABC):
         same hash functions and may be merged (if linear) or compared.
     """
 
-    #: short name used in result tables (overridden by subclasses)
+    #: short name used in result tables (overridden by subclasses); doubles
+    #: as the ``kind`` tag of the serialized state
     name = "sketch"
+
+    #: bumped by a subclass whenever the layout of its serialized state
+    #: changes incompatibly; recorded in every payload next to the wire
+    #: version so old snapshots fail loudly instead of silently misloading
+    state_version = 1
 
     def __init__(
         self,
@@ -157,6 +190,93 @@ class Sketch(abc.ABC):
         """Total number of updates applied (vectorised fits count non-zeros)."""
         return self._items_processed
 
+    # ------------------------------------------------------------------ #
+    # state protocol
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """Snapshot the sketch's complete state as a plain dict.
+
+        The dict has five fixed keys: ``kind`` (the registry name),
+        ``state_version``, ``config`` (constructor arguments, including the
+        seed from which data-independent structure is re-derived),
+        ``scalars`` (scalar state counted in the sketch's word footprint),
+        ``meta`` (uncounted bookkeeping) and ``arrays`` (the counter arrays;
+        snapshots are copies, never views of live state).
+        """
+        return {
+            "kind": self.name,
+            "state_version": self.state_version,
+            "config": self._config_dict(),
+            "scalars": self._state_scalars(),
+            "meta": {"items_processed": int(self._items_processed),
+                     **self._state_meta()},
+            "arrays": {name: np.array(array, copy=True)
+                       for name, array in self._state_arrays().items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "Sketch":
+        """Reconstruct a sketch from a :meth:`state_dict` snapshot.
+
+        Dispatches on ``state["kind"]`` through the serialization registry,
+        so ``Sketch.from_state`` restores any registered sketch; calling it
+        on a concrete subclass additionally checks the kind matches.  The
+        state must carry an integer seed (structure is re-derived from it)
+        and a matching ``state_version``; both are validated loudly.
+        """
+        klass = lookup_kind(state["kind"])
+        if not issubclass(klass, cls):
+            raise TypeError(
+                f"state of kind {state['kind']!r} restores a "
+                f"{klass.__name__}, which is not a {cls.__name__}"
+            )
+        check_state_version(state, klass)
+        check_reconstructible(state)
+        sketch = klass._from_config(state.get("config", {}))
+        sketch._load_state_payload(
+            state.get("arrays", {}), state.get("scalars", {}),
+            state.get("meta", {}),
+        )
+        return sketch
+
+    # to_bytes / from_bytes / size_in_bytes / copy come from
+    # StateProtocolMixin, layered on state_dict() / from_state().
+
+    # -- subclass hooks -------------------------------------------------- #
+    def _config_dict(self) -> Dict[str, Any]:
+        """Constructor arguments; subclasses append their extra parameters."""
+        seed = self.seed
+        if isinstance(seed, np.integer):
+            seed = int(seed)
+        return {
+            "dimension": self.dimension,
+            "width": self.width,
+            "depth": self.depth,
+            "seed": seed,
+        }
+
+    @classmethod
+    def _from_config(cls, config: Dict[str, Any]) -> "Sketch":
+        """Build a blank sketch from a ``config`` dict; subclasses extend."""
+        return cls(config["dimension"], config["width"], config["depth"],
+                   seed=config.get("seed"))
+
+    def _state_arrays(self) -> Dict[str, np.ndarray]:
+        """The mutable state arrays (counted toward the word footprint)."""
+        return {}
+
+    def _state_scalars(self) -> Dict[str, float]:
+        """Scalar state counted toward the word footprint (e.g. ‖x‖₁)."""
+        return {}
+
+    def _state_meta(self) -> Dict[str, Any]:
+        """Uncounted JSON-able bookkeeping (e.g. RNG state)."""
+        return {}
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        """Restore mutable state from a snapshot; subclasses extend."""
+        self._items_processed = int(meta.get("items_processed", 0))
+
     def _check_vector(self, x) -> np.ndarray:
         arr = ensure_1d_float_array(x, "x")
         if arr.size != self.dimension:
@@ -222,7 +342,3 @@ class LinearSketch(Sketch):
         merged = self.copy()
         merged.merge(other)
         return merged
-
-    @abc.abstractmethod
-    def copy(self) -> "LinearSketch":
-        """Return a deep copy of this sketch (same hashes, copied counters)."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import Sketch
 from repro.utils.rng import RandomSource
@@ -143,7 +144,17 @@ class CountMinCU(Sketch):
     def size_in_words(self) -> int:
         return self._table.counter_count
 
+    def _state_arrays(self):
+        return {"table": self._table.table}
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._table.load_table(arrays["table"])
+
     @property
     def table(self) -> np.ndarray:
         """The raw ``(depth, width)`` counter table (for inspection)."""
         return self._table.table
+
+
+register_serializable(CountMinCU)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import LinearSketch
 from repro.utils.rng import RandomSource
@@ -85,17 +86,18 @@ class CountMedian(LinearSketch):
         self._table.scale_by(float(factor))
         return self
 
-    def copy(self) -> "CountMedian":
-        clone = CountMedian(self.dimension, self.width, self.depth, seed=self.seed)
-        self._table.copy_into(clone._table)
-        clone._items_processed = self._items_processed
-        return clone
-
     # ------------------------------------------------------------------ #
     # bookkeeping
     # ------------------------------------------------------------------ #
     def size_in_words(self) -> int:
         return self._table.counter_count
+
+    def _state_arrays(self):
+        return {"table": self._table.table}
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._table.load_table(arrays["table"])
 
     @property
     def table(self) -> np.ndarray:
@@ -105,3 +107,6 @@ class CountMedian(LinearSketch):
     def bucket_column_sums(self) -> np.ndarray:
         """Per-row π vectors (how many coordinates hash to each bucket)."""
         return self._table.column_sums()
+
+
+register_serializable(CountMedian)

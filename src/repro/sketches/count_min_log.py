@@ -29,6 +29,7 @@ import math
 
 import numpy as np
 
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import Sketch
 from repro.utils.rng import RandomSource, as_rng, derive_seed
@@ -182,7 +183,34 @@ class CountMinLogCU(Sketch):
     def size_in_words(self) -> int:
         return self._table.counter_count
 
+    def _config_dict(self):
+        config = super()._config_dict()
+        config["base"] = self.base
+        return config
+
+    @classmethod
+    def _from_config(cls, config):
+        return cls(config["dimension"], config["width"], config["depth"],
+                   base=config.get("base", PAPER_BASE), seed=config.get("seed"))
+
+    def _state_arrays(self):
+        return {"table": self._table.table}
+
+    def _state_meta(self):
+        # the generator state makes post-restore randomised rounding replay
+        # the exact draw sequence the original sketch would have used
+        return {"rng_state": self._rng.bit_generator.state}
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._table.load_table(arrays["table"])
+        if "rng_state" in meta:
+            self._rng.bit_generator.state = meta["rng_state"]
+
     @property
     def table(self) -> np.ndarray:
         """The raw ``(depth, width)`` log-counter table (for inspection)."""
         return self._table.table
+
+
+register_serializable(CountMinLogCU)

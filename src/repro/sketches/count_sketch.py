@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import LinearSketch
 from repro.utils.rng import RandomSource
@@ -75,14 +76,15 @@ class CountSketch(LinearSketch):
         self._table.scale_by(float(factor))
         return self
 
-    def copy(self) -> "CountSketch":
-        clone = CountSketch(self.dimension, self.width, self.depth, seed=self.seed)
-        self._table.copy_into(clone._table)
-        clone._items_processed = self._items_processed
-        return clone
-
     def size_in_words(self) -> int:
         return self._table.counter_count
+
+    def _state_arrays(self):
+        return {"table": self._table.table}
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._table.load_table(arrays["table"])
 
     @property
     def table(self) -> np.ndarray:
@@ -92,3 +94,6 @@ class CountSketch(LinearSketch):
     def bucket_sign_sums(self) -> np.ndarray:
         """Per-row ψ vectors (per-bucket sums of signs), used by ℓ2-S/R."""
         return self._table.column_sums()
+
+
+register_serializable(CountSketch)

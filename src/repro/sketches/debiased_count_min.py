@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import LinearSketch
 from repro.utils.rng import RandomSource
@@ -131,17 +132,20 @@ class DebiasedCountMin(LinearSketch):
         self._total_mass *= factor
         return self
 
-    def copy(self) -> "DebiasedCountMin":
-        clone = DebiasedCountMin(self.dimension, self.width, self.depth,
-                                 seed=self.seed)
-        self._table.copy_into(clone._table)
-        clone._total_mass = self._total_mass
-        clone._items_processed = self._items_processed
-        return clone
-
     def size_in_words(self) -> int:
         # the counters plus the single running total ‖x‖_1
         return self._table.counter_count + 1
+
+    def _state_arrays(self):
+        return {"table": self._table.table}
+
+    def _state_scalars(self):
+        return {"total_mass": float(self._total_mass)}
+
+    def _load_state_payload(self, arrays, scalars, meta) -> None:
+        super()._load_state_payload(arrays, scalars, meta)
+        self._table.load_table(arrays["table"])
+        self._total_mass = float(scalars["total_mass"])
 
     @property
     def table(self) -> np.ndarray:
@@ -152,3 +156,6 @@ class DebiasedCountMin(LinearSketch):
     def total_mass(self) -> float:
         """The maintained ``‖x‖_1`` (for non-negative inputs)."""
         return self._total_mass
+
+
+register_serializable(DebiasedCountMin)

@@ -11,7 +11,11 @@ package provides:
   update streams,
 * :class:`StreamRunner` — replays a stream into one or more sketches while
   measuring per-update and per-query cost, which is what the Figure 6 timing
-  comparison uses.
+  comparison uses,
+* :func:`ingest_stream_sharded` — multi-core sharded ingestion: the stream
+  is partitioned across worker processes, each replays its shard into a
+  local sketch via the batched path, and the serialized results are merged
+  (linearity makes the partition lossless).
 """
 
 from repro.streaming.stream import StreamKind, StreamUpdate, UpdateStream
@@ -21,6 +25,11 @@ from repro.streaming.generators import (
     stream_from_vector,
 )
 from repro.streaming.runner import StreamReport, StreamRunner
+from repro.streaming.sharded import (
+    ShardedIngestReport,
+    ingest_stream_sharded,
+    shard_arrays,
+)
 from repro.streaming.trace import (
     read_csv_trace,
     read_npz_trace,
@@ -37,6 +46,9 @@ __all__ = [
     "stream_from_vector",
     "StreamReport",
     "StreamRunner",
+    "ShardedIngestReport",
+    "ingest_stream_sharded",
+    "shard_arrays",
     "read_csv_trace",
     "read_npz_trace",
     "write_csv_trace",

@@ -1,0 +1,236 @@
+"""Multi-core sharded ingestion: partition a stream, sketch shards in
+parallel worker processes, merge the serialized results.
+
+This is the single-machine incarnation of the paper's distributed model: a
+linear sketch of a stream equals the merge of linear sketches of any
+partition of that stream, so ingestion parallelises perfectly —
+
+1. the ``(index, delta)`` arrays of an
+   :class:`~repro.streaming.stream.UpdateStream` are split into ``shards``
+   contiguous sub-streams;
+2. each worker process builds a *compatible* sketch (same
+   ``(dimension, width, depth, seed)``, hence the same hash functions),
+   replays its shard through the vectorised
+   :meth:`~repro.sketches.base.Sketch.update_batch` path, and returns the
+   sketch **serialized** with :meth:`~repro.sketches.base.Sketch.to_bytes`
+   — workers and parent exchange only wire payloads, exactly like sites and
+   coordinator in :mod:`repro.distributed`;
+3. the parent decodes the payloads and merges them in shard order.
+
+For linear sketches on integer-weighted streams the merged state is
+bit-identical to single-process ingestion (integer scatter-adds are exact in
+float64, so summation order cannot matter); for real-weighted streams it
+agrees up to floating-point summation order.  Non-linear sketches (CM-CU,
+CML-CU) cannot be sharded — their state is order-dependent and unmergeable —
+and are rejected up front.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.serialization import sketch_from_bytes
+from repro.sketches.base import LinearSketch
+from repro.sketches.registry import get_spec, make_sketch
+from repro.streaming.stream import UpdateStream
+from repro.utils.validation import ensure_batch_arrays, require_positive_int
+
+#: default update_batch chunk size inside each worker (matches StreamRunner
+#: batched-replay sweet spot from the PR-1 benchmark)
+DEFAULT_BATCH_SIZE = 8_192
+
+
+@dataclass
+class ShardedIngestReport:
+    """Outcome of one sharded ingestion run.
+
+    Attributes
+    ----------
+    sketch:
+        The merged global sketch (a :class:`LinearSketch`).
+    sketch_name:
+        Registry name of the algorithm.
+    shards:
+        Number of shards the stream was split into.
+    workers:
+        Worker processes actually used (1 means the run was inline).
+    updates:
+        Total updates ingested across all shards.
+    shard_updates:
+        Updates per shard, in shard order.
+    payload_bytes:
+        Serialized size of each shard's sketch payload, in shard order —
+        the bytes that crossed the process boundary.
+    batch_size:
+        ``update_batch`` chunk size used inside the workers.
+    elapsed_seconds:
+        Wall-clock time of the whole operation (split + workers + merge).
+    """
+
+    sketch: LinearSketch
+    sketch_name: str
+    shards: int
+    workers: int
+    updates: int
+    shard_updates: List[int]
+    payload_bytes: List[int]
+    batch_size: int
+    elapsed_seconds: float
+
+
+def shard_arrays(
+    indices: np.ndarray, deltas: np.ndarray, shards: int
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Split parallel update arrays into ``shards`` contiguous slices.
+
+    Contiguity preserves stream order within each shard; for linear sketches
+    the partition boundaries are immaterial (merging is exact), contiguous
+    slices just avoid any shuffling cost.
+    """
+    shards = require_positive_int(shards, "shards")
+    boundaries = np.linspace(0, indices.size, shards + 1).astype(np.int64)
+    return [
+        (indices[start:stop], deltas[start:stop])
+        for start, stop in zip(boundaries[:-1], boundaries[1:])
+    ]
+
+
+def _replay_shard(
+    name: str,
+    dimension: int,
+    width: int,
+    depth: int,
+    seed: int,
+    indices: np.ndarray,
+    deltas: np.ndarray,
+    batch_size: int,
+) -> bytes:
+    """Worker entry point: sketch one shard, return the serialized state.
+
+    Module-level (not a closure) so it pickles under every multiprocessing
+    start method; returns bytes so the parent merges exactly what a remote
+    site would have shipped.
+    """
+    sketch = make_sketch(name, dimension, width, depth, seed=seed)
+    for start in range(0, indices.size, batch_size):
+        stop = start + batch_size
+        sketch.update_batch(indices[start:stop], deltas[start:stop])
+    return sketch.to_bytes()
+
+
+def _preferred_context():
+    """Fork when available (cheap on Linux); the default context otherwise."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def ingest_stream_sharded(
+    stream,
+    name: str,
+    width: int,
+    depth: int,
+    seed: int,
+    shards: int,
+    dimension: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    max_workers: Optional[int] = None,
+) -> ShardedIngestReport:
+    """Ingest a stream into a linear sketch using sharded worker processes.
+
+    Parameters
+    ----------
+    stream:
+        An :class:`~repro.streaming.stream.UpdateStream`, or a tuple of
+        parallel ``(indices, deltas)`` arrays (``deltas`` may be ``None``
+        for unit increments, in which case ``dimension`` is required).
+    name:
+        Registry name of the sketch algorithm; must be linear.
+    width, depth, seed:
+        Sketch parameters; ``seed`` must be an explicit integer so every
+        worker derives the same hash functions and the results can be
+        serialized and merged.
+    shards:
+        Number of sub-streams.  ``shards=1`` runs inline (no process pool)
+        but still round-trips the result through the wire format, so the
+        code path is identical.
+    dimension:
+        Vector dimension; inferred from an :class:`UpdateStream` input.
+    batch_size:
+        ``update_batch`` chunk size inside each worker.
+    max_workers:
+        Cap on worker processes (default: ``min(shards, cpu_count)``).
+
+    Returns
+    -------
+    ShardedIngestReport
+        With the merged sketch in ``.sketch``.
+    """
+    spec = get_spec(name)
+    if not spec.linear:
+        raise ValueError(
+            f"sketch {name!r} is not linear; sharded ingestion requires a "
+            "mergeable sketch (the conservative-update variants are "
+            "order-dependent and cannot be sharded)"
+        )
+    if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+        raise ValueError(
+            "sharded ingestion requires an explicit integer seed so all "
+            "workers build compatible sketches"
+        )
+    shards = require_positive_int(shards, "shards")
+    batch_size = require_positive_int(batch_size, "batch_size")
+
+    if isinstance(stream, UpdateStream):
+        dimension = stream.dimension
+        indices, deltas = stream.indices(), stream.deltas()
+    else:
+        if dimension is None:
+            raise ValueError(
+                "dimension is required when ingesting raw (indices, deltas) "
+                "arrays"
+            )
+        indices, deltas = ensure_batch_arrays(stream[0], stream[1], dimension)
+
+    start_time = time.perf_counter()
+    pieces = shard_arrays(indices, deltas, shards)
+    tasks = [
+        (name, dimension, width, depth, int(seed), idx, d, batch_size)
+        for idx, d in pieces
+    ]
+
+    if shards == 1:
+        workers = 1
+        payloads = [_replay_shard(*tasks[0])]
+    else:
+        workers = min(shards, max_workers or (os.cpu_count() or 1))
+        workers = max(workers, 1)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=_preferred_context()
+        ) as pool:
+            futures = [pool.submit(_replay_shard, *task) for task in tasks]
+            payloads = [future.result() for future in futures]
+
+    merged = sketch_from_bytes(payloads[0])
+    for payload in payloads[1:]:
+        merged.merge(sketch_from_bytes(payload))
+    elapsed = time.perf_counter() - start_time
+
+    return ShardedIngestReport(
+        sketch=merged,
+        sketch_name=name,
+        shards=shards,
+        workers=workers,
+        updates=int(indices.size),
+        shard_updates=[int(idx.size) for idx, _ in pieces],
+        payload_bytes=[len(p) for p in payloads],
+        batch_size=batch_size,
+        elapsed_seconds=elapsed,
+    )

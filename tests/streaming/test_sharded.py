@@ -1,0 +1,123 @@
+"""Tests for the multi-core sharded ingestion engine.
+
+The engine's contract: partition an update stream across worker processes,
+sketch every shard with a compatible sketch, merge the *serialized* results
+— and for linear sketches on integer-weighted streams reach exactly the
+single-process state, regardless of shard count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    UpdateStream,
+    ingest_stream_sharded,
+    shard_arrays,
+)
+from repro.sketches.registry import make_sketch
+
+DIMENSION = 1_500
+WIDTH = 64
+DEPTH = 5
+SEED = 23
+
+
+@pytest.fixture(scope="module")
+def stream():
+    rng = np.random.default_rng(77)
+    indices = rng.integers(0, DIMENSION, size=20_000).astype(np.int64)
+    return UpdateStream.from_arrays(DIMENSION, indices)
+
+
+def single_process_state(name, stream, batch_size=4_096):
+    sketch = make_sketch(name, DIMENSION, WIDTH, DEPTH, seed=SEED)
+    for indices, deltas in stream.iter_batches(batch_size):
+        sketch.update_batch(indices, deltas)
+    return sketch
+
+
+class TestShardArrays:
+    def test_shards_partition_the_stream_in_order(self):
+        indices = np.arange(10, dtype=np.int64)
+        deltas = np.ones(10)
+        pieces = shard_arrays(indices, deltas, 3)
+        assert len(pieces) == 3
+        np.testing.assert_array_equal(
+            np.concatenate([idx for idx, _ in pieces]), indices
+        )
+
+    def test_more_shards_than_updates(self):
+        indices = np.arange(2, dtype=np.int64)
+        pieces = shard_arrays(indices, np.ones(2), 5)
+        assert sum(idx.size for idx, _ in pieces) == 2
+
+
+class TestShardedIngestion:
+    @pytest.mark.parametrize("name", ["count_min", "count_sketch", "l2_sr"])
+    @pytest.mark.parametrize("shards", [1, 3])
+    def test_matches_single_process_state(self, stream, name, shards):
+        report = ingest_stream_sharded(
+            stream, name, WIDTH, DEPTH, seed=SEED, shards=shards
+        )
+        expected = single_process_state(name, stream)
+        state_a = report.sketch.state_dict()
+        state_b = expected.state_dict()
+        for key in state_b["arrays"]:
+            np.testing.assert_array_equal(
+                state_a["arrays"][key], state_b["arrays"][key]
+            )
+        assert report.sketch.items_processed == len(stream)
+
+    def test_report_accounting(self, stream):
+        report = ingest_stream_sharded(
+            stream, "count_min", WIDTH, DEPTH, seed=SEED, shards=4
+        )
+        assert report.shards == 4
+        assert report.updates == len(stream)
+        assert sum(report.shard_updates) == len(stream)
+        assert len(report.payload_bytes) == 4
+        assert all(size > 8 * WIDTH * DEPTH for size in report.payload_bytes)
+        assert report.elapsed_seconds > 0
+
+    def test_accepts_raw_arrays(self, stream):
+        indices, deltas = stream.indices(), stream.deltas()
+        report = ingest_stream_sharded(
+            (indices, deltas), "count_min", WIDTH, DEPTH,
+            seed=SEED, shards=2, dimension=DIMENSION,
+        )
+        expected = single_process_state("count_min", stream)
+        np.testing.assert_array_equal(report.sketch.table, expected.table)
+
+    def test_raw_arrays_require_dimension(self, stream):
+        with pytest.raises(ValueError, match="dimension"):
+            ingest_stream_sharded(
+                (stream.indices(), stream.deltas()), "count_min",
+                WIDTH, DEPTH, seed=SEED, shards=2,
+            )
+
+    def test_non_linear_sketch_rejected(self, stream):
+        with pytest.raises(ValueError, match="not linear"):
+            ingest_stream_sharded(
+                stream, "count_min_cu", WIDTH, DEPTH, seed=SEED, shards=2
+            )
+
+    def test_explicit_seed_required(self, stream):
+        with pytest.raises(ValueError, match="seed"):
+            ingest_stream_sharded(
+                stream, "count_min", WIDTH, DEPTH, seed=None, shards=2
+            )
+
+    def test_turnstile_stream_is_sharded_correctly(self):
+        rng = np.random.default_rng(5)
+        indices = rng.integers(0, DIMENSION, size=5_000).astype(np.int64)
+        deltas = rng.integers(-3, 4, size=5_000).astype(np.float64)
+        from repro.streaming import StreamKind
+
+        turnstile = UpdateStream.from_arrays(
+            DIMENSION, indices, deltas, kind=StreamKind.TURNSTILE
+        )
+        report = ingest_stream_sharded(
+            turnstile, "count_sketch", WIDTH, DEPTH, seed=SEED, shards=3
+        )
+        expected = single_process_state("count_sketch", turnstile)
+        np.testing.assert_array_equal(report.sketch.table, expected.table)

@@ -2,6 +2,7 @@
 
 import io
 
+import numpy as np
 import pytest
 
 from repro.cli import main
@@ -46,6 +47,73 @@ class TestSketchCommand:
         )
         assert code == 0
         assert "estimated bias" not in output
+
+    def test_sharded_ingestion_flag(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "2000",
+            "--width", "128", "--depth", "4", "--algorithm", "count_sketch",
+            "--shards", "3",
+        )
+        assert code == 0
+        assert "sharded (3 shards)" in output
+        assert "average error" in output
+
+    def test_sharding_a_non_linear_sketch_fails(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "2000",
+            "--width", "128", "--depth", "4", "--algorithm", "count_min_cu",
+            "--shards", "2",
+        )
+        assert code == 2
+        assert "not a linear sketch" in output
+
+
+class TestSaveLoadCommands:
+    def _save(self, tmp_path, algorithm="l2_sr", extra=()):
+        path = tmp_path / "state.sketch"
+        code, output = run_cli(
+            "save", "--dataset", "gaussian", "--dimension", "2000",
+            "--width", "128", "--depth", "4", "--seed", "3",
+            "--algorithm", algorithm, "--output", str(path), *extra,
+        )
+        return code, output, path
+
+    def test_save_writes_a_wire_payload(self, tmp_path):
+        code, output, path = self._save(tmp_path)
+        assert code == 0
+        assert "saved" in output
+        data = path.read_bytes()
+        assert data[:4] == b"RPSK"
+        assert f"{len(data)} bytes" in output
+
+    def test_load_reports_and_queries_the_saved_sketch(self, tmp_path):
+        code, _, path = self._save(tmp_path)
+        assert code == 0
+        code, output = run_cli("load", str(path), "--query", "0", "7")
+        assert code == 0
+        assert "kind             : l2_sr" in output
+        assert "state_version 1" in output
+        assert "query x[0]" in output
+        assert "query x[7]" in output
+
+    def test_save_load_round_trip_matches_in_process_sketch(self, tmp_path):
+        from repro import serialization
+        from repro.core import L2BiasAwareSketch
+        from repro.data import load_dataset
+
+        code, _, path = self._save(tmp_path)
+        assert code == 0
+        restored = serialization.sketch_from_bytes(path.read_bytes())
+        dataset = load_dataset("gaussian", seed=3, dimension=2000)
+        direct = L2BiasAwareSketch(2000, 128, 4, seed=3).fit(dataset.vector)
+        np.testing.assert_array_equal(restored.recover(), direct.recover())
+
+    def test_save_with_shards(self, tmp_path):
+        code, output, path = self._save(
+            tmp_path, algorithm="count_sketch", extra=("--shards", "2")
+        )
+        assert code == 0
+        assert path.exists()
 
 
 class TestExperimentCommand:
