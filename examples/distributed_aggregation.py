@@ -7,8 +7,11 @@ vector would cost t·n words.  Because the bias-aware sketches are linear, each
 site ships only its local sketch (t·O(k log n) words) and the coordinator sums
 them — the merged sketch is exactly the sketch of the global vector.
 
-The example also shows why the conservative-update baselines (CM-CU, CML-CU)
-cannot be used here: they are not linear and refuse to merge.
+Every site is built from the same declarative :class:`repro.api.SketchConfig`
+(in a real deployment the coordinator broadcasts it), which is what
+guarantees the sites' hash functions agree.  The example also shows why the
+conservative-update baselines (CM-CU, CML-CU) cannot be used here: they are
+not linear and refuse to merge.
 
 Run with::
 
@@ -17,9 +20,8 @@ Run with::
 
 import numpy as np
 
-from repro import Coordinator, L2BiasAwareSketch, Site, partition_vector
+from repro import Coordinator, Site, SketchConfig, SketchSession, partition_vector
 from repro.data import gaussian_dataset
-from repro.sketches import CountMinCU, CountSketch
 
 
 def main() -> None:
@@ -35,13 +37,12 @@ def main() -> None:
     # every item is observed at exactly one site; local vectors sum to the global
     local_vectors = partition_vector(global_vector, sites_count, seed=9, by="items")
 
-    def sketch_factory():
-        # all sites and the coordinator must agree on the seed so their hash
-        # functions match; in a real deployment the coordinator broadcasts it
-        return L2BiasAwareSketch(dimension=n, width=4_096, depth=9, seed=99)
+    # one config for everyone: the coordinator broadcasts it, each site builds
+    # its compatible local sketch from it
+    config = SketchConfig("l2_sr", dimension=n, width=4_096, depth=9, seed=99)
 
     sites = [
-        Site(f"dc-{i}", sketch_factory).observe_vector(local)
+        Site(f"dc-{i}", config).observe_vector(local)
         for i, local in enumerate(local_vectors)
     ]
 
@@ -73,17 +74,17 @@ def main() -> None:
 
     # sanity check: the merge is exact (linearity), and de-biasing still pays
     # off after the merge exactly as it does centrally
-    centralised = sketch_factory().fit(global_vector)
+    centralised = SketchSession.from_config(config).ingest(global_vector)
     deviation = float(
         np.max(np.abs(coordinator.recover() - centralised.recover()))
     )
     print(f"Max deviation between merged and centralised sketch: {deviation:.2e} "
           "(linearity makes the protocol lossless)")
     merged_error = float(np.mean(np.abs(coordinator.recover() - global_vector)))
+    cs_config = SketchConfig("count_sketch", dimension=n, width=4_096, depth=10,
+                             seed=99)
     cs_sites = [
-        Site(f"cs-{i}", lambda: CountSketch(n, 4_096, 10, seed=99)).observe_vector(
-            local
-        )
+        Site(f"cs-{i}", cs_config).observe_vector(local)
         for i, local in enumerate(local_vectors)
     ]
     cs_coordinator = Coordinator().collect_all(cs_sites)
@@ -95,10 +96,10 @@ def main() -> None:
 
     # the conservative-update baselines cannot participate in this protocol
     print("Trying the same protocol with Count-Min + conservative update:")
+    cu_config = SketchConfig("count_min_cu", dimension=n, width=4_096, depth=10,
+                             seed=99)
     try:
-        Site("dc-bad", lambda: CountMinCU(n, 4_096, 10, seed=99)).observe_vector(
-            local_vectors[0]
-        )
+        Site("dc-bad", cu_config).observe_vector(local_vectors[0])
     except TypeError as error:
         print(f"  refused as expected: {error}")
 

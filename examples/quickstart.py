@@ -1,8 +1,10 @@
-"""Quickstart: bias-aware sketches in five minutes.
+"""Quickstart: bias-aware sketches in five minutes, through the session API.
 
 This walks through the paper's running example (Section 1, Equation 3) and a
 small synthetic experiment showing why subtracting the bias before sketching
-matters.
+matters.  Every sketch is built, fed and queried through the unified
+:mod:`repro.api` facade: a declarative ``SketchConfig`` plus a
+``SketchSession`` owning the whole lifecycle.
 
 Run with::
 
@@ -11,14 +13,7 @@ Run with::
 
 import numpy as np
 
-from repro import (
-    CountMedian,
-    CountSketch,
-    L1BiasAwareSketch,
-    L2BiasAwareSketch,
-    err_pk,
-    optimal_bias,
-)
+from repro import SketchConfig, SketchSession, err_pk, optimal_bias
 
 
 def running_example() -> None:
@@ -53,34 +48,71 @@ def sketch_comparison() -> None:
     x[rng.choice(n, size=3, replace=False)] += 250_000.0
 
     width, depth = 2_000, 9
-    sketches = {
-        "Count-Median   (baseline)": CountMedian(n, width, depth + 1, seed=1),
-        "Count-Sketch   (baseline)": CountSketch(n, width, depth + 1, seed=1),
-        "l1-S/R      (bias-aware)": L1BiasAwareSketch(n, width, depth, seed=1),
-        "l2-S/R      (bias-aware)": L2BiasAwareSketch(n, width, depth, seed=1),
+    # the paper's space convention: the bias-aware sketches spend d rows on
+    # data plus one bias structure, so the baselines get d + 1 rows
+    configs = {
+        "Count-Median   (baseline)": SketchConfig(
+            "count_median", dimension=n, width=width, depth=depth + 1, seed=1
+        ),
+        "Count-Sketch   (baseline)": SketchConfig(
+            "count_sketch", dimension=n, width=width, depth=depth + 1, seed=1
+        ),
+        "l1-S/R      (bias-aware)": SketchConfig(
+            "l1_sr", dimension=n, width=width, depth=depth, seed=1
+        ),
+        "l2-S/R      (bias-aware)": SketchConfig(
+            "l2_sr", dimension=n, width=width, depth=depth, seed=1
+        ),
     }
     print(f"n = {n}, sketch width s = {width}, total budget ~{(depth + 1) * width} "
           "words per algorithm\n")
     print(f"{'algorithm':<28}  {'avg error':>12}  {'max error':>12}")
-    for name, sketch in sketches.items():
-        sketch.fit(x)
-        recovered = sketch.recover()
+    sessions = {}
+    for name, config in configs.items():
+        session = SketchSession.from_config(config).ingest(x)
+        sessions[name] = session
+        recovered = session.recover()
         avg = float(np.mean(np.abs(recovered - x)))
         mx = float(np.max(np.abs(recovered - x)))
         print(f"{name:<28}  {avg:12.3f}  {mx:12.1f}")
 
-    l2 = sketches["l2-S/R      (bias-aware)"]
+    l2 = sessions["l2-S/R      (bias-aware)"]
     print(f"\nl2-S/R estimated the bias as {l2.estimate_bias():.2f} "
           "(true common value: 100).")
     index = int(rng.integers(0, n))
+    estimate = l2.query(kind="point", index=index)
     print(f"Point query x[{index}]: true = {x[index]:.2f}, "
-          f"estimate = {l2.query(index):.2f}")
+          f"estimate = {estimate:.2f}")
     print()
+
+
+def session_tour() -> None:
+    """The rest of the facade in six lines: persist, reopen, rich queries."""
+    print("=" * 70)
+    print("Session lifecycle: ingest -> query -> save -> open -> query")
+    print("=" * 70)
+    rng = np.random.default_rng(21)
+    x = rng.normal(50.0, 8.0, size=20_000)
+
+    session = SketchSession.from_config(
+        SketchConfig("l2_sr", dimension=x.size, width=1_024, depth=7, seed=5)
+    ).ingest(x)
+    top = session.query(kind="heavy_hitters", threshold=75.0, top_k=3)
+    print(f"top outliers            : {[h.index for h in top]}")
+    print(f"range sum x[100:200]    : {session.query(kind='range', low=100, high=200):.1f} "
+          f"(true {x[100:200].sum():.1f})")
+
+    payload = session.to_bytes()
+    reopened = SketchSession.from_bytes(payload)
+    same = reopened.query(kind="point", index=4_242) == session.query(4_242)
+    print(f"serialized payload      : {len(payload)} bytes; "
+          f"restored session answers identically: {same}")
 
 
 def main() -> None:
     running_example()
     sketch_comparison()
+    session_tour()
 
 
 if __name__ == "__main__":

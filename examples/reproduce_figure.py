@@ -3,7 +3,9 @@
 A thin driver over the evaluation harness: pick a dataset (the paper's
 synthetic ones or the simulated substitutes for its real ones), a set of
 algorithms and a range of sketch widths, and print the series the paper
-plots.
+plots.  Every sketch in the sweep is built and fed through the unified
+:mod:`repro.api` session facade (see ``repro.eval.harness``), so this file
+never constructs a sketch directly.
 
 Examples::
 

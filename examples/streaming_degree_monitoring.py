@@ -7,7 +7,9 @@ without storing the full degree vector and without a post-processing pass.
 
 The streaming ℓ2 bias-aware sketch (Algorithm 6) keeps its bias estimate
 current with the Bias-Heap of Algorithm 5, so every point query is answered
-from the sketch in O(d) time.
+from the sketch in O(d) time.  The example drives it through a
+:class:`repro.api.SketchSession`, whose ``ingest`` accepts the same scalar
+updates the paper's streaming model is defined on.
 
 Run with::
 
@@ -18,7 +20,7 @@ import time
 
 import numpy as np
 
-from repro import StreamingL2BiasAwareSketch
+from repro import SketchConfig, SketchSession
 from repro.data import simulated_hudong
 
 
@@ -30,8 +32,9 @@ def main() -> None:
           f"{edges} edges (substitute for the Hudong dataset)")
     print()
 
-    sketch = StreamingL2BiasAwareSketch(
-        dimension=articles, width=4_096, depth=9, seed=5
+    session = SketchSession.from_config(
+        SketchConfig("l2_sr_streaming", dimension=articles, width=4_096,
+                     depth=9, seed=5)
     )
     truth = np.zeros(articles)
 
@@ -40,19 +43,19 @@ def main() -> None:
 
     started = time.perf_counter()
     for step, (article, delta) in enumerate(stream.iter_updates()):
-        sketch.update(article, delta)
+        session.ingest(article, delta)
         truth[article] += delta
         if step in checkpoints:
             elapsed = time.perf_counter() - started
             rate = (step + 1) / elapsed
-            current_bias = sketch.estimate_bias()
+            current_bias = session.estimate_bias()
             print(f"after {step + 1:>7} edges  "
                   f"({rate:,.0f} updates/s, current bias estimate "
                   f"{current_bias:5.2f}):")
             for watched in watched_articles:
                 print(f"    out-degree of article {watched:>6}: "
                       f"true = {truth[watched]:6.0f}   "
-                      f"sketch = {sketch.query(watched):8.2f}")
+                      f"sketch = {session.query(watched):8.2f}")
             print()
 
     # final accuracy over the hubs (the articles an analyst cares about)
@@ -60,14 +63,15 @@ def main() -> None:
     print("Final state — top-10 hubs by true out-degree:")
     print(f"  {'article':>8}  {'true degree':>12}  {'sketch estimate':>16}")
     for hub in hubs:
-        print(f"  {int(hub):>8}  {truth[hub]:12.0f}  {sketch.query(int(hub)):16.2f}")
+        estimate = session.query(kind="point", index=int(hub))
+        print(f"  {int(hub):>8}  {truth[hub]:12.0f}  {estimate:16.2f}")
 
-    errors = np.abs(sketch.recover() - truth)
+    errors = np.abs(session.recover() - truth)
     print()
     print(f"Average point-query error over all {articles} articles: "
           f"{errors.mean():.3f}")
     print(f"Maximum point-query error: {errors.max():.1f}")
-    print(f"Sketch size: {sketch.size_in_words()} counters for a "
+    print(f"Sketch size: {session.size_in_words()} counters for a "
           f"{articles}-entry degree vector; every update and every query was "
           "answered online, in one pass, with no post-processing.")
     print("(Out-degree vectors are a low-bias, power-law workload — the "

@@ -9,6 +9,9 @@ sketch instead of the raw 86 400-entry vector:
 * flash-crowd detection ("which seconds were far above the baseline?"),
 * range queries ("how many requests between 10:00 and 10:05?").
 
+All three go through one :class:`repro.api.SketchSession` and its single
+``query(kind=...)`` dispatcher.
+
 Run with::
 
     python examples/web_traffic_monitoring.py
@@ -16,7 +19,7 @@ Run with::
 
 import numpy as np
 
-from repro import L2BiasAwareSketch, heavy_hitters, point_query, range_sum
+from repro import SketchConfig, SketchSession
 from repro.data import simulated_worldcup
 
 
@@ -36,28 +39,30 @@ def main() -> None:
     print(f"  mean / max rate : {x.mean():.1f} / {x.max():.0f} requests/s")
     print()
 
-    # --- build the sketch ------------------------------------------------- #
-    sketch = L2BiasAwareSketch(dimension=n, width=4_096, depth=9, seed=42)
-    sketch.fit(x)
-    compression = n / sketch.size_in_words()
-    print(f"Sketch: l2-S/R with {sketch.size_in_words()} counters "
+    # --- build the session ------------------------------------------------- #
+    session = SketchSession.from_config(
+        SketchConfig("l2_sr", dimension=n, width=4_096, depth=9, seed=42)
+    ).ingest(dataset)
+    compression = n / session.size_in_words()
+    print(f"Sketch: l2-S/R with {session.size_in_words()} counters "
           f"({compression:.1f}x smaller than the raw vector)")
-    print(f"Estimated baseline rate (bias): {sketch.estimate_bias():.1f} requests/s")
+    print(f"Estimated baseline rate (bias): {session.estimate_bias():.1f} requests/s")
     print()
 
     # --- point queries ---------------------------------------------------- #
     print("Point queries:")
     rng = np.random.default_rng(3)
     for second in rng.choice(n, size=5, replace=False):
-        answer = point_query(sketch, int(second), truth=x)
-        print(f"  second {int(second):>6}: true = {answer.truth:7.1f}   "
-              f"estimate = {answer.estimate:7.1f}   "
-              f"error = {answer.absolute_error:5.1f}")
+        estimate = session.query(kind="point", index=int(second))
+        truth = x[second]
+        print(f"  second {int(second):>6}: true = {truth:7.1f}   "
+              f"estimate = {estimate:7.1f}   "
+              f"error = {abs(estimate - truth):5.1f}")
     print()
 
     # --- flash-crowd detection -------------------------------------------- #
     threshold = 8.0 * float(np.median(x))
-    crowds = heavy_hitters(sketch, threshold=threshold, relative_to_bias=False)
+    crowds = session.query(kind="heavy_hitters", threshold=threshold)
     true_crowds = set(np.flatnonzero(x > threshold))
     reported = {h.index for h in crowds}
     print(f"Flash-crowd seconds (estimated rate > {threshold:.0f} requests/s):")
@@ -73,7 +78,7 @@ def main() -> None:
     print("Five-minute range queries (300 seconds each):")
     for start in (3_600, 18_000, 36_000):
         end = start + 300
-        estimate = range_sum(sketch, start, end)
+        estimate = session.query(kind="range", low=start, high=end)
         truth = float(x[start:end].sum())
         print(f"  seconds [{start:>6}, {end:>6}): true = {truth:9.0f}   "
               f"estimate = {estimate:9.0f}   "

@@ -10,34 +10,55 @@ the coordinates of ``x`` share a common bias β.
 
 Quick start
 -----------
+Everything goes through one front door: a declarative
+:class:`~repro.api.SketchConfig` plus a :class:`~repro.api.SketchSession`
+facade that owns construction, ingestion, queries, merging and persistence.
+
 >>> import numpy as np
->>> from repro import L2BiasAwareSketch
+>>> from repro import SketchConfig, SketchSession
 >>> x = np.random.default_rng(0).normal(100, 15, 100_000)   # biased vector
->>> sketch = L2BiasAwareSketch(dimension=x.size, width=2_000, depth=9, seed=1)
->>> _ = sketch.fit(x)
->>> abs(sketch.query(12_345) - x[12_345]) < 15               # close to the truth
+>>> session = SketchSession.from_config(
+...     SketchConfig("l2_sr", dimension=x.size, width=2_000, depth=9, seed=1)
+... )
+>>> _ = session.ingest(x)                    # vectors, updates, or streams
+>>> abs(session.query(kind="point", index=12_345) - x[12_345]) < 15
 True
+>>> hot = session.query(kind="heavy_hitters", threshold=150.0)
+>>> _ = session.save("traffic.sketch")       # restore anywhere with .open()
+
+``ingest`` auto-dispatches scalar updates, ``(index, delta)`` batches, dense
+vectors, update streams, and multi-core sharded ingestion; ``query`` covers
+the four query kinds (``point`` / ``heavy_hitters`` / ``range`` /
+``inner_product``) and raises :class:`~repro.api.CapabilityError` for
+operations outside the algorithm's declared capabilities.  The historical
+entry points (``make_sketch``, the per-module query helpers,
+``ingest_stream_sharded``) keep working as deprecated shims.
 
 Package layout
 --------------
+* :mod:`repro.api` — the unified session facade (start here).
 * :mod:`repro.core` — the paper's contribution: ℓ1-S/R, ℓ2-S/R, streaming
   variants, the Bias-Heap, bias estimators and the exact error functionals.
 * :mod:`repro.sketches` — the classical baselines (Count-Min, Count-Median,
-  Count-Sketch, CM-CU, CML-CU) and the shared sketch interfaces.
+  Count-Sketch, CM-CU, CML-CU) and the capability-aware sketch registry.
 * :mod:`repro.hashing`, :mod:`repro.matrices` — the hashing and sketching-
   matrix substrate (Definitions 1-3).
 * :mod:`repro.streaming`, :mod:`repro.distributed` — the streaming and
   distributed computation models (including multi-core sharded ingestion).
 * :mod:`repro.serialization` — the versioned binary wire format behind the
-  ``state_dict()/from_state()`` and ``to_bytes()/from_bytes()`` state
-  protocol every sketch implements.
+  state protocol every sketch implements.
 * :mod:`repro.data` — the paper's synthetic datasets plus simulated
   substitutes for its real datasets.
-* :mod:`repro.queries` — point / heavy-hitter / range / inner-product queries
-  on top of any sketch.
+* :mod:`repro.queries` — the query kernels the session facade dispatches to.
 * :mod:`repro.eval` — the evaluation harness behind every figure.
 """
 
+from repro.api import (
+    CapabilityError,
+    ConfigError,
+    SketchConfig,
+    SketchSession,
+)
 from repro.core import (
     BiasHeap,
     L1BiasAwareSketch,
@@ -82,11 +103,15 @@ from repro.streaming import (
     ingest_stream_sharded,
     stream_from_vector,
 )
-
-__version__ = "1.0.0"
+from repro.version import __version__
 
 __all__ = [
     "__version__",
+    # the unified facade
+    "SketchConfig",
+    "SketchSession",
+    "CapabilityError",
+    "ConfigError",
     # core contribution
     "BiasHeap",
     "L1BiasAwareSketch",
@@ -121,11 +146,11 @@ __all__ = [
     "StreamRunner",
     "UpdateStream",
     "stream_from_vector",
-    # portable state and sharded ingestion
+    # portable state and sharded ingestion (deprecated shims included)
     "sketch_from_bytes",
     "sketch_from_state",
     "ingest_stream_sharded",
-    # queries
+    # queries (deprecated shims; prefer SketchSession.query)
     "heavy_hitters",
     "point_query",
     "range_sum",

@@ -1,0 +1,44 @@
+"""One front door: the unified session API over the whole sketch stack.
+
+:mod:`repro.api` consolidates the library's historical entry points —
+per-class constructors, the positional registry factory, three ingestion
+paths, four query modules and the serialization layer — behind two objects:
+
+* :class:`SketchConfig` — a declarative, immutable sketch description
+  (``name`` / ``dimension`` / ``width`` / ``depth`` / ``seed`` plus
+  algorithm-specific kwargs), validated eagerly against the capability
+  registry (:class:`repro.sketches.registry.SketchSpec`);
+* :class:`SketchSession` — a facade owning the full lifecycle:
+  construction (``from_config`` / ``open``), a single auto-dispatching
+  :meth:`~SketchSession.ingest`, a single :meth:`~SketchSession.query`
+  covering all four query kinds with capability checking,
+  :meth:`~SketchSession.merge`, and persistence
+  (:meth:`~SketchSession.save` / :meth:`~SketchSession.to_bytes`).
+
+Quick start::
+
+    from repro.api import SketchConfig, SketchSession
+
+    config = SketchConfig("l2_sr", dimension=50_000, width=2_048, depth=9,
+                          seed=7)
+    session = SketchSession.from_config(config)
+    session.ingest(vector)                              # or updates / streams
+    session.query(kind="point", index=123)
+    session.query(kind="heavy_hitters", phi=0.001)
+    session.save("traffic.sketch")
+
+    restored = SketchSession.open("traffic.sketch")     # any process/machine
+    restored.query(kind="range", low=100, high=400)
+"""
+
+from repro.api.config import SketchConfig
+from repro.api.errors import CapabilityError, ConfigError
+from repro.api.session import DEFAULT_AUTO_SHARD_THRESHOLD, SketchSession
+
+__all__ = [
+    "CapabilityError",
+    "ConfigError",
+    "SketchConfig",
+    "SketchSession",
+    "DEFAULT_AUTO_SHARD_THRESHOLD",
+]

@@ -1,0 +1,233 @@
+"""Declarative sketch configuration, validated against the capability registry.
+
+A :class:`SketchConfig` is the complete, immutable recipe for a sketch:
+algorithm name, geometry (``dimension``/``width``/``depth``), seed, and any
+algorithm-specific keyword arguments (``head_size`` for ℓ2-S/R,
+``bias_samples`` for ℓ1-S/R, ``base`` for CML-CU, ...).  Validation happens
+at construction, against the :class:`~repro.sketches.registry.SketchSpec` of
+the named algorithm: unknown names, non-positive geometry, seeds of the
+wrong type and undeclared kwargs all raise :class:`~repro.api.ConfigError`
+immediately, with a message naming the offending field.
+
+A config is the unit the rest of the system passes around: sessions are
+opened from it (:meth:`repro.api.SketchSession.from_config`), distributed
+sites build their local sketches from it, and the evaluation harness sweeps
+over variations of it (:meth:`SketchConfig.replace`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.api.errors import ConfigError
+from repro.sketches.base import Sketch
+from repro.sketches.registry import SketchSpec, get_spec
+
+
+def _checked_positive_int(value: Any, name: str) -> int:
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ConfigError(
+            f"{name} must be a positive integer, got {type(value).__name__}"
+        )
+    value = int(value)
+    if value < 1:
+        raise ConfigError(f"{name} must be a positive integer, got {value}")
+    return value
+
+
+class SketchConfig:
+    """An immutable, validated description of one sketch.
+
+    Parameters
+    ----------
+    name:
+        Registry name of the algorithm (see
+        :func:`repro.sketches.registry.available_sketches`).
+    dimension:
+        Dimension ``n`` of the frequency vector being summarised.
+    width:
+        Buckets ``s`` per hash row.
+    depth:
+        Hash rows ``d``.
+    seed:
+        Integer seed, or ``None`` for fresh randomness.  An integer seed is
+        required for every portable operation (save, merge across processes,
+        sharded ingestion), because hash structure is re-derived from it.
+    **options:
+        Algorithm-specific keyword arguments, validated against the spec's
+        ``kwargs_schema`` (e.g. ``head_size=256`` for ``"l2_sr"``).
+    """
+
+    __slots__ = ("name", "dimension", "width", "depth", "seed", "options")
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        dimension: int,
+        width: int,
+        depth: int,
+        seed: Optional[int] = None,
+        **options: Any,
+    ) -> None:
+        if not isinstance(name, str) or not name:
+            raise ConfigError(
+                f"sketch name must be a non-empty string, got {name!r}"
+            )
+        try:
+            spec = get_spec(name)
+        except KeyError as error:
+            raise ConfigError(str(error.args[0])) from None
+        object.__setattr__(self, "name", name)
+        object.__setattr__(
+            self, "dimension", _checked_positive_int(dimension, "dimension")
+        )
+        object.__setattr__(self, "width", _checked_positive_int(width, "width"))
+        object.__setattr__(self, "depth", _checked_positive_int(depth, "depth"))
+        if seed is not None:
+            if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+                raise ConfigError(
+                    f"seed must be an integer or None, got {type(seed).__name__}"
+                )
+            seed = int(seed)
+        object.__setattr__(self, "seed", seed)
+        try:
+            validated = spec.validate_kwargs(options)
+        except (TypeError, ValueError) as error:
+            raise ConfigError(str(error)) from None
+        object.__setattr__(self, "options", dict(validated))
+
+    # ------------------------------------------------------------------ #
+    # immutability
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, attr: str, value: Any) -> None:
+        raise AttributeError(
+            f"SketchConfig is immutable; use replace({attr}=...) to derive a "
+            "modified configuration"
+        )
+
+    def __delattr__(self, attr: str) -> None:
+        raise AttributeError("SketchConfig is immutable")
+
+    # ------------------------------------------------------------------ #
+    # derived views
+    # ------------------------------------------------------------------ #
+    @property
+    def spec(self) -> SketchSpec:
+        """The capability spec of the configured algorithm."""
+        return get_spec(self.name)
+
+    @property
+    def portable(self) -> bool:
+        """Whether the config yields serializable / mergeable-across-process
+        sketches (requires an integer seed)."""
+        return self.seed is not None
+
+    def build(self) -> Sketch:
+        """Construct a fresh sketch from this configuration."""
+        return self.spec.build(
+            self.dimension, self.width, self.depth, seed=self.seed, **self.options
+        )
+
+    def replace(self, **changes: Any) -> "SketchConfig":
+        """A new config with the given fields (or options) overridden.
+
+        Setting an algorithm-specific option to ``None`` removes it, which
+        matters when ``replace(name=...)`` switches to an algorithm that
+        does not accept the old options.
+        """
+        merged: Dict[str, Any] = {
+            "name": self.name,
+            "dimension": self.dimension,
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            **self.options,
+        }
+        merged.update(changes)
+        name = merged.pop("name")
+        core = {key: merged.pop(key) for key in ("dimension", "width", "depth", "seed")}
+        options = {key: value for key, value in merged.items() if value is not None}
+        return SketchConfig(name, **core, **options)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain-dict form of the config (JSON-able for integer seeds)."""
+        return {
+            "name": self.name,
+            "dimension": self.dimension,
+            "width": self.width,
+            "depth": self.depth,
+            "seed": self.seed,
+            **self.options,
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "SketchConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        data = dict(mapping)
+        try:
+            name = data.pop("name")
+        except KeyError:
+            raise ConfigError("config dict must carry a 'name' field") from None
+        return cls(name, **data)
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "SketchConfig":
+        """Derive the config recorded in a sketch state dict / wire payload.
+
+        ``state`` is a :meth:`repro.sketches.base.Sketch.state_dict` snapshot
+        (or its decoded wire form).  Config keys that are not part of the
+        algorithm's declared kwargs schema (e.g. internal flags a class
+        fixes itself) are dropped.
+        """
+        kind = state.get("kind")
+        if not isinstance(kind, str):
+            raise ConfigError(f"state carries no sketch kind (got {kind!r})")
+        try:
+            spec = get_spec(kind)
+        except KeyError:
+            raise ConfigError(
+                f"state of kind {kind!r} does not correspond to a registered "
+                "sketch algorithm; it cannot be wrapped in a SketchSession"
+            ) from None
+        recorded = dict(state.get("config", {}))
+        options = {
+            key: recorded[key] for key in spec.kwargs_schema if key in recorded
+        }
+        try:
+            return cls(
+                kind,
+                dimension=recorded["dimension"],
+                width=recorded["width"],
+                depth=recorded["depth"],
+                seed=recorded.get("seed"),
+                **options,
+            )
+        except KeyError as error:
+            raise ConfigError(
+                f"state of kind {kind!r} is missing the config field "
+                f"{error.args[0]!r}"
+            ) from None
+
+    # ------------------------------------------------------------------ #
+    # equality / display
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SketchConfig):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.name, self.dimension, self.width, self.depth, self.seed,
+             tuple(sorted(self.options.items())))
+        )
+
+    def __repr__(self) -> str:
+        extras = "".join(f", {k}={v!r}" for k, v in sorted(self.options.items()))
+        return (
+            f"SketchConfig({self.name!r}, dimension={self.dimension}, "
+            f"width={self.width}, depth={self.depth}, seed={self.seed}{extras})"
+        )

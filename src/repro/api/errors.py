@@ -1,0 +1,23 @@
+"""Exceptions raised by the :mod:`repro.api` facade.
+
+Two failure families are distinguished:
+
+* :class:`ConfigError` — the *configuration* is wrong (unknown algorithm,
+  non-positive geometry, an algorithm-specific kwarg the sketch does not
+  accept).  Raised eagerly, at :class:`~repro.api.SketchConfig` construction.
+* :class:`CapabilityError` — the configuration is fine but the *operation*
+  is outside the algorithm's declared capabilities (merging a non-linear
+  sketch, sharding an unmergeable one, a query kind the sketch cannot
+  answer).  Subclasses :class:`TypeError` so existing callers that catch
+  ``TypeError`` around merges keep working.
+"""
+
+from __future__ import annotations
+
+
+class ConfigError(ValueError):
+    """An invalid :class:`~repro.api.SketchConfig` (bad name, geometry, or kwargs)."""
+
+
+class CapabilityError(TypeError):
+    """An operation outside the capabilities a sketch's spec declares."""

@@ -1,0 +1,507 @@
+"""The :class:`SketchSession` facade: one front door for the whole lifecycle.
+
+A session owns a sketch built from a validated
+:class:`~repro.api.SketchConfig` and exposes every operation the library
+supports behind a uniform, capability-checked surface:
+
+* **construction** — :meth:`SketchSession.from_config` (new sketch),
+  :meth:`SketchSession.open` / :meth:`SketchSession.from_bytes` (restore a
+  persisted one);
+* **ingestion** — a single :meth:`ingest` that dispatches scalar updates,
+  ``(index, delta)`` batches, dense frequency vectors,
+  :class:`~repro.streaming.stream.UpdateStream` replays, and multi-core
+  sharded ingestion, by input type and size;
+* **queries** — a single :meth:`query` dispatching the four query kinds
+  (``point``, ``heavy_hitters``, ``range``, ``inner_product``), raising
+  :class:`~repro.api.CapabilityError` for kinds the algorithm's spec does
+  not declare;
+* **composition and persistence** — :meth:`merge` (sessions, sketches or
+  raw wire payloads), :meth:`save` / :meth:`to_bytes` riding the versioned
+  binary state protocol of :mod:`repro.serialization`.
+
+The CLI, the evaluation harness, the distributed sites and all examples go
+through this facade; the per-class constructors and per-module helpers
+remain available as deprecated shims.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, List, Optional, Union
+
+import numpy as np
+
+from repro.api.config import SketchConfig
+from repro.api.errors import CapabilityError, ConfigError
+from repro.data.dataset import Dataset
+from repro.queries.heavy_hitters import HeavyHitter, _heavy_hitters
+from repro.queries.inner_product import _inner_product_estimate
+from repro.queries.range_query import _range_sum
+from repro.serialization import decode_state
+from repro.sketches.base import LinearSketch, Sketch
+from repro.sketches.registry import QUERY_KINDS, SketchSpec
+from repro.streaming.sharded import (
+    DEFAULT_BATCH_SIZE,
+    ShardedIngestReport,
+    _ingest_stream_sharded,
+)
+from repro.streaming.stream import UpdateStream
+from repro.utils.validation import require_positive_int
+
+#: update count at which :meth:`SketchSession.ingest` switches to the
+#: multi-core sharded engine on its own (linear sketches with integer seeds
+#: on multi-core machines); explicit ``shards=`` always wins
+DEFAULT_AUTO_SHARD_THRESHOLD = 2_000_000
+
+#: cap on automatically chosen shard counts (beyond ~8 workers the merge
+#: and serialization overhead outweighs the extra cores for typical sizes)
+_MAX_AUTO_SHARDS = 8
+
+
+class SketchSession:
+    """A stateful facade over one sketch's full lifecycle.
+
+    Build one with :meth:`from_config` (fresh sketch) or :meth:`open` /
+    :meth:`from_bytes` (restored sketch); never construct sketches directly.
+
+    >>> from repro.api import SketchConfig, SketchSession
+    >>> session = SketchSession.from_config(
+    ...     SketchConfig("l2_sr", dimension=10_000, width=512, depth=7, seed=1)
+    ... )
+    >>> _ = session.ingest(vector)                      # dense vector
+    >>> session.query(kind="point", index=123)          # one estimate
+    >>> session.save("traffic.sketch")                  # persist
+    >>> again = SketchSession.open("traffic.sketch")    # restore anywhere
+    """
+
+    def __init__(self, config: SketchConfig, sketch: Sketch) -> None:
+        # internal: use from_config / open / from_bytes
+        self._config = config
+        self._sketch = sketch
+        self._last_shard_report: Optional[ShardedIngestReport] = None
+        self._auto_shard_threshold: Optional[int] = DEFAULT_AUTO_SHARD_THRESHOLD
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_config(
+        cls,
+        config: Union[SketchConfig, str, None] = None,
+        *,
+        auto_shard_threshold: Optional[int] = DEFAULT_AUTO_SHARD_THRESHOLD,
+        **fields: Any,
+    ) -> "SketchSession":
+        """Open a session on a fresh sketch built from ``config``.
+
+        ``config`` is a :class:`SketchConfig`, or an algorithm name with the
+        remaining config fields passed as keyword arguments::
+
+            SketchSession.from_config("l2_sr", dimension=10_000, width=512,
+                                      depth=7, seed=1)
+
+        ``auto_shard_threshold`` tunes when large batched ingests switch to
+        the multi-core sharded engine (``None`` disables auto-sharding).
+        """
+        if isinstance(config, str):
+            config = SketchConfig(config, **fields)
+        elif config is None:
+            config = SketchConfig(**fields)
+        elif fields:
+            raise ConfigError(
+                "pass either a SketchConfig or name/field keyword arguments, "
+                "not both"
+            )
+        if not isinstance(config, SketchConfig):
+            raise ConfigError(
+                f"config must be a SketchConfig or an algorithm name, got "
+                f"{type(config).__name__}"
+            )
+        session = cls(config, config.build())
+        if auto_shard_threshold is not None:
+            auto_shard_threshold = require_positive_int(
+                auto_shard_threshold, "auto_shard_threshold"
+            )
+        session._auto_shard_threshold = auto_shard_threshold
+        return session
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "SketchSession":
+        """Open a session on a sketch restored from a wire payload."""
+        state = decode_state(payload)
+        config = SketchConfig.from_state(state)
+        return cls(config, Sketch.from_state(state))
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "SketchSession":
+        """Open a session on a sketch persisted by :meth:`save`.
+
+        The payload is self-contained: the restoring process (or machine)
+        needs nothing beyond the file.
+        """
+        with open(path, "rb") as handle:
+            return cls.from_bytes(handle.read())
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> SketchConfig:
+        """The validated configuration the session was opened from."""
+        return self._config
+
+    @property
+    def spec(self) -> SketchSpec:
+        """The capability spec of the session's algorithm."""
+        return self._config.spec
+
+    @property
+    def sketch(self) -> Sketch:
+        """The underlying sketch (escape hatch for specialised callers)."""
+        return self._sketch
+
+    @property
+    def dimension(self) -> int:
+        return self._config.dimension
+
+    @property
+    def items_processed(self) -> int:
+        """Total updates applied across every ingestion path."""
+        return self._sketch.items_processed
+
+    @property
+    def last_shard_report(self) -> Optional[ShardedIngestReport]:
+        """The report of the most recent sharded ingest, if any."""
+        return self._last_shard_report
+
+    def size_in_words(self) -> int:
+        """Counter words the sketch stores (the paper's space unit)."""
+        return self._sketch.size_in_words()
+
+    def size_in_bytes(self) -> int:
+        """Exact serialized payload size (requires an integer seed)."""
+        return self._sketch.size_in_bytes()
+
+    def supports(self, kind: str) -> bool:
+        """Whether :meth:`query` can answer queries of ``kind``."""
+        return self.spec.supports_query(kind)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        data: Any,
+        deltas: Any = None,
+        *,
+        batch_size: Optional[int] = None,
+        shards: Optional[int] = None,
+    ) -> "SketchSession":
+        """Ingest ``data``, dispatching on its type and size.
+
+        Accepted forms (``deltas`` only applies to coordinate updates):
+
+        * an integer ``index`` (with optional scalar ``deltas``) — one
+          streaming update;
+        * a 1-D **integer** array-like of coordinates, with ``deltas``
+          ``None`` (unit increments), a scalar, or a matching float array —
+          a batch of updates in stream order;
+        * a 2-D array-like of ``(index, delta)`` pairs — same;
+        * a 1-D **float** array-like of length ``dimension`` (or a
+          :class:`~repro.data.dataset.Dataset`) — a whole frequency vector;
+        * an :class:`~repro.streaming.stream.UpdateStream` — replayed in
+          order.
+
+        ``batch_size`` chunks batched replays through ``update_batch``
+        (default: one vectorised call).  ``shards`` forces the multi-core
+        sharded engine (``shards > 1``; linear sketches with integer seeds
+        only); when omitted, ingests of at least ``auto_shard_threshold``
+        updates shard automatically on multi-core machines.  Returns
+        ``self`` for chaining.
+        """
+        if isinstance(data, Dataset):
+            data = data.vector
+        # scalar streaming update -------------------------------------- #
+        if isinstance(data, (int, np.integer)) and not isinstance(data, bool):
+            if not self.spec.streaming:
+                raise CapabilityError(
+                    f"sketch {self._config.name!r} does not support "
+                    "one-update-at-a-time streaming ingestion"
+                )
+            if shards is not None and shards != 1:
+                raise ConfigError("a single update cannot be sharded")
+            delta = 1.0 if deltas is None else float(deltas)
+            self._sketch.update(int(data), delta)
+            return self
+        # update stream ------------------------------------------------- #
+        if isinstance(data, UpdateStream):
+            if data.dimension != self.dimension:
+                raise ConfigError(
+                    f"stream has dimension {data.dimension}, session expects "
+                    f"{self.dimension}"
+                )
+            if deltas is not None:
+                raise ConfigError("deltas cannot be combined with an UpdateStream")
+            return self._ingest_updates(
+                data.indices(), data.deltas(), batch_size, shards
+            )
+        # array-likes --------------------------------------------------- #
+        arr = np.asarray(data)
+        if arr.ndim == 2 and arr.shape[1] == 2:
+            if deltas is not None:
+                raise ConfigError(
+                    "deltas cannot be combined with (index, delta) pairs"
+                )
+            indices = arr[:, 0]
+            if not np.allclose(indices, np.round(indices)):
+                raise ConfigError(
+                    "(index, delta) pairs must carry integer indices in the "
+                    "first column"
+                )
+            return self._ingest_updates(
+                np.round(indices).astype(np.int64),
+                arr[:, 1].astype(np.float64),
+                batch_size,
+                shards,
+            )
+        if arr.ndim != 1:
+            raise ConfigError(
+                f"cannot ingest an array of shape {arr.shape}; expected a "
+                "scalar index, 1-D coordinates, (index, delta) pairs, a "
+                "frequency vector, or an UpdateStream"
+            )
+        if (
+            deltas is None
+            and np.issubdtype(arr.dtype, np.integer)
+            and arr.size == self.dimension
+        ):
+            # an integer array of exactly `dimension` entries is ambiguous:
+            # a batch of coordinates, or an integer-valued counts vector?
+            # refuse rather than silently guess wrong
+            raise ConfigError(
+                f"ambiguous ingest: an integer array of length {arr.size} == "
+                "dimension could be a batch of coordinates or a dense counts "
+                "vector; pass counts as floats (x.astype(float)) to fit the "
+                "vector, or pass explicit deltas (e.g. deltas=1.0) to treat "
+                "the entries as coordinates"
+            )
+        if deltas is None and np.issubdtype(arr.dtype, np.floating):
+            # dense frequency vector (the fit path)
+            if arr.size != self.dimension:
+                raise ConfigError(
+                    f"a float array is ingested as a dense frequency vector "
+                    f"and must have length {self.dimension}, got {arr.size}; "
+                    "pass integer coordinates (with optional deltas) for "
+                    "streaming updates"
+                )
+            resolved = self._resolve_shards(int(np.count_nonzero(arr)), shards)
+            if resolved > 1:
+                indices = np.flatnonzero(arr)
+                return self._ingest_updates(
+                    indices, arr[indices], batch_size, resolved
+                )
+            self._sketch.fit(arr)
+            return self
+        # 1-D coordinates (+ optional deltas)
+        return self._ingest_updates(arr, deltas, batch_size, shards)
+
+    def _ingest_updates(
+        self,
+        indices: Any,
+        deltas: Any,
+        batch_size: Optional[int],
+        shards: Union[int, None],
+    ) -> "SketchSession":
+        indices, deltas = self._sketch._check_batch(indices, deltas)
+        resolved = self._resolve_shards(int(indices.size), shards)
+        if resolved > 1:
+            report = _ingest_stream_sharded(
+                (indices, deltas),
+                self._config.name,
+                self._config.width,
+                self._config.depth,
+                seed=self._config.seed,
+                shards=resolved,
+                dimension=self.dimension,
+                batch_size=batch_size or DEFAULT_BATCH_SIZE,
+                options=self._config.options,
+            )
+            self._last_shard_report = report
+            # the merged shard sketch is compatible by construction; folding
+            # it in preserves any state the session already held
+            self._sketch.merge(report.sketch)  # type: ignore[attr-defined]
+            return self
+        if batch_size is None:
+            self._sketch.update_batch(indices, deltas)
+        else:
+            batch_size = require_positive_int(batch_size, "batch_size")
+            for start in range(0, indices.size, batch_size):
+                stop = start + batch_size
+                self._sketch.update_batch(indices[start:stop], deltas[start:stop])
+        return self
+
+    def _resolve_shards(self, updates: int, shards: Union[int, None]) -> int:
+        if shards is not None:
+            shards = require_positive_int(shards, "shards")
+            if shards > 1:
+                self._require_shardable()
+            return shards
+        if (
+            self._auto_shard_threshold is not None
+            and updates >= self._auto_shard_threshold
+            and self.spec.linear
+            and self._config.portable
+        ):
+            cpus = os.cpu_count() or 1
+            if cpus > 1:
+                return min(cpus, _MAX_AUTO_SHARDS)
+        return 1
+
+    def _require_shardable(self) -> None:
+        if not self.spec.linear:
+            raise CapabilityError(
+                f"sketch {self._config.name!r} is not a linear sketch and "
+                "cannot be sharded; merging shard results requires linearity"
+            )
+        if not self._config.portable:
+            raise ConfigError(
+                "sharded ingestion requires an explicit integer seed so all "
+                "workers build compatible sketches"
+            )
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def query(self, kind: Union[str, int, np.integer] = "point", **params: Any):
+        """Answer one query, dispatching on ``kind``.
+
+        * ``query(kind="point", index=i)`` — point estimate of coordinate
+          ``i`` (a float); an array of indices returns one estimate each.
+          ``query(i)`` with an integer is shorthand.
+        * ``query(kind="heavy_hitters", threshold=... | phi=..., top_k=...,
+          relative_to_bias=...)`` — the coordinates whose estimate exceeds
+          the threshold, as :class:`~repro.queries.heavy_hitters.HeavyHitter`
+          records.
+        * ``query(kind="range", low=a, high=b)`` — the estimated sum over
+          ``[a, b)``.
+        * ``query(kind="inner_product", vector=y)`` — the estimated
+          ``⟨x, y⟩``.
+
+        Kinds outside the algorithm's declared capabilities raise
+        :class:`~repro.api.CapabilityError`; unknown kinds raise
+        ``ValueError`` listing the known ones.
+        """
+        if isinstance(kind, (int, np.integer)) and not isinstance(kind, bool):
+            params.setdefault("index", int(kind))
+            kind = "point"
+        if kind not in QUERY_KINDS:
+            raise ValueError(
+                f"unknown query kind {kind!r}; known kinds: {list(QUERY_KINDS)}"
+            )
+        if not self.spec.supports_query(kind):
+            raise CapabilityError(
+                f"sketch {self._config.name!r} does not support "
+                f"{kind!r} queries; supported kinds: "
+                f"{self.spec.supported_queries()}"
+            )
+        handler = getattr(self, f"_query_{kind}")
+        return handler(**params)
+
+    def _query_point(self, index: Any):
+        if isinstance(index, (int, np.integer)) and not isinstance(index, bool):
+            return self._sketch.query(int(index))
+        return self._sketch.query_batch(index)
+
+    def _query_heavy_hitters(
+        self,
+        threshold: Optional[float] = None,
+        phi: Optional[float] = None,
+        total_mass: Optional[float] = None,
+        relative_to_bias: bool = False,
+        top_k: Optional[int] = None,
+    ) -> List[HeavyHitter]:
+        return _heavy_hitters(
+            self._sketch,
+            threshold=threshold,
+            phi=phi,
+            total_mass=total_mass,
+            relative_to_bias=relative_to_bias,
+            top_k=top_k,
+        )
+
+    def _query_range(self, low: int, high: int) -> float:
+        return _range_sum(self._sketch, low, high)
+
+    def _query_inner_product(self, vector: Any) -> float:
+        return _inner_product_estimate(self._sketch, vector)
+
+    def recover(self) -> np.ndarray:
+        """The full recovered vector ``x̂`` (one estimate per coordinate)."""
+        return self._sketch.recover()
+
+    def estimate_bias(self) -> float:
+        """The sketch's current bias estimate ``β̂``.
+
+        Only the bias-aware algorithms maintain one; others raise
+        :class:`~repro.api.CapabilityError`.
+        """
+        estimator = getattr(self._sketch, "estimate_bias", None)
+        if estimator is None:
+            raise CapabilityError(
+                f"sketch {self._config.name!r} does not maintain a bias "
+                "estimate; use a bias-aware algorithm (e.g. 'l1_sr', 'l2_sr')"
+            )
+        return float(estimator())
+
+    # ------------------------------------------------------------------ #
+    # composition
+    # ------------------------------------------------------------------ #
+    def merge(self, other: Union["SketchSession", Sketch, bytes, bytearray]) -> "SketchSession":
+        """Fold another compatible sketch's state into this session.
+
+        ``other`` may be another session, a bare sketch, or a serialized
+        wire payload (what a remote site would ship).  Requires a linear
+        algorithm; geometry and seed compatibility are validated by the
+        underlying merge.
+        """
+        if not self.spec.linear:
+            raise CapabilityError(
+                f"sketch {self._config.name!r} is not a linear sketch and "
+                "cannot be merged"
+            )
+        if isinstance(other, SketchSession):
+            other = other.sketch
+        elif isinstance(other, (bytes, bytearray)):
+            other = Sketch.from_bytes(bytes(other))
+        if not isinstance(other, Sketch):
+            raise TypeError(
+                "merge expects a SketchSession, a Sketch, or a serialized "
+                f"payload, got {type(other).__name__}"
+            )
+        assert isinstance(self._sketch, LinearSketch)
+        self._sketch.merge(other)  # type: ignore[arg-type]
+        return self
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """The sketch state in the versioned binary wire format."""
+        return self._sketch.to_bytes()
+
+    def state_dict(self) -> dict:
+        """The sketch state as a plain dict (see the state protocol)."""
+        return self._sketch.state_dict()
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Persist the sketch state to ``path``; returns the path written."""
+        path = Path(path)
+        path.write_bytes(self.to_bytes())
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SketchSession({self._config!r}, "
+            f"items_processed={self.items_processed})"
+        )

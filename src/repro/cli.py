@@ -1,18 +1,22 @@
 """Command-line interface.
 
 Five subcommands cover the everyday uses of the library without writing any
-Python:
+Python, all routed through the unified :mod:`repro.api` session facade:
 
 * ``repro datasets`` — list the available workloads and their bias profiles;
 * ``repro sketch`` — sketch a workload with one algorithm and report its
   accuracy and size (``--shards N`` ingests through the multi-core sharded
   engine);
-* ``repro save`` — sketch a workload and persist the sketch state to disk in
-  the versioned binary wire format;
-* ``repro load`` — restore a saved sketch and query it, independently of the
+* ``repro save`` — sketch a workload and persist the session's sketch state
+  to disk in the versioned binary wire format;
+* ``repro load`` — reopen a saved session and query it, independently of the
   process (or machine) that built it;
 * ``repro experiment`` — regenerate one of the paper's figures (see
   ``repro experiment --list``) and optionally render it as an ASCII chart.
+
+User errors (unknown sketch or dataset names, invalid geometry, missing
+files) exit with status 2 and a one-line ``error: ...`` message, never a
+traceback.  ``repro --version`` prints the package version.
 
 Invoke either as ``python -m repro.cli ...`` or through the ``repro-sketches``
 console script installed by the package.
@@ -21,12 +25,13 @@ console script installed by the package.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 import numpy as np
 
-from repro import serialization
+from repro.api import CapabilityError, ConfigError, SketchConfig, SketchSession
 from repro.data.registry import available_datasets, load_dataset
 from repro.eval.experiments import (
     available_experiments,
@@ -35,8 +40,9 @@ from repro.eval.experiments import (
 )
 from repro.eval.metrics import average_error, maximum_error
 from repro.eval.plots import plot_result_table
-from repro.sketches.registry import available_sketches, get_spec, make_sketch
-from repro.streaming.sharded import ingest_stream_sharded
+from repro.serialization import SerializationError
+from repro.sketches.registry import available_sketches, get_spec
+from repro.version import __version__
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,6 +51,8 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Bias-aware sketches (Chen & Zhang, VLDB 2017): datasets, "
                     "sketching, and figure reproduction from the command line.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     datasets = subparsers.add_parser(
@@ -73,7 +81,7 @@ def _build_parser() -> argparse.ArgumentParser:
     load = subparsers.add_parser(
         "load", help="restore a saved sketch and query it"
     )
-    load.add_argument("path", help="file written by 'repro save' (or to_bytes())")
+    load.add_argument("path", help="file written by 'repro save' (or session.save())")
     load.add_argument("--query", type=int, nargs="*", default=None,
                       help="coordinates to point-query on the restored sketch")
 
@@ -100,7 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
 def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
     """Workload/algorithm/geometry options shared by ``sketch`` and ``save``."""
     parser.add_argument("--dataset", default="gaussian",
-                        choices=available_datasets())
+                        help="workload name (see the 'datasets' subcommand)")
     parser.add_argument("--algorithm", default="l2_sr",
                         help="sketch algorithm (see sketch --list-algorithms)")
     parser.add_argument("--dimension", type=int, default=50_000)
@@ -111,6 +119,13 @@ def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
                         help="ingest through the multi-core sharded engine "
                              "with this many shards (linear sketches only; "
                              "default 1 = single-process fit)")
+
+
+def _load_cli_dataset(args: argparse.Namespace):
+    if args.dataset not in available_datasets():
+        known = ", ".join(available_datasets())
+        raise ConfigError(f"unknown dataset {args.dataset!r}; available: {known}")
+    return load_dataset(args.dataset, seed=args.seed, dimension=args.dimension)
 
 
 def _command_datasets(args: argparse.Namespace, out) -> int:
@@ -130,29 +145,19 @@ def _command_datasets(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _build_workload_sketch(args: argparse.Namespace, out):
-    """Sketch the requested workload (single-process or sharded); or None on error."""
-    dataset = load_dataset(args.dataset, seed=args.seed, dimension=args.dimension)
-    shards = getattr(args, "shards", 1)
-    if shards > 1:
-        if not get_spec(args.algorithm).linear:
-            print(f"error: {args.algorithm} is not a linear sketch and cannot "
-                  "be sharded; drop --shards or pick a linear algorithm",
-                  file=out)
-            return None, None
-        # replay the workload's non-zero coordinates as a weighted update
-        # stream partitioned across worker processes
-        indices = np.flatnonzero(dataset.vector)
-        deltas = dataset.vector[indices]
-        report = ingest_stream_sharded(
-            (indices, deltas), args.algorithm, args.width, args.depth,
-            seed=args.seed, shards=shards, dimension=dataset.dimension,
-        )
-        return dataset, report.sketch
-    sketch = make_sketch(args.algorithm, dataset.dimension, args.width,
-                         args.depth, seed=args.seed)
-    sketch.fit(dataset.vector)
-    return dataset, sketch
+def _build_workload_session(args: argparse.Namespace):
+    """Open a session on the requested workload (single-process or sharded)."""
+    dataset = _load_cli_dataset(args)
+    config = SketchConfig(
+        args.algorithm,
+        dimension=dataset.dimension,
+        width=args.width,
+        depth=args.depth,
+        seed=args.seed,
+    )
+    session = SketchSession.from_config(config)
+    session.ingest(dataset.vector, shards=max(1, getattr(args, "shards", 1)))
+    return dataset, session
 
 
 def _command_sketch(args: argparse.Namespace, out) -> int:
@@ -160,62 +165,57 @@ def _command_sketch(args: argparse.Namespace, out) -> int:
         for name in available_sketches():
             print(name, file=out)
         return 0
-    dataset, sketch = _build_workload_sketch(args, out)
-    if sketch is None:
-        return 2
-    recovered = sketch.recover()
+    dataset, session = _build_workload_session(args)
+    recovered = session.recover()
     print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
     print(f"algorithm        : {args.algorithm}", file=out)
     if getattr(args, "shards", 1) > 1:
         print(f"ingestion        : sharded ({args.shards} shards)", file=out)
-    print(f"sketch size      : {sketch.size_in_words()} words "
-          f"({dataset.dimension / sketch.size_in_words():.1f}x compression)",
+    print(f"sketch size      : {session.size_in_words()} words "
+          f"({dataset.dimension / session.size_in_words():.1f}x compression)",
           file=out)
     print(f"average error    : {average_error(dataset.vector, recovered):.4f}",
           file=out)
     print(f"maximum error    : {maximum_error(dataset.vector, recovered):.4f}",
           file=out)
-    if hasattr(sketch, "estimate_bias"):
-        print(f"estimated bias   : {sketch.estimate_bias():.4f}", file=out)
+    if get_spec(args.algorithm).bias_aware:
+        print(f"estimated bias   : {session.estimate_bias():.4f}", file=out)
         print(f"vector mean      : {float(np.mean(dataset.vector)):.4f}", file=out)
     return 0
 
 
 def _command_save(args: argparse.Namespace, out) -> int:
-    dataset, sketch = _build_workload_sketch(args, out)
-    if sketch is None:
-        return 2
-    payload = sketch.to_bytes()
+    dataset, session = _build_workload_session(args)
+    payload = session.to_bytes()
     with open(args.output, "wb") as handle:
         handle.write(payload)
     print(f"saved            : {args.output}", file=out)
     print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
     print(f"algorithm        : {args.algorithm}", file=out)
     print(f"payload          : {len(payload)} bytes "
-          f"({sketch.size_in_words()} state words)", file=out)
+          f"({session.size_in_words()} state words)", file=out)
     return 0
 
 
 def _command_load(args: argparse.Namespace, out) -> int:
     with open(args.path, "rb") as handle:
         payload = handle.read()
-    state = serialization.decode_state(payload)
-    sketch = serialization.sketch_from_state(state)
-    config = state["config"]
+    session = SketchSession.from_bytes(payload)
+    state = session.state_dict()
     print(f"loaded           : {args.path}", file=out)
     print(f"kind             : {state['kind']} "
           f"(state_version {state['state_version']})", file=out)
-    settings = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+    settings = ", ".join(f"{k}={v}" for k, v in sorted(state["config"].items()))
     print(f"config           : {settings}", file=out)
     print(f"payload          : {len(payload)} bytes "
-          f"({serialization.state_word_count(state)} state words)", file=out)
-    if hasattr(sketch, "items_processed"):
-        print(f"items processed  : {sketch.items_processed}", file=out)
-    if hasattr(sketch, "estimate_bias"):
-        print(f"estimated bias   : {sketch.estimate_bias():.4f}", file=out)
+          f"({session.size_in_words()} state words)", file=out)
+    print(f"items processed  : {session.items_processed}", file=out)
+    if session.spec.bias_aware:
+        print(f"estimated bias   : {session.estimate_bias():.4f}", file=out)
     if args.query:
         for index in args.query:
-            print(f"query x[{index}]      : {sketch.query(index):.4f}", file=out)
+            estimate = session.query(kind="point", index=index)
+            print(f"query x[{index}]      : {estimate:.4f}", file=out)
     return 0
 
 
@@ -238,23 +238,48 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+_COMMANDS = {
+    "datasets": _command_datasets,
+    "sketch": _command_sketch,
+    "save": _command_save,
+    "load": _command_load,
+    "experiment": _command_experiment,
+}
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    User errors surface as a single ``error: ...`` line and exit code 2.
+    """
     out = out if out is not None else sys.stdout
     parser = _build_parser()
     args = parser.parse_args(argv)
-    if args.command == "datasets":
-        return _command_datasets(args, out)
-    if args.command == "sketch":
-        return _command_sketch(args, out)
-    if args.command == "save":
-        return _command_save(args, out)
-    if args.command == "load":
-        return _command_load(args, out)
-    if args.command == "experiment":
-        return _command_experiment(args, out)
-    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
-    return 2  # pragma: no cover
+    handler = _COMMANDS[args.command]
+    try:
+        return handler(args, out)
+    except (ConfigError, CapabilityError, SerializationError) as error:
+        return _fail(error, out)
+    except KeyError as error:
+        # registry lookups (datasets, experiments) raise KeyError whose first
+        # argument is the full one-line message
+        return _fail(error.args[0] if error.args else error, out)
+    except (FileNotFoundError, IsADirectoryError, PermissionError) as error:
+        name = getattr(error, "filename", None) or "file"
+        return _fail(f"cannot read {name}: {error.strerror or error}", out)
+    except (IndexError, ValueError) as error:
+        # the validation layer raises these for bad user input (out-of-range
+        # query indices, bad dataset parameters); anything else is a bug that
+        # REPRO_CLI_DEBUG=1 surfaces with a full traceback
+        return _fail(error, out)
+
+
+def _fail(detail, out) -> int:
+    """Report a user error as a single line, unless debugging is requested."""
+    if os.environ.get("REPRO_CLI_DEBUG"):
+        raise
+    print(f"error: {detail}", file=out)
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -89,46 +89,63 @@ __all__ = [
 
 
 def _register_bias_aware_sketches() -> None:
-    """Register the paper's algorithms with the shared sketch registry."""
+    """Register the paper's algorithms with the shared sketch registry.
+
+    Each registration declares the algorithm's capability metadata (all of
+    them are linear and streaming, and answer every query kind) plus the
+    schema of its algorithm-specific keyword arguments, so the
+    :mod:`repro.api` facade can validate configurations up front.
+    """
     registrations = [
         (
             "l1_sr",
             "ℓ1-S/R (bias-aware, Count-Median based)",
-            lambda n, s, d, seed: L1BiasAwareSketch(n, s, d, seed=seed),
+            lambda n, s, d, seed, **kw: L1BiasAwareSketch(n, s, d, seed=seed, **kw),
+            {"bias_samples": int},
         ),
         (
             "l2_sr",
             "ℓ2-S/R (bias-aware, Count-Sketch based)",
-            lambda n, s, d, seed: L2BiasAwareSketch(n, s, d, seed=seed),
+            lambda n, s, d, seed, **kw: L2BiasAwareSketch(n, s, d, seed=seed, **kw),
+            {"head_size": int},
         ),
         (
             "l1_mean",
             "ℓ1-mean (mean heuristic, Count-Median based)",
-            lambda n, s, d, seed: L1MeanSketch(n, s, d, seed=seed),
+            lambda n, s, d, seed, **kw: L1MeanSketch(n, s, d, seed=seed, **kw),
+            {},
         ),
         (
             "l2_mean",
             "ℓ2-mean (mean heuristic, Count-Sketch based)",
-            lambda n, s, d, seed: L2MeanSketch(n, s, d, seed=seed),
+            lambda n, s, d, seed, **kw: L2MeanSketch(n, s, d, seed=seed, **kw),
+            {},
         ),
         (
             "l1_sr_streaming",
             "ℓ1-S/R (streaming bias maintenance)",
-            lambda n, s, d, seed: StreamingL1BiasAwareSketch(n, s, d, seed=seed),
+            lambda n, s, d, seed, **kw: StreamingL1BiasAwareSketch(
+                n, s, d, seed=seed, **kw
+            ),
+            {"bias_samples": int},
         ),
         (
             "l2_sr_streaming",
             "ℓ2-S/R (streaming, Bias-Heap of Algorithm 5)",
-            lambda n, s, d, seed: StreamingL2BiasAwareSketch(n, s, d, seed=seed),
+            lambda n, s, d, seed, **kw: StreamingL2BiasAwareSketch(
+                n, s, d, seed=seed, **kw
+            ),
+            {"head_size": int},
         ),
     ]
-    for name, label, factory in registrations:
+    for name, label, factory, kwargs_schema in registrations:
         register_sketch(
             name,
             label,
             factory,
             linear=True,
             bias_aware=True,
+            kwargs_schema=kwargs_schema,
             overwrite=True,
         )
 

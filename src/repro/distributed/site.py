@@ -1,13 +1,22 @@
-"""Sites of the simulated distributed protocol."""
+"""Sites of the simulated distributed protocol.
+
+Sites build their local sketches from a declarative
+:class:`repro.api.SketchConfig`, which guarantees every site (and the
+coordinator's reconstruction) uses the same algorithm, geometry and seed.
+The historical zero-argument factory-callable form still works but is
+deprecated.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Union
 
 import numpy as np
 
+from repro.api.config import SketchConfig
 from repro.sketches.base import LinearSketch, Sketch
 from repro.streaming.stream import UpdateStream
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import ensure_1d_float_array, require_positive_int
 
@@ -62,17 +71,35 @@ class Site:
     ----------
     name:
         Identifier used in the communication log.
-    sketch_factory:
-        Zero-argument callable building a *fresh, compatible* sketch (all
-        sites and the coordinator must use the same seed so their hash
-        functions agree).
+    config:
+        A :class:`repro.api.SketchConfig` describing the site's local sketch.
+        All sites and the coordinator must share the same config (in
+        particular its integer seed) so their hash functions agree — in a
+        real deployment the coordinator broadcasts it.  A zero-argument
+        factory callable is still accepted but deprecated.
     """
 
-    def __init__(self, name: str, sketch_factory: Callable[[], Sketch]) -> None:
+    def __init__(
+        self, name: str, config: Union[SketchConfig, Callable[[], Sketch]]
+    ) -> None:
         if not name:
             raise ValueError("site name must be non-empty")
         self.name = name
-        self._sketch_factory = sketch_factory
+        if isinstance(config, SketchConfig):
+            self._sketch_factory: Callable[[], Sketch] = config.build
+            self.config: Optional[SketchConfig] = config
+        elif callable(config):
+            warn_deprecated(
+                "passing a sketch factory callable to repro.distributed.Site",
+                "Site(name, repro.api.SketchConfig(...))",
+            )
+            self._sketch_factory = config
+            self.config = None
+        else:
+            raise TypeError(
+                "Site expects a repro.api.SketchConfig (or, deprecated, a "
+                f"zero-argument sketch factory), got {type(config).__name__}"
+            )
         self._sketch: Optional[Sketch] = None
 
     @property

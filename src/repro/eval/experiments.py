@@ -123,8 +123,12 @@ _register(ExperimentSpec(
 
 
 def available_experiments() -> List[str]:
-    """Names of all registered experiments, in figure order."""
-    return list(_EXPERIMENTS)
+    """Names of all registered experiments, deterministically sorted.
+
+    Experiment ids are chosen so that lexicographic order is figure order,
+    and sorting keeps CLI output and docs stable across interpreter runs.
+    """
+    return sorted(_EXPERIMENTS)
 
 
 def get_experiment(name: str) -> ExperimentSpec:

@@ -21,10 +21,11 @@ from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro.api import SketchConfig, SketchSession
 from repro.data.dataset import Dataset
 from repro.eval.metrics import average_error, maximum_error
 from repro.eval.results import ResultRow, ResultTable
-from repro.sketches.registry import get_spec, make_sketch, paper_reference_suite
+from repro.sketches.registry import get_spec, paper_reference_suite
 from repro.streaming.runner import StreamRunner
 from repro.streaming.stream import UpdateStream
 from repro.utils.rng import RandomSource, derive_seed
@@ -94,14 +95,20 @@ def evaluate_algorithms(
         words = 0
         for repetition in range(repetitions):
             run_seed = derive_seed(seed, repetition * 1_000 + _algorithm_salt(algorithm))
-            sketch = make_sketch(
-                algorithm, vector.size, width, effective_depth, seed=run_seed
+            session = SketchSession.from_config(
+                SketchConfig(
+                    algorithm,
+                    dimension=vector.size,
+                    width=width,
+                    depth=effective_depth,
+                    seed=run_seed,
+                )
             )
-            sketch.fit(vector)
-            recovered = sketch.recover()
+            session.ingest(vector)
+            recovered = session.recover()
             averages.append(average_error(vector, recovered))
             maxima.append(maximum_error(vector, recovered))
-            words = sketch.size_in_words()
+            words = session.size_in_words()
         table.add(
             ResultRow(
                 dataset=dataset_name,
@@ -205,9 +212,13 @@ def streaming_comparison(
         run_algorithm = streaming_substitutes.get(algorithm, algorithm)
         effective_depth = _effective_depth(run_algorithm, depth)
         run_seed = derive_seed(seed, _algorithm_salt(run_algorithm))
-        sketch = make_sketch(
-            run_algorithm, stream.dimension, width, effective_depth, seed=run_seed
-        )
+        sketch = SketchConfig(
+            run_algorithm,
+            dimension=stream.dimension,
+            width=width,
+            depth=effective_depth,
+            seed=run_seed,
+        ).build()
         report = runner.run(
             sketch, query_count=query_count, seed=run_seed, batch_size=batch_size
         )

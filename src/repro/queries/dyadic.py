@@ -20,7 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.sketches.registry import make_sketch
+from repro.sketches.registry import get_spec
 from repro.utils.rng import RandomSource, derive_seed
 from repro.utils.validation import ensure_1d_float_array, require_positive_int
 
@@ -66,13 +66,13 @@ class DyadicRangeSketch:
                 max_levels, "max_levels") + 1)
         self.levels = total_levels
 
+        spec = get_spec(algorithm)
         self._sketches = []
         for level in range(self.levels):
             level_dimension = max(1, self._padded >> level)
             level_width = min(self.width, max(4, level_dimension))
             self._sketches.append(
-                make_sketch(
-                    algorithm,
+                spec.build(
                     level_dimension,
                     level_width,
                     depth,

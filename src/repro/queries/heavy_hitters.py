@@ -17,6 +17,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.sketches.base import Sketch
+from repro.utils.deprecation import deprecated_entry_point
 
 
 @dataclass(frozen=True)
@@ -28,7 +29,7 @@ class HeavyHitter:
     score: float
 
 
-def heavy_hitters(
+def _heavy_hitters(
     sketch: Sketch,
     threshold: Optional[float] = None,
     phi: Optional[float] = None,
@@ -83,3 +84,28 @@ def heavy_hitters(
             raise ValueError(f"top_k must be >= 1, got {top_k}")
         hitters = hitters[:top_k]
     return hitters
+
+
+@deprecated_entry_point("repro.api.SketchSession.query(kind='heavy_hitters', ...)")
+def heavy_hitters(
+    sketch: Sketch,
+    threshold: Optional[float] = None,
+    phi: Optional[float] = None,
+    total_mass: Optional[float] = None,
+    relative_to_bias: bool = False,
+    top_k: Optional[int] = None,
+) -> List[HeavyHitter]:
+    """Report coordinates whose estimate exceeds a threshold.
+
+    .. deprecated::
+        Use ``SketchSession.query(kind="heavy_hitters", threshold=... |
+        phi=..., top_k=..., relative_to_bias=...)`` instead.
+    """
+    return _heavy_hitters(
+        sketch,
+        threshold=threshold,
+        phi=phi,
+        total_mass=total_mass,
+        relative_to_bias=relative_to_bias,
+        top_k=top_k,
+    )

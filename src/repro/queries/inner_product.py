@@ -5,10 +5,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sketches.base import Sketch
+from repro.utils.deprecation import deprecated_entry_point
 from repro.utils.validation import ensure_1d_float_array
 
 
-def inner_product_estimate(sketch: Sketch, y) -> float:
+def _inner_product_estimate(sketch: Sketch, y) -> float:
     """Estimate ``⟨x, y⟩`` where ``x`` is the sketched vector and ``y`` is given.
 
     The estimator is ``⟨x̂, y⟩`` with ``x̂`` the sketch's recovered vector; by
@@ -21,3 +22,13 @@ def inner_product_estimate(sketch: Sketch, y) -> float:
             f"y has dimension {arr.size}, sketch expects {sketch.dimension}"
         )
     return float(np.dot(sketch.recover(), arr))
+
+
+@deprecated_entry_point("repro.api.SketchSession.query(kind='inner_product', vector=...)")
+def inner_product_estimate(sketch: Sketch, y) -> float:
+    """Estimate ``⟨x, y⟩`` for an explicit vector ``y``.
+
+    .. deprecated::
+        Use ``SketchSession.query(kind="inner_product", vector=y)`` instead.
+    """
+    return _inner_product_estimate(sketch, y)

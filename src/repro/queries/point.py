@@ -8,6 +8,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.sketches.base import Sketch
+from repro.utils.deprecation import deprecated_entry_point
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,7 @@ class PointQueryResult:
         return abs(self.estimate - self.truth)
 
 
-def point_query(
+def _point_query(
     sketch: Sketch,
     index: int,
     truth: Optional[Sequence[float]] = None,
@@ -37,10 +38,29 @@ def point_query(
     return PointQueryResult(index=int(index), estimate=estimate, truth=true_value)
 
 
+@deprecated_entry_point("repro.api.SketchSession.query(kind='point', index=...)")
+def point_query(
+    sketch: Sketch,
+    index: int,
+    truth: Optional[Sequence[float]] = None,
+) -> PointQueryResult:
+    """Answer a single point query, optionally attaching the true value.
+
+    .. deprecated::
+        Use ``SketchSession.query(kind="point", index=...)`` instead.
+    """
+    return _point_query(sketch, index, truth)
+
+
+@deprecated_entry_point("repro.api.SketchSession.query(kind='point', index=[...])")
 def batch_point_query(
     sketch: Sketch,
     indices: Sequence[int],
     truth: Optional[Sequence[float]] = None,
 ) -> list:
-    """Answer many point queries at once."""
-    return [point_query(sketch, int(index), truth) for index in indices]
+    """Answer many point queries at once.
+
+    .. deprecated::
+        Use ``SketchSession.query(kind="point", index=[...])`` instead.
+    """
+    return [_point_query(sketch, int(index), truth) for index in indices]

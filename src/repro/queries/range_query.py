@@ -12,10 +12,11 @@ accounted for exactly rather than once per coordinate.
 from __future__ import annotations
 
 from repro.sketches.base import Sketch
+from repro.utils.deprecation import deprecated_entry_point
 from repro.utils.validation import require_index
 
 
-def range_sum(sketch: Sketch, low: int, high: int) -> float:
+def _range_sum(sketch: Sketch, low: int, high: int) -> float:
     """Estimate ``Σ_{i=low}^{high-1} x_i`` by summing point estimates.
 
     ``low`` is inclusive, ``high`` exclusive; both must address coordinates of
@@ -27,3 +28,13 @@ def range_sum(sketch: Sketch, low: int, high: int) -> float:
     if high < low:
         raise ValueError(f"high ({high}) must be >= low ({low})")
     return float(sum(sketch.query(index) for index in range(low, high)))
+
+
+@deprecated_entry_point("repro.api.SketchSession.query(kind='range', low=..., high=...)")
+def range_sum(sketch: Sketch, low: int, high: int) -> float:
+    """Estimate ``Σ_{i=low}^{high-1} x_i`` by summing point estimates.
+
+    .. deprecated::
+        Use ``SketchSession.query(kind="range", low=..., high=...)`` instead.
+    """
+    return _range_sum(sketch, low, high)

@@ -38,8 +38,9 @@ import numpy as np
 
 from repro.serialization import sketch_from_bytes
 from repro.sketches.base import LinearSketch
-from repro.sketches.registry import get_spec, make_sketch
+from repro.sketches.registry import get_spec
 from repro.streaming.stream import UpdateStream
+from repro.utils.deprecation import deprecated_entry_point
 from repro.utils.validation import ensure_batch_arrays, require_positive_int
 
 #: default update_batch chunk size inside each worker (matches StreamRunner
@@ -111,6 +112,7 @@ def _replay_shard(
     indices: np.ndarray,
     deltas: np.ndarray,
     batch_size: int,
+    options: Optional[dict] = None,
 ) -> bytes:
     """Worker entry point: sketch one shard, return the serialized state.
 
@@ -118,7 +120,9 @@ def _replay_shard(
     start method; returns bytes so the parent merges exactly what a remote
     site would have shipped.
     """
-    sketch = make_sketch(name, dimension, width, depth, seed=seed)
+    sketch = get_spec(name).build(
+        dimension, width, depth, seed=seed, **(options or {})
+    )
     for start in range(0, indices.size, batch_size):
         stop = start + batch_size
         sketch.update_batch(indices[start:stop], deltas[start:stop])
@@ -132,7 +136,7 @@ def _preferred_context():
     return multiprocessing.get_context()
 
 
-def ingest_stream_sharded(
+def _ingest_stream_sharded(
     stream,
     name: str,
     width: int,
@@ -142,6 +146,7 @@ def ingest_stream_sharded(
     dimension: Optional[int] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     max_workers: Optional[int] = None,
+    options: Optional[dict] = None,
 ) -> ShardedIngestReport:
     """Ingest a stream into a linear sketch using sharded worker processes.
 
@@ -167,6 +172,10 @@ def ingest_stream_sharded(
         ``update_batch`` chunk size inside each worker.
     max_workers:
         Cap on worker processes (default: ``min(shards, cpu_count)``).
+    options:
+        Algorithm-specific constructor kwargs (the ``options`` of a
+        :class:`repro.api.SketchConfig`), forwarded to every worker so the
+        shard sketches are built identically to the parent's.
 
     Returns
     -------
@@ -202,7 +211,8 @@ def ingest_stream_sharded(
     start_time = time.perf_counter()
     pieces = shard_arrays(indices, deltas, shards)
     tasks = [
-        (name, dimension, width, depth, int(seed), idx, d, batch_size)
+        (name, dimension, width, depth, int(seed), idx, d, batch_size,
+         dict(options or {}))
         for idx, d in pieces
     ]
 
@@ -233,4 +243,36 @@ def ingest_stream_sharded(
         payload_bytes=[len(p) for p in payloads],
         batch_size=batch_size,
         elapsed_seconds=elapsed,
+    )
+
+
+@deprecated_entry_point("repro.api.SketchSession.ingest(stream, shards=N)")
+def ingest_stream_sharded(
+    stream,
+    name: str,
+    width: int,
+    depth: int,
+    seed: int,
+    shards: int,
+    dimension: Optional[int] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    max_workers: Optional[int] = None,
+) -> ShardedIngestReport:
+    """Ingest a stream into a linear sketch using sharded worker processes.
+
+    .. deprecated::
+        Use ``SketchSession.ingest(stream, shards=N)`` — the session facade
+        dispatches to this engine and folds the merged result into its
+        sketch (``session.last_shard_report`` carries the run's report).
+    """
+    return _ingest_stream_sharded(
+        stream,
+        name,
+        width,
+        depth,
+        seed=seed,
+        shards=shards,
+        dimension=dimension,
+        batch_size=batch_size,
+        max_workers=max_workers,
     )

@@ -1,0 +1,55 @@
+"""Deprecation plumbing for the pre-``repro.api`` entry points.
+
+The unified :mod:`repro.api` facade (``SketchConfig`` + ``SketchSession``)
+replaced the historical front doors — the positional registry constructor,
+the per-module query helpers, and the standalone sharded-ingestion call.
+Those old entry points keep working, but each call emits exactly one
+:class:`DeprecationWarning` naming its ``repro.api`` replacement so callers
+can migrate mechanically.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+
+def deprecation_message(qualified_name: str, replacement: str) -> str:
+    """The one-line migration hint emitted for a deprecated entry point."""
+    return f"{qualified_name} is deprecated; use {replacement} instead"
+
+
+def warn_deprecated(qualified_name: str, replacement: str, stacklevel: int = 3) -> None:
+    """Emit the single :class:`DeprecationWarning` for a deprecated entry point."""
+    warnings.warn(
+        deprecation_message(qualified_name, replacement),
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def deprecated_entry_point(replacement: str) -> Callable[[F], F]:
+    """Mark a callable as a deprecated shim over a ``repro.api`` surface.
+
+    The wrapped callable behaves identically but emits exactly one
+    :class:`DeprecationWarning` per call, naming ``replacement``.  The
+    replacement string is recorded on the wrapper as
+    ``__deprecated_replacement__`` so tests (and tooling) can audit the
+    migration table mechanically.
+    """
+
+    def decorate(func: F) -> F:
+        qualified = f"{func.__module__}.{func.__name__}"
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            warn_deprecated(qualified, replacement, stacklevel=2)
+            return func(*args, **kwargs)
+
+        wrapper.__deprecated_replacement__ = replacement
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

@@ -1,0 +1,156 @@
+"""Unit tests for the declarative ``SketchConfig``."""
+
+import pytest
+
+from repro.api import ConfigError, SketchConfig
+from repro.core import L2BiasAwareSketch
+from repro.sketches.count_sketch import CountSketch
+
+
+class TestValidation:
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ConfigError, match="available"):
+            SketchConfig("no_such_sketch", dimension=10, width=4, depth=2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty"):
+            SketchConfig("", dimension=10, width=4, depth=2)
+
+    @pytest.mark.parametrize("field", ["dimension", "width", "depth"])
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "8", None, True])
+    def test_geometry_must_be_positive_ints(self, field, bad):
+        fields = {"dimension": 100, "width": 8, "depth": 3, field: bad}
+        with pytest.raises(ConfigError, match=field):
+            SketchConfig("count_sketch", **fields)
+
+    def test_seed_must_be_int_or_none(self):
+        with pytest.raises(ConfigError, match="seed"):
+            SketchConfig("count_sketch", dimension=10, width=4, depth=2,
+                         seed="seven")
+        assert SketchConfig(
+            "count_sketch", dimension=10, width=4, depth=2
+        ).seed is None
+
+    def test_unknown_kwarg_rejected_with_schema(self):
+        with pytest.raises(ConfigError, match="head_size"):
+            SketchConfig("l2_sr", dimension=100, width=16, depth=3, bogus=1)
+
+    def test_kwarg_type_checked(self):
+        with pytest.raises(ConfigError, match="head_size"):
+            SketchConfig("l2_sr", dimension=100, width=16, depth=3,
+                         head_size="four")
+
+    def test_kwargs_only_for_algorithms_that_declare_them(self):
+        with pytest.raises(ConfigError, match="does not accept"):
+            SketchConfig("count_sketch", dimension=100, width=16, depth=3,
+                         head_size=4)
+
+    def test_validation_is_eager(self):
+        # nothing is constructed lazily: a bad config never exists
+        with pytest.raises(ConfigError):
+            SketchConfig("l2_sr", dimension=-1, width=16, depth=3)
+
+
+class TestBuild:
+    def test_build_constructs_the_registered_class(self):
+        config = SketchConfig("count_sketch", dimension=100, width=16, depth=3,
+                              seed=7)
+        sketch = config.build()
+        assert isinstance(sketch, CountSketch)
+        assert (sketch.dimension, sketch.width, sketch.depth) == (100, 16, 3)
+        assert sketch.seed == 7
+
+    def test_build_forwards_algorithm_kwargs(self):
+        config = SketchConfig("l2_sr", dimension=100, width=16, depth=3,
+                              seed=7, head_size=4)
+        sketch = config.build()
+        assert isinstance(sketch, L2BiasAwareSketch)
+        assert sketch.head_size == 4
+
+    def test_float_kwarg_accepts_int(self):
+        config = SketchConfig("count_min_log_cu", dimension=100, width=16,
+                              depth=3, seed=1, base=2)
+        assert config.build().base == 2.0
+
+    def test_kwargs_accept_numpy_scalars(self):
+        import numpy as np
+
+        config = SketchConfig("l2_sr", dimension=np.int64(100), width=16,
+                              depth=3, seed=np.int64(1),
+                              head_size=np.int64(4))
+        assert config.build().head_size == 4
+        log = SketchConfig("count_min_log_cu", dimension=100, width=16,
+                           depth=3, seed=1, base=np.float64(1.5))
+        assert log.build().base == 1.5
+
+
+class TestImmutabilityAndDerivation:
+    def test_immutable(self):
+        config = SketchConfig("count_sketch", dimension=100, width=16, depth=3)
+        with pytest.raises(AttributeError):
+            config.width = 32
+
+    def test_replace_overrides_fields_and_options(self):
+        config = SketchConfig("l2_sr", dimension=100, width=16, depth=3,
+                              seed=7, head_size=4)
+        wider = config.replace(width=32)
+        assert wider.width == 32
+        assert wider.options == {"head_size": 4}
+        renamed = config.replace(name="count_sketch", head_size=None)
+        assert renamed.name == "count_sketch"
+        # the original is untouched
+        assert config.width == 16
+
+    def test_replace_revalidates(self):
+        config = SketchConfig("count_sketch", dimension=100, width=16, depth=3)
+        with pytest.raises(ConfigError):
+            config.replace(width=-1)
+
+    def test_dict_round_trip(self):
+        config = SketchConfig("l2_sr", dimension=100, width=16, depth=3,
+                              seed=7, head_size=4)
+        rebuilt = SketchConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert hash(rebuilt) == hash(config)
+
+    def test_equality_covers_options(self):
+        one = SketchConfig("l2_sr", dimension=100, width=16, depth=3, head_size=4)
+        two = SketchConfig("l2_sr", dimension=100, width=16, depth=3, head_size=5)
+        assert one != two
+
+
+class TestFromState:
+    def test_round_trip_through_state(self):
+        config = SketchConfig("l2_sr", dimension=100, width=16, depth=3,
+                              seed=7, head_size=4)
+        state = config.build().state_dict()
+        recovered = SketchConfig.from_state(state)
+        assert recovered.name == "l2_sr"
+        assert recovered.options["head_size"] == 4
+        assert recovered.seed == 7
+
+    def test_non_schema_config_keys_are_dropped(self):
+        # mean sketches record an internal 'signed' flag the class fixes
+        config = SketchConfig("l2_mean", dimension=100, width=16, depth=3, seed=1)
+        state = config.build().state_dict()
+        assert "signed" in state["config"]
+        assert SketchConfig.from_state(state).options == {}
+
+    def test_unregistered_kind_rejected(self):
+        with pytest.raises(ConfigError, match="registered"):
+            SketchConfig.from_state({"kind": "mystery", "config": {}})
+
+
+class TestSpecView:
+    def test_spec_exposes_capabilities(self):
+        config = SketchConfig("count_min_cu", dimension=100, width=16, depth=3)
+        assert config.spec.linear is False
+        assert config.spec.streaming is True
+        assert config.spec.supports_query("point")
+
+    def test_portable_requires_integer_seed(self):
+        seeded = SketchConfig("count_sketch", dimension=10, width=4, depth=2,
+                              seed=3)
+        unseeded = SketchConfig("count_sketch", dimension=10, width=4, depth=2)
+        assert seeded.portable is True
+        assert unseeded.portable is False

@@ -1,0 +1,178 @@
+"""Every pre-``repro.api`` entry point still works and warns exactly once.
+
+Each deprecated shim must (a) produce the same result as before, and
+(b) emit exactly one :class:`DeprecationWarning` per call whose message names
+its ``repro.api`` replacement.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import SketchConfig, SketchSession
+from repro.distributed.site import Site
+from repro.queries.heavy_hitters import heavy_hitters
+from repro.queries.inner_product import inner_product_estimate
+from repro.queries.point import batch_point_query, point_query
+from repro.queries.range_query import range_sum
+from repro.sketches.registry import make_sketch
+from repro.streaming.sharded import ingest_stream_sharded
+
+DIMENSION = 500
+
+
+@pytest.fixture
+def fitted_sketch(rng):
+    vector = rng.normal(20.0, 3.0, size=DIMENSION)
+    sketch = SketchConfig(
+        "count_sketch", dimension=DIMENSION, width=64, depth=4, seed=7
+    ).build()
+    sketch.fit(vector)
+    return sketch, vector
+
+
+def call_and_capture(func, *args, **kwargs):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = func(*args, **kwargs)
+    deprecations = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    return result, deprecations
+
+
+class TestDeprecatedEntryPoints:
+    def assert_single_warning(self, deprecations, *needles):
+        assert len(deprecations) == 1, (
+            f"expected exactly one DeprecationWarning, got "
+            f"{[str(w.message) for w in deprecations]}"
+        )
+        message = str(deprecations[0].message)
+        assert "repro.api" in message
+        for needle in needles:
+            assert needle in message
+
+    def test_make_sketch(self):
+        sketch, deprecations = call_and_capture(
+            make_sketch, "count_sketch", DIMENSION, 64, 4, seed=7
+        )
+        self.assert_single_warning(deprecations, "SketchConfig")
+        direct = SketchConfig(
+            "count_sketch", dimension=DIMENSION, width=64, depth=4, seed=7
+        ).build()
+        assert type(sketch) is type(direct)
+
+    def test_point_query(self, fitted_sketch):
+        sketch, vector = fitted_sketch
+        result, deprecations = call_and_capture(point_query, sketch, 3, vector)
+        self.assert_single_warning(deprecations, "SketchSession.query", "point")
+        assert result.estimate == sketch.query(3)
+        assert result.truth == vector[3]
+
+    def test_batch_point_query(self, fitted_sketch):
+        sketch, vector = fitted_sketch
+        results, deprecations = call_and_capture(
+            batch_point_query, sketch, [1, 2], vector
+        )
+        self.assert_single_warning(deprecations, "SketchSession.query", "point")
+        assert [r.estimate for r in results] == [sketch.query(1), sketch.query(2)]
+
+    def test_heavy_hitters(self, fitted_sketch):
+        sketch, _ = fitted_sketch
+        hitters, deprecations = call_and_capture(
+            heavy_hitters, sketch, threshold=25.0
+        )
+        self.assert_single_warning(
+            deprecations, "SketchSession.query", "heavy_hitters"
+        )
+        assert all(h.estimate > 0 for h in hitters)
+
+    def test_range_sum(self, fitted_sketch):
+        sketch, _ = fitted_sketch
+        result, deprecations = call_and_capture(range_sum, sketch, 0, 10)
+        self.assert_single_warning(deprecations, "SketchSession.query", "range")
+        assert result == pytest.approx(sum(sketch.query(i) for i in range(10)))
+
+    def test_inner_product_estimate(self, fitted_sketch):
+        sketch, vector = fitted_sketch
+        result, deprecations = call_and_capture(
+            inner_product_estimate, sketch, vector
+        )
+        self.assert_single_warning(
+            deprecations, "SketchSession.query", "inner_product"
+        )
+        assert result == pytest.approx(float(np.dot(sketch.recover(), vector)))
+
+    def test_ingest_stream_sharded(self, rng):
+        indices = rng.integers(0, DIMENSION, size=2_000)
+        report, deprecations = call_and_capture(
+            ingest_stream_sharded,
+            (indices, None),
+            "count_sketch",
+            64,
+            4,
+            seed=7,
+            shards=2,
+            dimension=DIMENSION,
+        )
+        self.assert_single_warning(deprecations, "SketchSession.ingest", "shards")
+        session = SketchSession.from_config(
+            "count_sketch", dimension=DIMENSION, width=64, depth=4, seed=7
+        )
+        session.ingest(indices, shards=2)
+        np.testing.assert_array_equal(report.sketch.recover(), session.recover())
+
+    def test_site_factory_callable(self):
+        config = SketchConfig(
+            "count_sketch", dimension=DIMENSION, width=64, depth=4, seed=7
+        )
+        site, deprecations = call_and_capture(Site, "old-style", config.build)
+        self.assert_single_warning(deprecations, "SketchConfig")
+        # the deprecated form still works end to end
+        site.observe_update(3, 2.0)
+        assert site.sketch.query(3) != 0.0
+
+    def test_new_style_site_does_not_warn(self):
+        config = SketchConfig(
+            "count_sketch", dimension=DIMENSION, width=64, depth=4, seed=7
+        )
+        _, deprecations = call_and_capture(Site, "new-style", config)
+        assert deprecations == []
+
+
+class TestFacadeDoesNotWarn:
+    """The new front door must not route through its own deprecated shims."""
+
+    def test_session_lifecycle_is_warning_free(self, rng, tmp_path):
+        vector = rng.normal(20.0, 3.0, size=DIMENSION)
+
+        def lifecycle():
+            session = SketchSession.from_config(
+                "l2_sr", dimension=DIMENSION, width=64, depth=4, seed=7
+            )
+            session.ingest(vector)
+            session.ingest(rng.integers(0, DIMENSION, size=1_000), shards=2)
+            session.query(kind="point", index=3)
+            session.query(kind="heavy_hitters", threshold=25.0)
+            session.query(kind="range", low=0, high=10)
+            session.query(kind="inner_product", vector=vector)
+            path = session.save(tmp_path / "s.sketch")
+            return SketchSession.open(path).query(3)
+
+        _, deprecations = call_and_capture(lifecycle)
+        assert deprecations == []
+
+    def test_harness_and_cli_paths_are_warning_free(self, rng):
+        from repro.cli import main as cli_main
+        from repro.eval.harness import evaluate_algorithms
+
+        vector = rng.normal(20.0, 3.0, size=DIMENSION)
+
+        def run_both():
+            evaluate_algorithms(vector, algorithms=["l2_sr", "count_sketch"],
+                                width=32, depth=3, seed=1)
+            import io
+            cli_main(["sketch", "--dataset", "gaussian", "--dimension", "500",
+                      "--width", "32", "--depth", "3"], out=io.StringIO())
+
+        _, deprecations = call_and_capture(run_both)
+        assert deprecations == []

@@ -99,6 +99,12 @@ class TestPublicApiSurface:
             assert hasattr(repro, name), f"repro.{name} missing"
 
     def test_version_string(self):
-        import repro
+        import re
 
-        assert repro.__version__ == "1.0.0"
+        import repro
+        from repro.version import __version__ as module_version
+
+        # sourced from the installed distribution metadata, falling back to
+        # the pyproject-pinned version for source checkouts
+        assert repro.__version__ == module_version
+        assert re.fullmatch(r"\d+\.\d+\.\d+([.\w]*)?", repro.__version__)

@@ -1,14 +1,16 @@
-"""Unit tests for the sketch registry."""
+"""Unit tests for the capability-aware sketch registry."""
 
 import pytest
 
 from repro.sketches.registry import (
+    QUERY_KINDS,
     available_sketches,
     get_spec,
     make_sketch,
     mean_heuristic_suite,
     paper_reference_suite,
     register_sketch,
+    unregister_sketch,
 )
 
 
@@ -73,3 +75,84 @@ class TestRegistration:
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             register_sketch("", "label", lambda n, s, d, seed: None, linear=True)
+
+    def test_unknown_query_kind_rejected(self):
+        with pytest.raises(ValueError, match="query kinds"):
+            register_sketch(
+                "bogus_queries_test",
+                "label",
+                lambda n, s, d, seed: None,
+                linear=True,
+                queries=frozenset({"point", "telepathy"}),
+            )
+
+    def test_unregister(self):
+        register_sketch(
+            "ephemeral_test", "label", lambda n, s, d, seed: None, linear=True
+        )
+        assert "ephemeral_test" in available_sketches()
+        unregister_sketch("ephemeral_test")
+        assert "ephemeral_test" not in available_sketches()
+
+
+class TestCapabilityMetadata:
+    def test_default_capabilities(self):
+        spec = get_spec("count_sketch")
+        assert spec.streaming is True
+        assert spec.queries == frozenset(QUERY_KINDS)
+        assert spec.supported_queries() == list(QUERY_KINDS)
+        assert spec.kwargs_schema == {}
+
+    def test_declared_kwargs_schemas(self):
+        assert get_spec("l2_sr").kwargs_schema == {"head_size": int}
+        assert get_spec("l1_sr").kwargs_schema == {"bias_samples": int}
+        assert get_spec("count_min_log_cu").kwargs_schema == {"base": float}
+
+    def test_supports_query(self):
+        spec = get_spec("l1_sr")
+        assert spec.supports_query("range")
+        assert not spec.supports_query("telepathy")
+
+    def test_build_validates_kwargs(self):
+        spec = get_spec("l2_sr")
+        sketch = spec.build(100, 16, 3, seed=1, head_size=4)
+        assert sketch.head_size == 4
+        with pytest.raises(ValueError, match="does not accept"):
+            spec.build(100, 16, 3, seed=1, bogus=1)
+        with pytest.raises(TypeError, match="head_size"):
+            spec.build(100, 16, 3, seed=1, head_size="four")
+
+    def test_describe_is_plain_data(self):
+        description = get_spec("count_min_log_cu").describe()
+        assert description["name"] == "count_min_log_cu"
+        assert description["linear"] is False
+        assert description["queries"] == list(QUERY_KINDS)
+        assert description["kwargs"] == {"base": "float"}
+
+
+class TestDeterministicListings:
+    def test_available_sketches_is_stable_and_grouped(self):
+        names = available_sketches()
+        baselines = [n for n in names if not get_spec(n).bias_aware]
+        bias_aware = [n for n in names if get_spec(n).bias_aware]
+        assert names == sorted(baselines) + sorted(bias_aware)
+        assert names == available_sketches()  # idempotent
+
+    def test_available_datasets_sorted(self):
+        from repro.data.registry import available_datasets
+
+        names = available_datasets()
+        assert names == sorted(names)
+
+    def test_available_experiments_sorted(self):
+        from repro.eval.experiments import available_experiments
+
+        names = available_experiments()
+        assert names == sorted(names)
+        assert names  # non-empty
+
+    def test_registered_serialization_kinds_sorted(self):
+        from repro.serialization import registered_kinds
+
+        names = registered_kinds()
+        assert names == sorted(names)

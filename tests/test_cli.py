@@ -14,6 +14,75 @@ def run_cli(*argv):
     return exit_code, buffer.getvalue()
 
 
+class TestVersionFlag:
+    def test_version_prints_package_version_and_exits_zero(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        captured = capsys.readouterr()
+        assert __version__ in captured.out
+        assert "repro" in captured.out
+
+
+class TestErrorPaths:
+    """User errors exit non-zero with a one-line actionable message."""
+
+    def assert_one_line_error(self, code, output, *needles):
+        assert code == 2
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
+        assert "Traceback" not in output
+        for needle in needles:
+            assert needle in output
+
+    def test_unknown_sketch_name(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "1000",
+            "--width", "64", "--depth", "3", "--algorithm", "no_such_sketch",
+        )
+        self.assert_one_line_error(code, output, "no_such_sketch", "available")
+
+    def test_invalid_width(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "1000",
+            "--width", "-64", "--depth", "3",
+        )
+        self.assert_one_line_error(code, output, "width", "positive")
+
+    def test_invalid_depth(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "1000",
+            "--width", "64", "--depth", "0",
+        )
+        self.assert_one_line_error(code, output, "depth", "positive")
+
+    def test_missing_dataset(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "no_such_dataset", "--dimension", "1000",
+            "--width", "64", "--depth", "3",
+        )
+        self.assert_one_line_error(code, output, "no_such_dataset", "available")
+
+    def test_missing_dataset_on_save(self, tmp_path):
+        code, output = run_cli(
+            "save", "--dataset", "no_such_dataset", "--output",
+            str(tmp_path / "x.sketch"),
+        )
+        self.assert_one_line_error(code, output, "no_such_dataset", "available")
+
+    def test_load_missing_file(self, tmp_path):
+        code, output = run_cli("load", str(tmp_path / "missing.sketch"))
+        self.assert_one_line_error(code, output, "missing.sketch")
+
+    def test_load_corrupt_payload(self, tmp_path):
+        path = tmp_path / "corrupt.sketch"
+        path.write_bytes(b"this is not a sketch payload")
+        code, output = run_cli("load", str(path))
+        self.assert_one_line_error(code, output)
+
+
 class TestDatasetsCommand:
     def test_lists_all_datasets_with_bias_gain(self):
         code, output = run_cli("datasets", "--dimension", "2000",
@@ -128,9 +197,13 @@ class TestExperimentCommand:
         assert code == 0
         assert "fig2" in output
 
-    def test_unknown_experiment_raises(self):
-        with pytest.raises(KeyError):
-            run_cli("experiment", "fig99")
+    def test_unknown_experiment_exits_with_one_line_error(self):
+        code, output = run_cli("experiment", "fig99")
+        assert code == 2
+        assert output.startswith("error:")
+        assert "fig99" in output
+        assert "available" in output
+        assert "Traceback" not in output
 
     def test_batch_size_flag_is_parsed(self):
         from repro.cli import _build_parser
