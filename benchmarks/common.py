@@ -10,7 +10,10 @@ regenerates in seconds while preserving the comparisons the paper reports
 from __future__ import annotations
 
 import pathlib
-from typing import Dict, Iterable, Optional, Sequence
+import sys
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.eval.harness import width_sweep
 from repro.eval.results import ResultTable
@@ -25,6 +28,49 @@ DEFAULT_WIDTHS = (512, 1_024, 2_048)
 #: depth convention of Section 5.1: d = 9 data rows for the bias-aware
 #: sketches, d + 1 = 10 rows for the baselines
 PAPER_DEPTH = 9
+
+
+def sketch_memory_footprint(sketch) -> Tuple[int, int]:
+    """Measure a sketch's ``(counter_bytes, total_bytes)`` memory footprint.
+
+    ``counter_bytes`` is the declared state (``size_in_words() × 8``) — what
+    the paper charges a sketch for.  ``total_bytes`` walks the live object
+    graph and sums every reachable numpy array plus python object overhead,
+    so it also counts structure the implementation keeps around (hash
+    coefficients, hot-key caches, cached column sums).  The gap between the
+    two is exactly what the on-demand addressing refactor collapsed from
+    O(dimension × depth) to O(depth × width + cache block).
+    """
+    counter_bytes = int(sketch.size_in_words()) * 8
+    seen = set()
+    total = 0
+    stack = [sketch]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, np.ndarray):
+            # count each buffer once, attributed to the array that owns it;
+            # walking .base reaches buffers held only through views
+            if obj.base is None:
+                total += obj.nbytes
+            else:
+                stack.append(obj.base)
+            continue
+        total += sys.getsizeof(obj, 0)
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            stack.extend(obj)
+        elif hasattr(obj, "__dict__"):
+            stack.append(vars(obj))
+        if hasattr(obj, "__slots__"):
+            for slot in obj.__slots__:
+                if hasattr(obj, slot):
+                    stack.append(getattr(obj, slot))
+    return counter_bytes, total
 
 
 def print_table(table: ResultTable, metrics: Sequence[str] = ("average_error",

@@ -19,7 +19,7 @@ import time
 import numpy as np
 import pytest
 
-from benchmarks.common import RESULTS_DIR
+from benchmarks.common import RESULTS_DIR, sketch_memory_footprint
 from repro.data.hudong import simulated_hudong
 from repro.sketches.registry import get_spec, make_sketch
 from repro.streaming.generators import stream_from_items
@@ -76,7 +76,11 @@ def test_batch_replay_speedup_and_equivalence(fig6_stream):
 
         identical = bool(np.array_equal(scalar.table, batched.table))
         speedup = scalar_seconds / batch_seconds
-        rows.append((algorithm, scalar_seconds, batch_seconds, speedup, identical))
+        # memory footprint: counter state vs total live object bytes — the
+        # gap records the O(n)→O(width·depth) win of on-demand addressing
+        counter_bytes, total_bytes = sketch_memory_footprint(batched)
+        rows.append((algorithm, scalar_seconds, batch_seconds, speedup,
+                     identical, counter_bytes, total_bytes))
 
         # equivalence: unit deltas make every sum exact, so even the batched
         # scatter-adds must reproduce the scalar counters bit for bit
@@ -100,13 +104,20 @@ def test_batch_replay_speedup_and_equivalence(fig6_stream):
         f"(n={DIMENSION}, updates={indices.size}, s={WIDTH}, d={DEPTH}, "
         f"batch_size={BATCH_SIZE}{', smoke' if SMOKE else ''})",
         "",
+        "memory: counter_kb is the declared sketch state (size_in_words × 8);",
+        "object_kb walks the live object graph (hash coefficients, hot-key",
+        "cache, cached column sums) — O(width·depth + cache) regardless of n.",
+        "",
         f"{'algorithm':<18} {'scalar_s':>10} {'batch_s':>10} "
-        f"{'speedup':>9} {'bit_identical':>14}",
+        f"{'speedup':>9} {'bit_identical':>14} {'counter_kb':>11} "
+        f"{'object_kb':>10}",
     ]
-    for algorithm, scalar_seconds, batch_seconds, speedup, identical in rows:
+    for (algorithm, scalar_seconds, batch_seconds, speedup, identical,
+         counter_bytes, total_bytes) in rows:
         lines.append(
             f"{algorithm:<18} {scalar_seconds:>10.3f} {batch_seconds:>10.3f} "
-            f"{speedup:>8.1f}x {str(identical):>14}"
+            f"{speedup:>8.1f}x {str(identical):>14} "
+            f"{counter_bytes / 1024:>11.1f} {total_bytes / 1024:>10.1f}"
         )
     print()
     print("\n".join(lines))

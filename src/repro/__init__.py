@@ -34,6 +34,37 @@ operations outside the algorithm's declared capabilities.  The historical
 entry points (``make_sketch``, the per-module query helpers,
 ``ingest_stream_sharded``) keep working as deprecated shims.
 
+Large universes
+---------------
+Bucket and sign assignments are computed **on demand** with a fused
+vectorised hash evaluator, never precomputed per coordinate, so a sketch
+occupies O(depth × width) memory *regardless of* ``dimension`` —
+``dimension=10**8`` constructs in under a millisecond, and
+``dimension=None`` selects **hashed-key mode**: an unbounded universe where
+any non-negative 64-bit integer (a user id, a hash of a string key) is a
+valid coordinate.
+
+>>> session = SketchSession.from_config(
+...     SketchConfig("count_min", dimension=None, width=4_096, depth=9,
+...                  seed=1)
+... )
+>>> _ = session.ingest(2**62 + 12345)        # any 64-bit key
+>>> session.query(kind="point", index=2**62 + 12345) >= 1.0
+True
+
+Hashed-key mode supports the table-based algorithms (``count_min``,
+``count_median``, ``count_sketch``, ``count_min_cu``, ``count_min_log_cu``
+— those whose registry spec declares ``unbounded``); the bias-aware
+algorithms need the per-bucket coordinate counts of a bounded universe.
+Operations that enumerate the universe (dense-vector ``ingest``,
+``recover``) are rejected; heavy-hitter queries take an explicit
+``candidates=`` key set (for example from
+:class:`~repro.queries.topk.StreamingTopK`).  Memory model: counters are
+``depth × width`` words, plus a lazily-filled hot-key cache of at most
+``depth × 65_536`` assignments, plus — for bias-aware sketches on bounded
+universes — O(depth × width) column sums computed by a one-off O(n) scan,
+memoised and shared across copies, shards and restored replicas.
+
 Package layout
 --------------
 * :mod:`repro.api` — the unified session facade (start here).

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.api.errors import ConfigError
 from repro.sketches.base import Sketch
-from repro.sketches.registry import SketchSpec, get_spec
+from repro.sketches.registry import SketchSpec, available_sketches, get_spec
 
 
 def _checked_positive_int(value: Any, name: str) -> int:
@@ -46,7 +46,10 @@ class SketchConfig:
         Registry name of the algorithm (see
         :func:`repro.sketches.registry.available_sketches`).
     dimension:
-        Dimension ``n`` of the frequency vector being summarised.
+        Dimension ``n`` of the frequency vector being summarised, or
+        ``None`` for hashed-key mode (unbounded universe: any non-negative
+        64-bit integer key; only algorithms whose spec declares
+        ``unbounded`` support it).
     width:
         Buckets ``s`` per hash row.
     depth:
@@ -66,7 +69,7 @@ class SketchConfig:
         self,
         name: str,
         *,
-        dimension: int,
+        dimension: Optional[int],
         width: int,
         depth: int,
         seed: Optional[int] = None,
@@ -81,9 +84,22 @@ class SketchConfig:
         except KeyError as error:
             raise ConfigError(str(error.args[0])) from None
         object.__setattr__(self, "name", name)
-        object.__setattr__(
-            self, "dimension", _checked_positive_int(dimension, "dimension")
-        )
+        if dimension is None:
+            if not spec.unbounded:
+                supported = ", ".join(
+                    candidate for candidate in available_sketches()
+                    if get_spec(candidate).unbounded
+                )
+                raise ConfigError(
+                    f"sketch {name!r} requires a bounded dimension; "
+                    "dimension=None (hashed-key mode over an unbounded "
+                    f"universe) is supported by: {supported}"
+                )
+            object.__setattr__(self, "dimension", None)
+        else:
+            object.__setattr__(
+                self, "dimension", _checked_positive_int(dimension, "dimension")
+            )
         object.__setattr__(self, "width", _checked_positive_int(width, "width"))
         object.__setattr__(self, "depth", _checked_positive_int(depth, "depth"))
         if seed is not None:

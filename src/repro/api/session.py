@@ -162,8 +162,14 @@ class SketchSession:
         return self._sketch
 
     @property
-    def dimension(self) -> int:
+    def dimension(self) -> Optional[int]:
+        """Universe size, or ``None`` in hashed-key (unbounded) mode."""
         return self._config.dimension
+
+    @property
+    def unbounded(self) -> bool:
+        """Whether the session sketches an unbounded universe (``dimension=None``)."""
+        return self._config.dimension is None
 
     @property
     def items_processed(self) -> int:
@@ -184,8 +190,20 @@ class SketchSession:
         return self._sketch.size_in_bytes()
 
     def supports(self, kind: str) -> bool:
-        """Whether :meth:`query` can answer queries of ``kind``."""
+        """Whether :meth:`query` can answer queries of ``kind``.
+
+        Accounts for the session's mode, not just the algorithm: an
+        unbounded (``dimension=None``) session has no fixed-length vector,
+        so ``inner_product`` is unsupported even when the algorithm's spec
+        declares it.
+        """
+        if self.unbounded and kind == "inner_product":
+            return False
         return self.spec.supports_query(kind)
+
+    def supported_queries(self) -> List[str]:
+        """The query kinds this session can answer, in dispatch order."""
+        return [kind for kind in QUERY_KINDS if self.supports(kind)]
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -236,7 +254,7 @@ class SketchSession:
             return self
         # update stream ------------------------------------------------- #
         if isinstance(data, UpdateStream):
-            if data.dimension != self.dimension:
+            if self.dimension is not None and data.dimension != self.dimension:
                 raise ConfigError(
                     f"stream has dimension {data.dimension}, session expects "
                     f"{self.dimension}"
@@ -254,13 +272,26 @@ class SketchSession:
                     "deltas cannot be combined with (index, delta) pairs"
                 )
             indices = arr[:, 0]
-            if not np.allclose(indices, np.round(indices)):
-                raise ConfigError(
-                    "(index, delta) pairs must carry integer indices in the "
-                    "first column"
-                )
+            if np.issubdtype(arr.dtype, np.floating):
+                if not np.allclose(indices, np.round(indices)):
+                    raise ConfigError(
+                        "(index, delta) pairs must carry integer indices in "
+                        "the first column"
+                    )
+                if indices.size and np.max(np.abs(indices)) >= 2.0**53:
+                    raise ConfigError(
+                        "(index, delta) pairs pass through a float64 array, "
+                        "which cannot represent keys at or above 2^53 "
+                        "exactly; pass indices and deltas as separate arrays "
+                        "(session.ingest(indices, deltas=...)) for large "
+                        "hashed keys"
+                    )
+                indices = np.round(indices).astype(np.int64)
+            # integer-dtype pairs keep their original dtype so the batch
+            # validation's unsigned pre-check reports out-of-range uint64
+            # keys as the caller passed them, not int64-wrapped
             return self._ingest_updates(
-                np.round(indices).astype(np.int64),
+                indices,
                 arr[:, 1].astype(np.float64),
                 batch_size,
                 shards,
@@ -273,6 +304,7 @@ class SketchSession:
             )
         if (
             deltas is None
+            and self.dimension is not None
             and np.issubdtype(arr.dtype, np.integer)
             and arr.size == self.dimension
         ):
@@ -288,6 +320,12 @@ class SketchSession:
             )
         if deltas is None and np.issubdtype(arr.dtype, np.floating):
             # dense frequency vector (the fit path)
+            if self.dimension is None:
+                raise ConfigError(
+                    "an unbounded (dimension=None) session cannot ingest a "
+                    "dense frequency vector; pass integer keys (with "
+                    "optional deltas) instead"
+                )
             if arr.size != self.dimension:
                 raise ConfigError(
                     f"a float array is ingested as a dense frequency vector "
@@ -380,9 +418,13 @@ class SketchSession:
           ``i`` (a float); an array of indices returns one estimate each.
           ``query(i)`` with an integer is shorthand.
         * ``query(kind="heavy_hitters", threshold=... | phi=..., top_k=...,
-          relative_to_bias=...)`` — the coordinates whose estimate exceeds
-          the threshold, as :class:`~repro.queries.heavy_hitters.HeavyHitter`
-          records.
+          relative_to_bias=..., candidates=...)`` — the coordinates whose
+          estimate exceeds the threshold, as
+          :class:`~repro.queries.heavy_hitters.HeavyHitter` records.
+          ``candidates`` restricts evaluation to a tracked key set (e.g.
+          from :class:`~repro.queries.topk.StreamingTopK`); it is required
+          for unbounded (``dimension=None``) sessions, whose universe
+          cannot be scanned.
         * ``query(kind="range", low=a, high=b)`` — the estimated sum over
           ``[a, b)``.
         * ``query(kind="inner_product", vector=y)`` — the estimated
@@ -399,11 +441,14 @@ class SketchSession:
             raise ValueError(
                 f"unknown query kind {kind!r}; known kinds: {list(QUERY_KINDS)}"
             )
-        if not self.spec.supports_query(kind):
+        if not self.supports(kind):
+            mode = " in hashed-key (dimension=None) mode" if (
+                self.unbounded and self.spec.supports_query(kind)
+            ) else ""
             raise CapabilityError(
                 f"sketch {self._config.name!r} does not support "
-                f"{kind!r} queries; supported kinds: "
-                f"{self.spec.supported_queries()}"
+                f"{kind!r} queries{mode}; supported kinds: "
+                f"{self.supported_queries()}"
             )
         handler = getattr(self, f"_query_{kind}")
         return handler(**params)
@@ -420,7 +465,14 @@ class SketchSession:
         total_mass: Optional[float] = None,
         relative_to_bias: bool = False,
         top_k: Optional[int] = None,
+        candidates: Any = None,
     ) -> List[HeavyHitter]:
+        if self.unbounded and candidates is None:
+            raise CapabilityError(
+                "an unbounded (dimension=None) session cannot be scanned "
+                "for heavy hitters; pass candidates=... with the keys to "
+                "evaluate (e.g. StreamingTopK.candidates())"
+            )
         return _heavy_hitters(
             self._sketch,
             threshold=threshold,
@@ -428,16 +480,29 @@ class SketchSession:
             total_mass=total_mass,
             relative_to_bias=relative_to_bias,
             top_k=top_k,
+            candidates=candidates,
         )
 
     def _query_range(self, low: int, high: int) -> float:
         return _range_sum(self._sketch, low, high)
 
     def _query_inner_product(self, vector: Any) -> float:
+        # unbounded sessions never reach here: supports() excludes the kind
         return _inner_product_estimate(self._sketch, vector)
 
     def recover(self) -> np.ndarray:
-        """The full recovered vector ``x̂`` (one estimate per coordinate)."""
+        """The full recovered vector ``x̂`` (one estimate per coordinate).
+
+        Unavailable for unbounded (``dimension=None``) sessions, whose
+        universe cannot be enumerated — use point queries or
+        candidate-driven heavy-hitter queries instead.
+        """
+        if self.unbounded:
+            raise CapabilityError(
+                "an unbounded (dimension=None) session cannot recover the "
+                "full vector; use point queries or candidate-driven "
+                "heavy-hitter queries instead"
+            )
         return self._sketch.recover()
 
     def estimate_bias(self) -> float:

@@ -58,9 +58,10 @@ def _build_parser() -> argparse.ArgumentParser:
     datasets = subparsers.add_parser(
         "datasets", help="list available workloads and their bias profiles"
     )
-    datasets.add_argument("--dimension", type=int, default=20_000,
-                          help="dimension used when profiling each workload")
-    datasets.add_argument("--head-size", type=int, default=100,
+    datasets.add_argument("--dimension", type=str, default=20_000,
+                          help="dimension used when profiling each workload "
+                               "(scientific notation like 1e5 is accepted)")
+    datasets.add_argument("--head-size", type=str, default=100,
                           help="k used for the tail/bias-gain statistics")
     datasets.add_argument("--seed", type=int, default=0)
 
@@ -111,14 +112,56 @@ def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
                         help="workload name (see the 'datasets' subcommand)")
     parser.add_argument("--algorithm", default="l2_sr",
                         help="sketch algorithm (see sketch --list-algorithms)")
-    parser.add_argument("--dimension", type=int, default=50_000)
-    parser.add_argument("--width", type=int, default=2_048)
-    parser.add_argument("--depth", type=int, default=9)
+    parser.add_argument("--dimension", type=str, default=50_000,
+                        help="universe size (scientific notation like 1e8 is "
+                             "accepted)")
+    parser.add_argument("--width", type=str, default=2_048,
+                        help="buckets per row (scientific notation accepted)")
+    parser.add_argument("--depth", type=str, default=9,
+                        help="hash rows (scientific notation accepted)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--shards", type=int, default=1,
                         help="ingest through the multi-core sharded engine "
                              "with this many shards (linear sketches only; "
                              "default 1 = single-process fit)")
+
+
+#: flags coerced through :func:`_geometry_value` before dispatch
+_GEOMETRY_FLAGS = ("dimension", "width", "depth", "head_size")
+
+
+def _geometry_value(value, name: str) -> int:
+    """Coerce a geometry flag to an int, accepting scientific notation.
+
+    ``--dimension 1e8`` and ``--width 2e4`` parse to exact integers; values
+    that are not whole numbers (``1.5``, ``1e-3``, ``abc``) raise
+    :class:`~repro.api.ConfigError`, which the CLI reports as its usual
+    one-line ``error: ...`` with exit status 2.
+    """
+    if value is None or isinstance(value, int):
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        number = float(value)
+    except ValueError:
+        raise ConfigError(
+            f"{name} must be an integer (scientific notation like 1e8 is "
+            f"accepted), got {value!r}"
+        ) from None
+    if not number.is_integer():
+        raise ConfigError(
+            f"{name} must be a whole number, got {value!r}"
+        )
+    return int(number)
+
+
+def _coerce_geometry(args: argparse.Namespace) -> None:
+    for name in _GEOMETRY_FLAGS:
+        if hasattr(args, name):
+            setattr(args, name, _geometry_value(getattr(args, name), name))
 
 
 def _load_cli_dataset(args: argparse.Namespace):
@@ -257,6 +300,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
     try:
+        _coerce_geometry(args)
         return handler(args, out)
     except (ConfigError, CapabilityError, SerializationError) as error:
         return _fail(error, out)

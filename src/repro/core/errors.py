@@ -25,6 +25,10 @@ import numpy as np
 
 from repro.utils.validation import ensure_1d_float_array
 
+#: float64 machine epsilon, the unit of the cancellation floor in
+#: :func:`optimal_bias`
+_FLOAT_EPS = float(np.finfo(np.float64).eps)
+
 
 def _validate_k(k: int, n: int) -> int:
     if isinstance(k, bool) or not isinstance(k, (int, np.integer)):
@@ -151,6 +155,17 @@ def optimal_bias(x, k: int, p: int = 2) -> BiasSolution:
             total_sq = prefix_sq[end] - prefix_sq[start]
             beta = total / window
             cost_sq = max(total_sq - window * beta * beta, 0.0)
+            # total_sq is a difference of prefix-of-squares entries whose
+            # magnitude is set by everything at or below this window (a
+            # huge head term dominates the cumsum), so when the true cost
+            # is zero the subtraction leaves a rounding residual of a few
+            # ulps of prefix_sq[end] — and sqrt amplifies it (1e-13 →
+            # 5e-7).  A floor of 4 ulps clamps that noise to an exact zero
+            # while costs just a few ulps larger — the smallest float64
+            # can genuinely represent at this prefix scale — survive.
+            cancellation_floor = 4.0 * _FLOAT_EPS * prefix_sq[end]
+            if cost_sq <= cancellation_floor:
+                cost_sq = 0.0
             cost = float(np.sqrt(cost_sq))
         if cost < best_cost - 1e-12 or (
             abs(cost - best_cost) <= 1e-12 and start < best_start

@@ -63,6 +63,12 @@ class L1BiasAwareSketch(LinearSketch):
         bias_samples: Optional[int] = None,
         seed: RandomSource = None,
     ) -> None:
+        if dimension is None:
+            raise ValueError(
+                "the ℓ1 bias-aware sketch requires a bounded dimension: its "
+                "recovery subtracts β̂·π, the per-bucket count of coordinates "
+                "over the whole universe"
+            )
         super().__init__(dimension, width, depth, seed=seed)
         self._table = HashedCounterTable(
             dimension, width, depth, signed=False, seed=seed
@@ -72,8 +78,10 @@ class L1BiasAwareSketch(LinearSketch):
         self._bias_estimator = SamplingMedianEstimator(
             dimension, bias_samples, seed=derive_seed(seed, 404)
         )
-        # π is data-independent; cache it once
-        self._pi = self._table.column_sums()
+
+    @property
+    def _pi(self) -> np.ndarray:
+        return self._table.cached_column_sums()
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -110,7 +118,7 @@ class L1BiasAwareSketch(LinearSketch):
     def query(self, index: int) -> float:
         index = self._check_index(index)
         beta = self.estimate_bias()
-        buckets = self._table.buckets[:, index]
+        buckets = self._table.bucket_column(index)
         rows = np.arange(self.depth)
         debiased = (
             self._table.table[rows, buckets] - beta * self._pi[rows, buckets]
@@ -120,18 +128,12 @@ class L1BiasAwareSketch(LinearSketch):
     def query_batch(self, indices) -> np.ndarray:
         idx, _ = self._check_batch(indices, None)
         beta = self.estimate_bias()
-        cols = self._table.buckets[:, idx]
+        cols = self._table.bucket_columns(idx)
         debiased = (
             np.take_along_axis(self._table.table, cols, axis=1)
             - beta * np.take_along_axis(self._pi, cols, axis=1)
         )
         return np.median(debiased, axis=0) + beta
-
-    def recover(self) -> np.ndarray:
-        beta = self.estimate_bias()
-        debiased_tables = self._table.table - beta * self._pi
-        estimates = np.take_along_axis(debiased_tables, self._table.buckets, axis=1)
-        return np.median(estimates, axis=0) + beta
 
     # ------------------------------------------------------------------ #
     # linearity

@@ -65,6 +65,12 @@ class L2BiasAwareSketch(LinearSketch):
         head_size: Optional[int] = None,
         seed: RandomSource = None,
     ) -> None:
+        if dimension is None:
+            raise ValueError(
+                "the ℓ2 bias-aware sketch requires a bounded dimension: its "
+                "recovery subtracts β̂·ψ, the per-bucket sum of signs over "
+                "the whole universe"
+            )
         super().__init__(dimension, width, depth, seed=seed)
         if head_size is None:
             head_size = max(1, width // 4)
@@ -85,9 +91,13 @@ class L2BiasAwareSketch(LinearSketch):
         )
         self._bias_estimator = MiddleBucketsMeanEstimator(self.head_size)
 
-        # ψ and π are data-independent; cache them once
-        self._psi = self._cs_table.column_sums()
-        self._pi_g = self._bias_row.column_sums()[0]
+    @property
+    def _psi(self) -> np.ndarray:
+        return self._cs_table.cached_column_sums()
+
+    @property
+    def _pi_g(self) -> np.ndarray:
+        return self._bias_row.cached_column_sums()[0]
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -131,31 +141,22 @@ class L2BiasAwareSketch(LinearSketch):
     def query_batch(self, indices) -> np.ndarray:
         idx, _ = self._check_batch(indices, None)
         beta = self.estimate_bias()
-        cols = self._cs_table.buckets[:, idx]
+        cols = self._cs_table.bucket_columns(idx)
         debiased = (
             np.take_along_axis(self._cs_table.table, cols, axis=1)
             - beta * np.take_along_axis(self._psi, cols, axis=1)
         )
-        signed = debiased * self._cs_table.sign_values[:, idx]
+        signed = debiased * self._cs_table.sign_columns(idx)
         return np.median(signed, axis=0) + beta
 
     def _query_with_bias(self, index: int, beta: float) -> float:
-        buckets = self._cs_table.buckets[:, index]
+        buckets = self._cs_table.bucket_column(index)
         rows = np.arange(self.depth)
         debiased = (
             self._cs_table.table[rows, buckets] - beta * self._psi[rows, buckets]
         )
-        signed = debiased * self._cs_table.sign_values[rows, index]
+        signed = debiased * self._cs_table.sign_column(index)
         return float(np.median(signed)) + beta
-
-    def recover(self) -> np.ndarray:
-        beta = self.estimate_bias()
-        debiased_tables = self._cs_table.table - beta * self._psi
-        estimates = np.take_along_axis(
-            debiased_tables, self._cs_table.buckets, axis=1
-        )
-        estimates = estimates * self._cs_table.sign_values
-        return np.median(estimates, axis=0) + beta
 
     # ------------------------------------------------------------------ #
     # linearity
@@ -220,7 +221,7 @@ class L2BiasAwareSketch(LinearSketch):
     @property
     def bias_bucket_counts(self) -> np.ndarray:
         """π for the bias row: how many coordinates hash to each bucket of g."""
-        return self._pi_g
+        return self._pi_g.copy()
 
 
 register_serializable(L2BiasAwareSketch)

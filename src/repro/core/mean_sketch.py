@@ -46,13 +46,22 @@ class MeanBiasSketch(LinearSketch):
         signed: bool,
         seed: RandomSource = None,
     ) -> None:
+        if dimension is None:
+            raise ValueError(
+                "the mean-heuristic sketches require a bounded dimension: "
+                "the mean of all coordinates is undefined over an unbounded "
+                "universe"
+            )
         super().__init__(dimension, width, depth, seed=seed)
         self.signed = bool(signed)
         self._table = HashedCounterTable(
             dimension, width, depth, signed=self.signed, seed=seed
         )
         self._bias_estimator = MeanEstimator(dimension)
-        self._column_sums = self._table.column_sums()
+
+    @property
+    def _column_sums(self) -> np.ndarray:
+        return self._table.cached_column_sums()
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -89,35 +98,27 @@ class MeanBiasSketch(LinearSketch):
     def query(self, index: int) -> float:
         index = self._check_index(index)
         beta = self.estimate_bias()
-        buckets = self._table.buckets[:, index]
+        buckets = self._table.bucket_column(index)
         rows = np.arange(self.depth)
         debiased = (
             self._table.table[rows, buckets]
             - beta * self._column_sums[rows, buckets]
         )
         if self.signed:
-            debiased = debiased * self._table.sign_values[rows, index]
+            debiased = debiased * self._table.sign_column(index)
         return float(np.median(debiased)) + beta
 
     def query_batch(self, indices) -> np.ndarray:
         idx, _ = self._check_batch(indices, None)
         beta = self.estimate_bias()
-        cols = self._table.buckets[:, idx]
+        cols = self._table.bucket_columns(idx)
         debiased = (
             np.take_along_axis(self._table.table, cols, axis=1)
             - beta * np.take_along_axis(self._column_sums, cols, axis=1)
         )
         if self.signed:
-            debiased = debiased * self._table.sign_values[:, idx]
+            debiased = debiased * self._table.sign_columns(idx)
         return np.median(debiased, axis=0) + beta
-
-    def recover(self) -> np.ndarray:
-        beta = self.estimate_bias()
-        debiased_tables = self._table.table - beta * self._column_sums
-        estimates = np.take_along_axis(debiased_tables, self._table.buckets, axis=1)
-        if self.signed:
-            estimates = estimates * self._table.sign_values
-        return np.median(estimates, axis=0) + beta
 
     # ------------------------------------------------------------------ #
     # linearity

@@ -50,7 +50,7 @@ class StreamingL2BiasAwareSketch(L2BiasAwareSketch):
         index = self._check_index(index)
         delta = float(delta)
         super().update(index, delta)
-        bucket = int(self._bias_row.buckets[0, index])
+        bucket = int(self._bias_row.bucket_column(index)[0])
         self._bias_heap.update(bucket, delta)
 
     def update_batch(self, indices, deltas=None) -> "StreamingL2BiasAwareSketch":

@@ -72,12 +72,31 @@ def _mix_array(values: np.ndarray) -> np.ndarray:
     return v
 
 
+def _fold61(x: np.ndarray) -> np.ndarray:
+    """Exact ``x mod MERSENNE_PRIME_61`` for uint64 ``x``, division-free.
+
+    Uses the Mersenne identity ``2^61 ≡ 1 (mod p)``: writing
+    ``x = q·2^61 + r`` gives ``x ≡ q + r``, and ``q + r < p + 9`` for any
+    64-bit ``x``, so one conditional subtract completes the reduction.
+    Shift/mask/where run at SIMD speed where the ``%`` ufunc (integer
+    division) does not — this is what makes on-demand hashing cheap enough
+    to replace the precomputed bucket tables.
+    """
+    p = np.uint64(MERSENNE_PRIME_61)
+    folded = (x >> np.uint64(61)) + (x & p)
+    # branch-free conditional subtract: folded < 2^62, so when folded < p the
+    # wrapped difference folded - p exceeds 2^63 and minimum keeps folded,
+    # and when folded >= p the difference is the reduced value
+    return np.minimum(folded, folded - p)
+
+
 def _mulmod_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Compute ``(a * b) mod MERSENNE_PRIME_61`` element-wise without overflow.
 
     Both inputs must be ``uint64`` arrays with values < 2^61.  The product is
-    formed from 32-bit halves and reduced using the Mersenne identity
-    ``x mod (2^61 - 1) = (x >> 61) + (x & (2^61 - 1))`` applied twice.
+    formed from 32-bit halves and every partial reduction uses the
+    division-free :func:`_fold61`; the result is bit-identical to the
+    classical ``%``-based reduction.
     """
     a = a.astype(np.uint64, copy=False)
     b = b.astype(np.uint64, copy=False)
@@ -87,27 +106,24 @@ def _mulmod_arrays(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     b_lo = b & np.uint64(_MASK_32)
 
     # a*b = (a_hi*b_hi << 64) + ((a_hi*b_lo + a_lo*b_hi) << 32) + a_lo*b_lo
-    # We reduce each partial product modulo p = 2^61 - 1 using 2^64 ≡ 8 (mod p)
-    # and 2^32 handled by a further split of the middle term.
-    p = np.uint64(MERSENNE_PRIME_61)
-
+    # Each partial product is reduced with the Mersenne fold, using
+    # 2^64 ≡ 8 (mod p) for the high term and a 29/32-bit split for the
+    # middle term's 2^32 factor.
     lo = a_lo * b_lo  # < 2^64, fits
     mid = a_hi * b_lo + a_lo * b_hi  # < 2^62, fits
     hi = a_hi * b_hi  # < 2^58, fits
 
-    # Contribution of hi: hi * 2^64 ≡ hi * 8 (mod p)
-    term_hi = (hi % p) * np.uint64(8) % p
-    # Contribution of mid: mid * 2^32 (mod p).  mid < 2^62 so mid % p < p < 2^61.
-    mid_mod = mid % p
-    # (mid_mod * 2^32) mod p: split mid_mod into top 29 bits and bottom 32 bits.
+    # Contribution of hi: hi * 2^64 ≡ hi * 8 (mod p); hi*8 < 2^61 so one fold
+    term_hi = _fold61(hi * np.uint64(8))
+    # Contribution of mid: mid * 2^32 (mod p).  Fold mid below p first, then
+    # split into top 32 / bottom 29 bits so the << 32 stays inside 64 bits.
+    mid_mod = _fold61(mid)
     mid_hi = mid_mod >> np.uint64(29)  # multiplying by 2^32 shifts past bit 61
     mid_lo = mid_mod & np.uint64((1 << 29) - 1)
-    term_mid = (mid_hi + (mid_lo << np.uint64(32))) % p
-    term_lo = lo % p
+    term_mid = _fold61(mid_hi + (mid_lo << np.uint64(32)))
+    term_lo = _fold61(lo)
 
-    total = (term_hi + term_mid) % p
-    total = (total + term_lo) % p
-    return total
+    return _fold61(term_hi + term_mid + term_lo)
 
 
 class KWiseHash:
@@ -156,12 +172,13 @@ class KWiseHash:
     def hash_array(self, items: Sequence[int]) -> np.ndarray:
         """Vectorised evaluation over an array of non-negative integers."""
         arr = np.asarray(items, dtype=np.uint64)
-        mixed = _mix_array(arr) % np.uint64(MERSENNE_PRIME_61)
-        acc = np.zeros(arr.shape, dtype=np.uint64)
-        p = np.uint64(MERSENNE_PRIME_61)
-        for coefficient in self.coefficients:
+        mixed = _fold61(_mix_array(arr))
+        # Horner evaluation seeded with the leading coefficient (the first
+        # iteration of the classical loop is a multiply by zero)
+        acc = np.full(arr.shape, np.uint64(self.coefficients[0]))
+        for coefficient in self.coefficients[1:]:
             acc = _mulmod_arrays(acc, mixed)
-            acc = (acc + np.uint64(coefficient)) % p
+            acc = _fold61(acc + np.uint64(coefficient))
         return (acc % np.uint64(self.range_size)).astype(np.int64)
 
     def hash_all(self, domain_size: int) -> np.ndarray:
@@ -181,6 +198,51 @@ class PairwiseHash(KWiseHash):
 
     def __init__(self, range_size: int, seed: RandomSource = None) -> None:
         super().__init__(range_size, independence=2, seed=seed)
+
+
+def hash_matrix(hashes: Sequence[KWiseHash], items) -> np.ndarray:
+    """Fused row-stacked evaluation of a whole hash family on a batch of keys.
+
+    Returns the ``(len(hashes), len(items))`` bucket matrix whose row ``r``
+    equals ``hashes[r].hash_array(items)``, evaluated in **one** vectorised
+    pass: the splitmix64 finalizer runs once for the whole batch (it is
+    shared by every row) and the per-row polynomials are evaluated on a
+    row-stacked ``(depth, k)`` coefficient matrix with broadcasting.  The
+    outputs are bit-identical to the per-row ``hash_array`` path — this is
+    what lets the sketch tables compute bucket assignments on demand instead
+    of materialising a ``(depth, dimension)`` table at construction.
+
+    All hashes must share ``range_size`` and ``independence`` (they do for
+    every table built by :func:`hash_family`).
+    """
+    if not hashes:
+        raise ValueError("hash_matrix needs at least one hash function")
+    range_size = hashes[0].range_size
+    independence = hashes[0].independence
+    for h in hashes[1:]:
+        if h.range_size != range_size or h.independence != independence:
+            raise ValueError(
+                "hash_matrix requires all hashes to share range_size and "
+                "independence"
+            )
+    arr = np.asarray(items, dtype=np.uint64)
+    if arr.ndim != 1:
+        raise ValueError(f"items must be 1-D, got shape {arr.shape}")
+    mixed = _fold61(_mix_array(arr))[None, :]
+    coefficients = np.array(
+        [h.coefficients for h in hashes], dtype=np.uint64
+    )
+    # Horner evaluation seeded with each row's leading coefficient (the
+    # first iteration of the classical loop is a multiply by zero); the
+    # (depth, 1) seed broadcasts through _mulmod_arrays
+    acc = coefficients[:, 0][:, None]
+    for degree in range(1, independence):
+        acc = _mulmod_arrays(acc, mixed)
+        acc = _fold61(acc + coefficients[:, degree][:, None])
+    # for independence >= 2 this is already full-shape; a degree-0 polynomial
+    # (constant hash) still needs the (depth, 1) seed broadcast out
+    acc = np.broadcast_to(acc, (len(hashes), arr.size))
+    return (acc % np.uint64(range_size)).astype(np.int64)
 
 
 def hash_family(

@@ -11,7 +11,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.hashing.families import KWiseHash
+from repro.hashing.families import KWiseHash, hash_matrix
 from repro.utils.rng import RandomSource, as_rng
 from repro.utils.validation import require_positive_int
 
@@ -39,6 +39,20 @@ class SignHash:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SignHash(independence={self.independence})"
+
+
+def sign_matrix(signs: Sequence[SignHash], items) -> np.ndarray:
+    """Fused row-stacked evaluation of a sign family on a batch of keys.
+
+    Returns the ``(len(signs), len(items))`` ±1 matrix whose row ``r`` equals
+    ``signs[r].sign_array(items)``, computed with one fused
+    :func:`~repro.hashing.families.hash_matrix` pass over the underlying bit
+    hashes — bit-identical to the per-row path.
+    """
+    if not signs:
+        raise ValueError("sign_matrix needs at least one sign function")
+    bits = hash_matrix([sign._bit_hash for sign in signs], items)
+    return (2 * bits - 1).astype(np.int8)
 
 
 def sign_family(

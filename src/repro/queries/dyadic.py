@@ -121,15 +121,22 @@ class DyadicRangeSketch:
         return self._sketches[0].query(index)
 
     def range_sum(self, low: int, high: int) -> float:
-        """Estimate ``Σ_{i in [low, high)} x_i`` from O(log n) point queries."""
+        """Estimate ``Σ_{i in [low, high)} x_i`` from O(log n) point queries.
+
+        The blocks of each level are estimated with one batched point query
+        per level instead of a python loop of scalar queries.
+        """
         if not (0 <= low <= high <= self.dimension):
             raise ValueError(
                 f"range [{low}, {high}) must lie within [0, {self.dimension}]"
             )
-        total = 0.0
+        blocks_per_level = {}
         for level, start, end in self._decompose(low, high):
-            for block in range(start, end):
-                total += self._sketches[level].query(block)
+            blocks_per_level.setdefault(level, []).append(np.arange(start, end))
+        total = 0.0
+        for level, pieces in blocks_per_level.items():
+            blocks = np.concatenate(pieces)
+            total += float(np.sum(self._sketches[level].query_batch(blocks)))
         return float(total)
 
     def _decompose(self, low: int, high: int) -> List[tuple]:

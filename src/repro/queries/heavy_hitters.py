@@ -7,17 +7,26 @@ For biased vectors the interesting heavy hitters are the coordinates far
 bias estimate (when it has one) before thresholding, which is the natural
 "outlier detection" reading of the paper's motivation (cf. the BOMP
 discussion in Section 2).
+
+Evaluation is candidate-driven: with an explicit ``candidates`` key set only
+those keys are estimated (the only option for unbounded ``dimension=None``
+sketches, typically fed from the tracked set of a
+:class:`~repro.queries.topk.StreamingTopK`); without one, a bounded domain
+is scanned in fixed-size blocks of batched point queries, so memory stays
+O(block) instead of materialising all ``n`` estimates at once.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.sketches.base import Sketch
+from repro.sketches.base import SCAN_BLOCK, Sketch
 from repro.utils.deprecation import deprecated_entry_point
+from repro.utils.validation import ensure_batch_arrays
 
 
 @dataclass(frozen=True)
@@ -29,6 +38,39 @@ class HeavyHitter:
     score: float
 
 
+def _candidate_blocks(
+    sketch: Sketch, candidates
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(indices, estimates)`` blocks for the keys under evaluation.
+
+    With explicit ``candidates`` the keys are estimated in one batched
+    query; otherwise the sketch's (bounded) domain is scanned in blocks of
+    :data:`SCAN_BLOCK` coordinates, so no ``(n,)`` estimates array is ever
+    materialised.
+    """
+    if candidates is not None:
+        # the same validation the ingest path applies (dtype, bounds, and
+        # the uint64-above-2^63 pre-check that keeps error messages naming
+        # the key the caller actually passed)
+        arr, _ = ensure_batch_arrays(candidates, None, sketch.dimension,
+                                     name="candidates")
+        idx = np.unique(arr)
+        for start in range(0, idx.size, SCAN_BLOCK):
+            chunk = idx[start:start + SCAN_BLOCK]
+            yield chunk, np.asarray(sketch.query_batch(chunk),
+                                    dtype=np.float64)
+        return
+    if sketch.dimension is None:
+        raise ValueError(
+            "an unbounded (dimension=None) sketch cannot be scanned for "
+            "heavy hitters; pass candidates=... with the keys to evaluate "
+            "(e.g. the tracked set of a StreamingTopK)"
+        )
+    for start in range(0, sketch.dimension, SCAN_BLOCK):
+        idx = np.arange(start, min(start + SCAN_BLOCK, sketch.dimension))
+        yield idx, np.asarray(sketch.query_batch(idx), dtype=np.float64)
+
+
 def _heavy_hitters(
     sketch: Sketch,
     threshold: Optional[float] = None,
@@ -36,53 +78,84 @@ def _heavy_hitters(
     total_mass: Optional[float] = None,
     relative_to_bias: bool = False,
     top_k: Optional[int] = None,
+    candidates=None,
 ) -> List[HeavyHitter]:
     """Report coordinates whose estimate exceeds a threshold.
 
     Parameters
     ----------
     sketch:
-        Any sketch supporting :meth:`recover`.
+        Any sketch supporting batched point queries.
     threshold:
         Absolute threshold on the (possibly de-biased) estimate.
     phi:
         Relative threshold: report coordinates whose estimate exceeds
         ``phi · total_mass``.  ``total_mass`` defaults to the sum of the
-        recovered estimates.
+        absolute estimates over the whole (bounded) domain — also when
+        ``candidates`` merely restricts which keys are *reported*, so phi
+        keeps its stream-relative meaning.  Only an unbounded sketch,
+        whose domain cannot be scanned, falls back to the candidate-set
+        mass; pass ``total_mass`` explicitly there to anchor phi to a
+        known stream total.
     relative_to_bias:
         When True and the sketch exposes ``estimate_bias()``, the bias is
         subtracted before thresholding (detect "outliers above the bias"
         instead of "large absolute counts").
     top_k:
         When given, return only the ``top_k`` highest-scoring hitters.
+    candidates:
+        Optional key set to evaluate instead of scanning the whole domain —
+        required for unbounded (``dimension=None``) sketches, whose universe
+        cannot be enumerated.  Duplicates are ignored.
 
     Exactly one of ``threshold`` and ``phi`` must be provided.
     """
     if (threshold is None) == (phi is None):
         raise ValueError("provide exactly one of threshold and phi")
 
-    estimates = sketch.recover()
-    scores = estimates.copy()
+    if top_k is not None and top_k < 1:
+        raise ValueError(f"top_k must be >= 1, got {top_k}")
+
+    bias = 0.0
     if relative_to_bias and hasattr(sketch, "estimate_bias"):
-        scores = scores - float(sketch.estimate_bias())
+        bias = float(sketch.estimate_bias())
 
     if phi is not None:
         if not (0.0 < phi < 1.0):
             raise ValueError(f"phi must lie in (0, 1), got {phi}")
         if total_mass is None:
-            total_mass = float(np.sum(np.abs(estimates)))
+            # the total needs every estimate before any can be thresholded:
+            # accumulate it in a first pass and re-scan to threshold —
+            # twice the hashing, but memory stays O(block) even at
+            # dimension 10^8 (or a 10^7-key candidate set).  On a bounded
+            # sketch the phi base is always the whole domain (candidates
+            # only restrict which keys are reported); an unbounded domain
+            # cannot be scanned, so candidate mass is the only fallback.
+            mass_keys = candidates if sketch.dimension is None else None
+            total_mass = sum(
+                float(np.sum(np.abs(estimates)))
+                for _, estimates in _candidate_blocks(sketch, mass_keys)
+            )
         threshold = phi * total_mass
 
-    hot = np.flatnonzero(scores > threshold)
-    hitters = [
-        HeavyHitter(index=int(i), estimate=float(estimates[i]), score=float(scores[i]))
-        for i in hot
-    ]
+    hitters: List[HeavyHitter] = []
+    for idx, estimates in _candidate_blocks(sketch, candidates):
+        scores = estimates - bias
+        hot = np.flatnonzero(scores > threshold)
+        block_hitters = [
+            HeavyHitter(index=int(idx[i]), estimate=float(estimates[i]),
+                        score=float(scores[i]))
+            for i in hot
+        ]
+        if top_k is None:
+            hitters.extend(block_hitters)
+        else:
+            # truncate per block so memory stays O(top_k + block) even when
+            # a permissive threshold passes the whole domain
+            hitters = heapq.nlargest(
+                top_k, hitters + block_hitters, key=lambda h: h.score
+            )
     hitters.sort(key=lambda h: h.score, reverse=True)
-    if top_k is not None:
-        if top_k < 1:
-            raise ValueError(f"top_k must be >= 1, got {top_k}")
-        hitters = hitters[:top_k]
     return hitters
 
 
@@ -94,12 +167,13 @@ def heavy_hitters(
     total_mass: Optional[float] = None,
     relative_to_bias: bool = False,
     top_k: Optional[int] = None,
+    candidates=None,
 ) -> List[HeavyHitter]:
     """Report coordinates whose estimate exceeds a threshold.
 
     .. deprecated::
         Use ``SketchSession.query(kind="heavy_hitters", threshold=... |
-        phi=..., top_k=..., relative_to_bias=...)`` instead.
+        phi=..., top_k=..., relative_to_bias=..., candidates=...)`` instead.
     """
     return _heavy_hitters(
         sketch,
@@ -108,4 +182,5 @@ def heavy_hitters(
         total_mass=total_mass,
         relative_to_bias=relative_to_bias,
         top_k=top_k,
+        candidates=candidates,
     )

@@ -11,12 +11,21 @@ sketch, re-estimates the updated item, and keeps the best ``capacity``
 candidates in a dictionary (re-scoring lazily on report).  With a bias-aware
 sketch the scores can optionally be measured *relative to the bias*, which
 turns the tracker into a streaming outlier monitor.
+
+Because the candidate set is maintained while streaming, the tracker also
+serves as the key source for candidate-driven heavy-hitter queries on
+unbounded (``dimension=None``) sketches: pass :meth:`StreamingTopK.candidates`
+as the ``candidates`` of
+:func:`~repro.queries.heavy_hitters.heavy_hitters`, which cannot scan an
+unbounded universe itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, List
+
+import numpy as np
 
 from repro.sketches.base import Sketch
 from repro.utils.validation import require_positive_int
@@ -79,6 +88,28 @@ class StreamingTopK:
         if len(self._candidates) > self.capacity:
             self._evict()
 
+    def update_batch(self, indices, deltas=None) -> "StreamingTopK":
+        """Forward a batch through the sketch's vectorised path, then refresh.
+
+        The batch is ingested with one :meth:`Sketch.update_batch` call and
+        only the *distinct* touched keys are re-scored (one batched point
+        query), so the tracker rides the same vectorised ingestion engine as
+        everything else.  The candidate set it reaches is the same one the
+        scalar replay would reach whenever scores are current at eviction
+        time (both keep the ``capacity`` best-scoring keys).
+        """
+        self.sketch.update_batch(indices, deltas)
+        touched = np.unique(np.asarray(indices, dtype=np.int64))
+        if touched.size:
+            scores = np.asarray(self.sketch.query_batch(touched), dtype=float)
+            if self.relative_to_bias and hasattr(self.sketch, "estimate_bias"):
+                scores = scores - float(self.sketch.estimate_bias())
+            for index, score in zip(touched.tolist(), scores.tolist()):
+                self._candidates[index] = score
+            if len(self._candidates) > self.capacity:
+                self._evict()
+        return self
+
     def _score(self, index: int) -> float:
         estimate = self.sketch.query(index)
         if self.relative_to_bias and hasattr(self.sketch, "estimate_bias"):
@@ -110,6 +141,12 @@ class StreamingTopK:
     def top_indices(self) -> List[int]:
         """Just the indices of the current top-k."""
         return [entry.index for entry in self.top()]
+
+    def candidates(self) -> np.ndarray:
+        """All currently tracked keys (sorted) — the candidate set to hand to
+        :func:`~repro.queries.heavy_hitters.heavy_hitters` on unbounded
+        sketches."""
+        return np.array(sorted(self._candidates), dtype=np.int64)
 
     @property
     def candidate_count(self) -> int:

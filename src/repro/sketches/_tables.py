@@ -3,20 +3,60 @@
 All table-based sketches (Count-Min, Count-Median, Count-Sketch and their
 conservative-update variants, plus the bias-aware sketches built on top) share
 the same storage layout: a ``(depth, width)`` array of counters, a per-row
-hash function assigning each of the ``dimension`` coordinates to a bucket, and
-optionally a per-row sign function.  This module centralises that machinery so
-the individual sketch classes stay focused on their estimation rule.
+hash function assigning coordinates to buckets, and optionally a per-row sign
+function.  This module centralises that machinery so the individual sketch
+classes stay focused on their estimation rule.
+
+Bucket (and sign) assignments are computed **on demand** with the fused
+row-stacked :func:`~repro.hashing.families.hash_matrix` evaluator rather than
+being precomputed per coordinate, so a table occupies O(depth × width) memory
+regardless of the universe size — ``dimension`` may even be ``None``
+(hashed-key mode), in which case any non-negative 64-bit integer is a valid
+key.  A small block cache keeps the assignments of the hottest (lowest) keys
+materialised, which restores the one-gather fast path for the dense small
+universes the evaluation harness sweeps.
+
+Data-independent structure that *is* O(width) — the per-bucket coordinate
+counts π / sign sums ψ needed by the bias-aware recovery — is computed by a
+blockwise scan over the (necessarily bounded) domain and memoised in a
+module-level cache keyed by the table's structural identity, so copies,
+restored shards and distributed replicas share one array instead of paying
+the O(n) scan each.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.hashing.families import KWiseHash, hash_family
-from repro.hashing.signs import SignHash, sign_family
+from repro.hashing.families import KWiseHash, hash_family, hash_matrix
+from repro.hashing.signs import SignHash, sign_family, sign_matrix
+from repro.sketches.base import SCAN_BLOCK
 from repro.utils.rng import RandomSource, derive_seed
+
+#: keys below this bound have their bucket/sign assignments cached (hot-key
+#: block cache); memory cost is O(depth × block), independent of ``dimension``,
+#: and for universes up to the block size the cache restores the exact
+#: one-gather fast path of the old precomputed tables
+DEFAULT_CACHE_BLOCK = 1 << 16
+
+
+#: memoised column sums shared across tables with identical structure;
+#: bounded both by entry count and by total bytes so a long-lived process
+#: sweeping many seeds (or large widths) cannot pin unbounded memory
+_COLUMN_SUMS_CACHE: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+_COLUMN_SUMS_CACHE_LIMIT = 32
+_COLUMN_SUMS_CACHE_MAX_BYTES = 64 * 2**20
+
+
+def _unbounded_error(operation: str) -> ValueError:
+    return ValueError(
+        f"{operation} requires a bounded dimension; this table was built in "
+        "hashed-key mode (dimension=None), where the key universe cannot be "
+        "enumerated"
+    )
 
 
 class HashedCounterTable:
@@ -24,8 +64,13 @@ class HashedCounterTable:
 
     Parameters
     ----------
-    dimension, width, depth:
-        Vector dimension ``n``, buckets per row ``s``, number of rows ``d``.
+    dimension:
+        Vector dimension ``n``, or ``None`` for hashed-key mode (any
+        non-negative 64-bit integer key; domain-enumerating operations
+        such as :meth:`add_vector` and :meth:`column_sums` become
+        unavailable).
+    width, depth:
+        Buckets per row ``s``, number of rows ``d``.
     signed:
         When True, a per-row random sign function is drawn and applied to
         every update (Count-Sketch layout); when False updates are unsigned
@@ -38,36 +83,172 @@ class HashedCounterTable:
 
     def __init__(
         self,
-        dimension: int,
+        dimension: Optional[int],
         width: int,
         depth: int,
         signed: bool = False,
         seed: RandomSource = None,
     ) -> None:
-        self.dimension = int(dimension)
+        self.dimension = None if dimension is None else int(dimension)
         self.width = int(width)
         self.depth = int(depth)
         self.signed = bool(signed)
+        self._seed = seed
 
         hash_seed = derive_seed(seed, 101)
         self.hashes: List[KWiseHash] = hash_family(depth, width, seed=hash_seed)
-        #: bucket assignment per row: buckets[r, j] = h_r(j)
-        self.buckets = np.vstack([h.hash_all(dimension) for h in self.hashes])
 
         self.signs: Optional[List[SignHash]] = None
-        self.sign_values: Optional[np.ndarray] = None
         if signed:
             sign_seed = derive_seed(seed, 202)
             self.signs = sign_family(depth, seed=sign_seed)
-            self.sign_values = np.vstack(
-                [r.sign_all(dimension) for r in self.signs]
-            ).astype(np.float64)
 
-        #: the counters themselves
+        #: the counters themselves — the only O(width) mutable state
         self.table = np.zeros((depth, width), dtype=np.float64)
         # per-row offsets into the flattened table, used by the batched
         # scatter-add (shape (depth, 1) so it broadcasts against gathers)
         self._row_offsets = (np.arange(depth, dtype=np.int64) * width)[:, None]
+
+        # hot-key block cache: assignments of keys in [0, cache_limit)
+        if self.dimension is None:
+            self._cache_limit = DEFAULT_CACHE_BLOCK
+        else:
+            self._cache_limit = min(self.dimension, DEFAULT_CACHE_BLOCK)
+        self._bucket_cache: Optional[np.ndarray] = None
+        self._sign_cache: Optional[np.ndarray] = None
+        if self.dimension is not None and self.dimension <= DEFAULT_CACHE_BLOCK:
+            # a small bounded universe is fully covered by the cache — fill
+            # it now, which is exactly the (capped) precomputation the old
+            # dense tables did at construction; large and unbounded
+            # universes stay lazy so construction is O(depth × width)
+            self._ensure_hot_cache()
+        # per-instance memo of column_sums() (which itself consults the
+        # module-level structural cache); the bias-aware sketches read their
+        # π/ψ through this
+        self._cached_column_sums: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # on-demand addressing
+    # ------------------------------------------------------------------ #
+    def _ensure_hot_cache(self) -> None:
+        if self._bucket_cache is None:
+            hot = np.arange(self._cache_limit, dtype=np.int64)
+            self._bucket_cache = hash_matrix(self.hashes, hot)
+            if self.signed:
+                self._sign_cache = sign_matrix(self.signs, hot).astype(
+                    np.float64
+                )
+
+    def _checked_keys(self, indices) -> np.ndarray:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size:
+            low = int(indices.min())
+            if low < 0:
+                raise IndexError(f"keys must be non-negative, got {low}")
+            if self.dimension is not None:
+                high = int(indices.max())
+                if high >= self.dimension:
+                    raise IndexError(
+                        f"keys must be in [0, {self.dimension}), got {high}"
+                    )
+        return indices
+
+    def _gather(self, indices: np.ndarray, cache_name: str, evaluate,
+                dtype) -> np.ndarray:
+        """Serve a batch of keys from the hot cache, ``evaluate``, or both."""
+        indices = self._checked_keys(indices)
+        if indices.size == 0:
+            return np.empty((self.depth, 0), dtype=dtype)
+        cold = indices >= self._cache_limit
+        if not cold.any():
+            self._ensure_hot_cache()
+            return getattr(self, cache_name)[:, indices]
+        if cold.all():
+            return evaluate(indices)
+        self._ensure_hot_cache()
+        out = np.empty((self.depth, indices.size), dtype=dtype)
+        hot = ~cold
+        out[:, hot] = getattr(self, cache_name)[:, indices[hot]]
+        out[:, cold] = evaluate(indices[cold])
+        return out
+
+    def bucket_columns(self, indices: np.ndarray) -> np.ndarray:
+        """The ``(depth, len(indices))`` bucket matrix for a batch of keys.
+
+        Column ``j`` holds ``h_r(indices[j])`` for every row ``r``, computed
+        with one fused :func:`hash_matrix` pass (hot keys come from the block
+        cache instead).
+        """
+        return self._gather(
+            indices, "_bucket_cache",
+            lambda keys: hash_matrix(self.hashes, keys), np.int64,
+        )
+
+    def _checked_key(self, index: int) -> None:
+        if index < 0:
+            raise IndexError(f"keys must be non-negative, got {index}")
+        if self.dimension is not None and index >= self.dimension:
+            raise IndexError(
+                f"keys must be in [0, {self.dimension}), got {index}"
+            )
+
+    def bucket_column(self, index: int) -> np.ndarray:
+        """The ``(depth,)`` bucket assignments of one key."""
+        self._checked_key(index)
+        if index < self._cache_limit:
+            self._ensure_hot_cache()
+            return self._bucket_cache[:, index]
+        # cold scalar path: the exact-integer scalar evaluator beats
+        # one-element numpy array machinery by several microseconds per
+        # update (bit-identical results)
+        return np.array([h(index) for h in self.hashes], dtype=np.int64)
+
+    def _require_signed(self) -> None:
+        if not self.signed:
+            raise ValueError(
+                "this table is unsigned (Count-Min / Count-Median layout); "
+                "sign functions exist only for signed (Count-Sketch) tables"
+            )
+
+    def sign_columns(self, indices: np.ndarray) -> np.ndarray:
+        """The ``(depth, len(indices))`` ±1 sign matrix for a batch of keys."""
+        self._require_signed()
+        return self._gather(
+            indices, "_sign_cache",
+            lambda keys: sign_matrix(self.signs, keys).astype(np.float64),
+            np.float64,
+        )
+
+    def sign_column(self, index: int) -> np.ndarray:
+        """The ``(depth,)`` ±1 signs of one key."""
+        self._require_signed()
+        self._checked_key(index)
+        if index < self._cache_limit:
+            self._ensure_hot_cache()
+            return self._sign_cache[:, index]
+        return np.array([r(index) for r in self.signs], dtype=np.float64)
+
+    @property
+    def buckets(self) -> np.ndarray:
+        """The dense ``(depth, dimension)`` bucket table, materialised on read.
+
+        Kept for inspection and backwards compatibility only: it costs
+        O(depth × dimension) memory per access and is unavailable in
+        hashed-key mode.  Production code addresses the table through
+        :meth:`bucket_columns` / :meth:`bucket_column`.
+        """
+        if self.dimension is None:
+            raise _unbounded_error("materialising the dense bucket table")
+        return self.bucket_columns(np.arange(self.dimension, dtype=np.int64))
+
+    @property
+    def sign_values(self) -> Optional[np.ndarray]:
+        """Dense ``(depth, dimension)`` sign table (see :attr:`buckets`)."""
+        if not self.signed:
+            return None
+        if self.dimension is None:
+            raise _unbounded_error("materialising the dense sign table")
+        return self.sign_columns(np.arange(self.dimension, dtype=np.int64))
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -75,42 +256,62 @@ class HashedCounterTable:
     def add_update(self, index: int, delta: float) -> None:
         """Apply ``x[index] += delta`` to every row of the table."""
         rows = np.arange(self.depth)
-        cols = self.buckets[:, index]
+        cols = self.bucket_column(index)
         if self.signed:
-            self.table[rows, cols] += delta * self.sign_values[:, index]
+            self.table[rows, cols] += delta * self.sign_column(index)
         else:
             self.table[rows, cols] += delta
 
     def add_batch(self, indices: np.ndarray, deltas: np.ndarray) -> None:
         """Apply a batch of ``(index, delta)`` updates to every row at once.
 
-        The scatter-add is performed with a single ``np.bincount`` over the
-        flattened ``(depth, width)`` table: per-row bucket columns are gathered
-        for the whole batch, offset by ``row * width``, and accumulated in one
-        pass.  For integer-valued deltas the resulting counters are bit-exact
-        equal to replaying the batch through :meth:`add_update`; for general
-        floats they agree up to summation order.
+        The scatter-add is performed with one ``np.bincount`` over the
+        flattened ``(depth, width)`` table per :data:`SCAN_BLOCK` chunk:
+        per-row bucket columns are hashed for the chunk in one fused pass,
+        offset by ``row * width``, and accumulated in one go — so transient
+        memory stays O(depth × block) no matter how large the batch.  For
+        integer-valued deltas the resulting counters are bit-exact equal to
+        replaying the batch through :meth:`add_update`; for general floats
+        they agree up to summation order.
         """
         indices = np.asarray(indices)
         if indices.size == 0:
             return
-        cols = self.buckets[:, indices]
-        if self.signed:
-            weights = deltas * self.sign_values[:, indices]
-        else:
-            weights = np.broadcast_to(deltas, cols.shape)
-        flat = cols + self._row_offsets
-        self.table += np.bincount(
-            flat.ravel(), weights=weights.ravel(), minlength=self.table.size
-        ).reshape(self.depth, self.width)
+        deltas = np.broadcast_to(deltas, indices.shape)
+        for start in range(0, indices.size, SCAN_BLOCK):
+            stop = start + SCAN_BLOCK
+            chunk = indices[start:stop]
+            cols = self.bucket_columns(chunk)
+            if self.signed:
+                weights = deltas[start:stop] * self.sign_columns(chunk)
+            else:
+                weights = np.broadcast_to(deltas[start:stop], cols.shape)
+            flat = cols + self._row_offsets
+            self.table += np.bincount(
+                flat.ravel(), weights=weights.ravel(),
+                minlength=self.table.size,
+            ).reshape(self.depth, self.width)
 
     def add_vector(self, x: np.ndarray) -> None:
-        """Apply a whole frequency vector ``x`` at once (vectorised path)."""
-        for row in range(self.depth):
-            weights = x if not self.signed else x * self.sign_values[row]
-            self.table[row] += np.bincount(
-                self.buckets[row], weights=weights, minlength=self.width
-            )
+        """Apply a whole frequency vector ``x`` at once (vectorised path).
+
+        The domain is scanned in blocks of :data:`SCAN_BLOCK` coordinates so
+        transient memory stays O(depth × block) even for huge universes.
+        """
+        if self.dimension is None:
+            raise _unbounded_error("ingesting a dense frequency vector")
+        x = np.asarray(x, dtype=np.float64)
+        for start in range(0, self.dimension, SCAN_BLOCK):
+            stop = min(start + SCAN_BLOCK, self.dimension)
+            block = np.arange(start, stop, dtype=np.int64)
+            cols = self.bucket_columns(block)
+            signs = self.sign_columns(block) if self.signed else None
+            values = x[start:stop]
+            for row in range(self.depth):
+                weights = values if signs is None else values * signs[row]
+                self.table[row] += np.bincount(
+                    cols[row], weights=weights, minlength=self.width
+                )
 
     # ------------------------------------------------------------------ #
     # estimates
@@ -118,33 +319,33 @@ class HashedCounterTable:
     def row_estimates(self, index: int) -> np.ndarray:
         """Per-row estimates of coordinate ``index`` (sign-corrected if signed)."""
         rows = np.arange(self.depth)
-        values = self.table[rows, self.buckets[:, index]]
+        values = self.table[rows, self.bucket_column(index)]
         if self.signed:
-            values = values * self.sign_values[:, index]
+            values = values * self.sign_column(index)
         return values
 
     def row_estimates_batch(self, indices: np.ndarray) -> np.ndarray:
         """A ``(depth, len(indices))`` array of per-row estimates for a batch.
 
         Column ``j`` equals :meth:`row_estimates` of ``indices[j]``; the whole
-        batch is gathered with one fancy-indexing pass.
+        batch is hashed and gathered in one pass.
         """
-        cols = self.buckets[:, indices]
+        cols = self.bucket_columns(indices)
         values = np.take_along_axis(self.table, cols, axis=1)
         if self.signed:
-            values = values * self.sign_values[:, indices]
+            values = values * self.sign_columns(indices)
         return values
-
-    def all_row_estimates(self) -> np.ndarray:
-        """A ``(depth, dimension)`` array of per-row estimates for all coordinates."""
-        estimates = np.take_along_axis(self.table, self.buckets, axis=1)
-        if self.signed:
-            estimates = estimates * self.sign_values
-        return estimates
 
     # ------------------------------------------------------------------ #
     # structural vectors used by the bias-aware recovery
     # ------------------------------------------------------------------ #
+    def _structure_key(self) -> Optional[Tuple]:
+        """Cache key identifying this table's data-independent structure."""
+        seed = self._seed
+        if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+            return None
+        return (int(seed), self.dimension, self.width, self.depth, self.signed)
+
     def column_sums(self) -> np.ndarray:
         """Per-row column sums: π (unsigned) or ψ (signed), shape (depth, width).
 
@@ -152,14 +353,52 @@ class HashedCounterTable:
         CM/CS matrix, i.e. the per-bucket count of coordinates (unsigned) or
         the per-bucket sum of signs (signed).  The bias-aware recovery
         subtracts ``β̂`` times these from the counters.
+
+        Computed by a blockwise scan over the domain (O(n) time once,
+        O(depth × block) transient memory) and memoised per structural
+        identity, so copies and restored replicas of the same table share a
+        single read-only array instead of re-scanning the domain.
         """
+        if self.dimension is None:
+            raise _unbounded_error("computing per-bucket coordinate counts")
+        key = self._structure_key()
+        if key is not None:
+            cached = _COLUMN_SUMS_CACHE.get(key)
+            if cached is not None:
+                _COLUMN_SUMS_CACHE.move_to_end(key)
+                return cached
         sums = np.zeros((self.depth, self.width), dtype=np.float64)
-        for row in range(self.depth):
-            weights = None if not self.signed else self.sign_values[row]
-            sums[row] = np.bincount(
-                self.buckets[row], weights=weights, minlength=self.width
-            )
+        for start in range(0, self.dimension, SCAN_BLOCK):
+            stop = min(start + SCAN_BLOCK, self.dimension)
+            block = np.arange(start, stop, dtype=np.int64)
+            cols = self.bucket_columns(block)
+            signs = self.sign_columns(block) if self.signed else None
+            for row in range(self.depth):
+                weights = None if signs is None else signs[row]
+                sums[row] += np.bincount(
+                    cols[row], weights=weights, minlength=self.width
+                )
+        if key is not None:
+            sums.setflags(write=False)
+            _COLUMN_SUMS_CACHE[key] = sums
+            while len(_COLUMN_SUMS_CACHE) > _COLUMN_SUMS_CACHE_LIMIT or (
+                len(_COLUMN_SUMS_CACHE) > 1
+                and sum(a.nbytes for a in _COLUMN_SUMS_CACHE.values())
+                > _COLUMN_SUMS_CACHE_MAX_BYTES
+            ):
+                _COLUMN_SUMS_CACHE.popitem(last=False)
         return sums
+
+    def cached_column_sums(self) -> np.ndarray:
+        """:meth:`column_sums`, memoised on the instance.
+
+        π/ψ are data-independent and O(n) to scan for; computing them lazily
+        on first use keeps construction O(depth × width).  The result must be
+        treated as read-only (int-seeded tables share it across replicas).
+        """
+        if self._cached_column_sums is None:
+            self._cached_column_sums = self.column_sums()
+        return self._cached_column_sums
 
     # ------------------------------------------------------------------ #
     # linear-algebra operations

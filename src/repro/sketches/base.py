@@ -43,7 +43,7 @@ overriding the small hooks :meth:`Sketch._config_dict`,
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, Tuple
+from typing import Any, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -62,13 +62,26 @@ from repro.utils.validation import (
 )
 
 
+#: coordinates processed per block by every domain-enumerating scan in the
+#: library (dense-vector ingestion, column-sum computation, blockwise query
+#: evaluation in :mod:`repro.queries`); bounds transient memory at
+#: O(depth × block) regardless of the universe size
+SCAN_BLOCK = 1 << 16
+
+
 class Sketch(StateProtocolMixin, abc.ABC):
     """Base class for all frequency sketches over vectors in ``R^dimension``.
 
     Parameters
     ----------
     dimension:
-        Dimension ``n`` of the frequency vector being summarised.
+        Dimension ``n`` of the frequency vector being summarised, or ``None``
+        for **hashed-key mode**: the universe is unbounded and any
+        non-negative 64-bit integer is a valid key.  Streaming/batched
+        updates and point queries work unchanged; operations that enumerate
+        the universe (``fit`` on a dense vector, ``recover``) are
+        unavailable, and the algorithm must not need O(n) data-independent
+        structure (see ``SketchSpec.unbounded`` in the registry).
     width:
         Number of buckets ``s`` per hash row.
     depth:
@@ -90,12 +103,15 @@ class Sketch(StateProtocolMixin, abc.ABC):
 
     def __init__(
         self,
-        dimension: int,
+        dimension: Optional[int],
         width: int,
         depth: int,
         seed: RandomSource = None,
     ) -> None:
-        self.dimension = require_positive_int(dimension, "dimension")
+        if dimension is None:
+            self.dimension: Optional[int] = None
+        else:
+            self.dimension = require_positive_int(dimension, "dimension")
         self.width = require_positive_int(width, "width")
         self.depth = require_positive_int(depth, "depth")
         self.seed = seed
@@ -170,13 +186,22 @@ class Sketch(StateProtocolMixin, abc.ABC):
     def recover(self) -> np.ndarray:
         """Return the full recovered vector ``x̂`` (one estimate per coordinate).
 
-        The default implementation queries every coordinate; vectorised
-        subclasses override it.
+        Evaluates the domain in :data:`SCAN_BLOCK` chunks of
+        :meth:`query_batch`, so transient memory stays O(depth × block)
+        even at huge dimensions (only the ``(n,)`` result itself scales
+        with the universe).  Unavailable in hashed-key mode
+        (``dimension=None``), whose universe cannot be enumerated.
         """
-        return np.array(
-            [self.query(index) for index in range(self.dimension)],
-            dtype=np.float64,
-        )
+        self._require_bounded("recover()")
+        return np.concatenate([
+            np.asarray(
+                self.query_batch(
+                    np.arange(start, min(start + SCAN_BLOCK, self.dimension))
+                ),
+                dtype=np.float64,
+            )
+            for start in range(0, self.dimension, SCAN_BLOCK)
+        ])
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -277,7 +302,16 @@ class Sketch(StateProtocolMixin, abc.ABC):
         """Restore mutable state from a snapshot; subclasses extend."""
         self._items_processed = int(meta.get("items_processed", 0))
 
+    def _require_bounded(self, operation: str) -> None:
+        if self.dimension is None:
+            raise ValueError(
+                f"{operation} requires a bounded dimension; this sketch was "
+                "built in hashed-key mode (dimension=None), where the key "
+                "universe cannot be enumerated"
+            )
+
     def _check_vector(self, x) -> np.ndarray:
+        self._require_bounded("ingesting a dense frequency vector")
         arr = ensure_1d_float_array(x, "x")
         if arr.size != self.dimension:
             raise ValueError(

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
-from repro.sketches.base import Sketch
+from repro.sketches.base import SCAN_BLOCK, Sketch
 from repro.utils.rng import RandomSource
 
 
@@ -56,7 +56,7 @@ class CountMinCU(Sketch):
             )
         if delta == 0:
             return
-        cols = self._table.buckets[:, index]
+        cols = self._table.bucket_column(index)
         current = self._table.table[self._rows, cols]
         target = float(np.min(current)) + delta
         self._table.table[self._rows, cols] = np.maximum(current, target)
@@ -87,17 +87,23 @@ class CountMinCU(Sketch):
         starts = np.concatenate(([0], np.flatnonzero(np.diff(idx) != 0) + 1))
         run_indices = idx[starts]
         run_deltas = np.add.reduceat(d, starts)
-        cols = self._table.buckets[:, run_indices]
         table = self._table.table
         rows = self._rows
-        for j in range(run_indices.size):
-            delta = run_deltas[j]
-            if delta == 0:
-                continue
-            run_cols = cols[:, j]
-            current = table[rows, run_cols]
-            target = float(np.min(current)) + delta
-            table[rows, run_cols] = np.maximum(current, target)
+        # gather bucket columns one SCAN_BLOCK chunk at a time so transient
+        # memory stays O(depth × block) however large the batch; the
+        # conservative min/max rule itself stays sequential in stream order
+        for begin in range(0, run_indices.size, SCAN_BLOCK):
+            stop = begin + SCAN_BLOCK
+            cols = self._table.bucket_columns(run_indices[begin:stop])
+            chunk_deltas = run_deltas[begin:stop]
+            for j in range(chunk_deltas.size):
+                delta = chunk_deltas[j]
+                if delta == 0:
+                    continue
+                run_cols = cols[:, j]
+                current = table[rows, run_cols]
+                target = float(np.min(current)) + delta
+                table[rows, run_cols] = np.maximum(current, target)
         self._items_processed += applied
         return self
 
@@ -126,9 +132,6 @@ class CountMinCU(Sketch):
     def query_batch(self, indices) -> np.ndarray:
         idx, _ = self._check_batch(indices, None)
         return np.min(self._table.row_estimates_batch(idx), axis=0)
-
-    def recover(self) -> np.ndarray:
-        return np.min(self._table.all_row_estimates(), axis=0)
 
     # ------------------------------------------------------------------ #
     # non-linearity is the point

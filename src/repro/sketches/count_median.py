@@ -70,9 +70,6 @@ class CountMedian(LinearSketch):
         idx, _ = self._check_batch(indices, None)
         return np.median(self._table.row_estimates_batch(idx), axis=0)
 
-    def recover(self) -> np.ndarray:
-        return np.median(self._table.all_row_estimates(), axis=0)
-
     # ------------------------------------------------------------------ #
     # linearity
     # ------------------------------------------------------------------ #
@@ -106,7 +103,7 @@ class CountMedian(LinearSketch):
 
     def bucket_column_sums(self) -> np.ndarray:
         """Per-row π vectors (how many coordinates hash to each bucket)."""
-        return self._table.column_sums()
+        return self._table.column_sums().copy()
 
 
 register_serializable(CountMedian)

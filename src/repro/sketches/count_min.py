@@ -70,9 +70,6 @@ class CountMin(LinearSketch):
         idx, _ = self._check_batch(indices, None)
         return np.min(self._table.row_estimates_batch(idx), axis=0)
 
-    def recover(self) -> np.ndarray:
-        return np.min(self._table.all_row_estimates(), axis=0)
-
     def merge(self, other: "CountMin") -> "CountMin":
         self._check_compatible(other)
         self._table.merge_from(other._table)

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.serialization import register_serializable
 from repro.sketches._tables import HashedCounterTable
-from repro.sketches.base import Sketch
+from repro.sketches.base import SCAN_BLOCK, Sketch
 from repro.utils.rng import RandomSource, as_rng, derive_seed
 
 #: the counter base used throughout the paper's experiments
@@ -101,7 +101,7 @@ class CountMinLogCU(Sketch):
             )
         if delta == 0:
             return
-        cols = self._table.buckets[:, index]
+        cols = self._table.bucket_column(index)
         counters = self._table.table[self._rows, cols]
         current_value = self.counter_to_value(float(np.min(counters)))
         target_counter = self._randomised_round(
@@ -128,22 +128,27 @@ class CountMinLogCU(Sketch):
             )
         if idx.size == 0:
             return self
-        cols = self._table.buckets[:, idx]
         table = self._table.table
         rows = self._rows
         applied = 0
-        for j in range(idx.size):
-            delta = float(d[j])
-            if delta == 0:
-                continue
-            update_cols = cols[:, j]
-            counters = table[rows, update_cols]
-            current_value = self.counter_to_value(float(np.min(counters)))
-            target_counter = self._randomised_round(
-                self.value_to_counter(current_value + delta)
-            )
-            table[rows, update_cols] = np.maximum(counters, target_counter)
-            applied += 1
+        # gather bucket columns one SCAN_BLOCK chunk at a time so transient
+        # memory stays O(depth × block) however large the batch
+        for begin in range(0, idx.size, SCAN_BLOCK):
+            stop = begin + SCAN_BLOCK
+            cols = self._table.bucket_columns(idx[begin:stop])
+            chunk_deltas = d[begin:stop]
+            for j in range(chunk_deltas.size):
+                delta = float(chunk_deltas[j])
+                if delta == 0:
+                    continue
+                update_cols = cols[:, j]
+                counters = table[rows, update_cols]
+                current_value = self.counter_to_value(float(np.min(counters)))
+                target_counter = self._randomised_round(
+                    self.value_to_counter(current_value + delta)
+                )
+                table[rows, update_cols] = np.maximum(counters, target_counter)
+                applied += 1
         self._items_processed += applied
         return self
 
@@ -167,10 +172,6 @@ class CountMinLogCU(Sketch):
     def query_batch(self, indices) -> np.ndarray:
         idx, _ = self._check_batch(indices, None)
         min_counters = np.min(self._table.row_estimates_batch(idx), axis=0)
-        return self._decode_counters(min_counters)
-
-    def recover(self) -> np.ndarray:
-        min_counters = np.min(self._table.all_row_estimates(), axis=0)
         return self._decode_counters(min_counters)
 
     def merge(self, other) -> "CountMinLogCU":

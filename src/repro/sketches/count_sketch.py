@@ -63,9 +63,6 @@ class CountSketch(LinearSketch):
         idx, _ = self._check_batch(indices, None)
         return np.median(self._table.row_estimates_batch(idx), axis=0)
 
-    def recover(self) -> np.ndarray:
-        return np.median(self._table.all_row_estimates(), axis=0)
-
     def merge(self, other: "CountSketch") -> "CountSketch":
         self._check_compatible(other)
         self._table.merge_from(other._table)
@@ -93,7 +90,7 @@ class CountSketch(LinearSketch):
 
     def bucket_sign_sums(self) -> np.ndarray:
         """Per-row ψ vectors (per-bucket sums of signs), used by ℓ2-S/R."""
-        return self._table.column_sums()
+        return self._table.column_sums().copy()
 
 
 register_serializable(CountSketch)

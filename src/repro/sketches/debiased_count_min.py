@@ -48,12 +48,21 @@ class DebiasedCountMin(LinearSketch):
         depth: int,
         seed: RandomSource = None,
     ) -> None:
+        if dimension is None:
+            raise ValueError(
+                "DebiasedCountMin requires a bounded dimension: its "
+                "background subtraction divides by the number of coordinates "
+                "outside each bucket"
+            )
         super().__init__(dimension, width, depth, seed=seed)
         self._table = HashedCounterTable(
             dimension, width, depth, signed=False, seed=seed
         )
-        self._pi = self._table.column_sums()
         self._total_mass = 0.0
+
+    @property
+    def _pi(self) -> np.ndarray:
+        return self._table.cached_column_sums()
 
     # ------------------------------------------------------------------ #
     # ingestion
@@ -83,19 +92,10 @@ class DebiasedCountMin(LinearSketch):
     # ------------------------------------------------------------------ #
     # recovery
     # ------------------------------------------------------------------ #
-    def _debiased_estimates(self) -> np.ndarray:
-        """Per-row, per-coordinate estimates with the background subtracted."""
-        counters = np.take_along_axis(self._table.table, self._table.buckets, axis=1)
-        bucket_sizes = np.take_along_axis(self._pi, self._table.buckets, axis=1)
-        outside_mass = self._total_mass - counters
-        outside_items = np.maximum(self.dimension - bucket_sizes, 1.0)
-        background_per_item = outside_mass / outside_items
-        return counters - background_per_item * (bucket_sizes - 1.0)
-
     def query(self, index: int) -> float:
         index = self._check_index(index)
         rows = np.arange(self.depth)
-        buckets = self._table.buckets[:, index]
+        buckets = self._table.bucket_column(index)
         counters = self._table.table[rows, buckets]
         bucket_sizes = self._pi[rows, buckets]
         outside_mass = self._total_mass - counters
@@ -105,16 +105,13 @@ class DebiasedCountMin(LinearSketch):
 
     def query_batch(self, indices) -> np.ndarray:
         idx, _ = self._check_batch(indices, None)
-        cols = self._table.buckets[:, idx]
+        cols = self._table.bucket_columns(idx)
         counters = np.take_along_axis(self._table.table, cols, axis=1)
         bucket_sizes = np.take_along_axis(self._pi, cols, axis=1)
         outside_mass = self._total_mass - counters
         outside_items = np.maximum(self.dimension - bucket_sizes, 1.0)
         background = outside_mass / outside_items * (bucket_sizes - 1.0)
         return np.median(counters - background, axis=0)
-
-    def recover(self) -> np.ndarray:
-        return np.median(self._debiased_estimates(), axis=0)
 
     # ------------------------------------------------------------------ #
     # linearity

@@ -53,6 +53,9 @@ class SketchSpec:
     * ``linear`` — mergeable/scalable; required for distributed aggregation
       and sharded ingestion;
     * ``streaming`` — supports one-update-at-a-time ingestion (``update``);
+    * ``unbounded`` — supports hashed-key mode (``dimension=None``): the
+      algorithm needs no O(n) data-independent structure, so arbitrary
+      64-bit keys can be sketched in O(depth × width) memory;
     * ``queries`` — the :data:`QUERY_KINDS` subset the sketch can answer;
     * ``kwargs_schema`` — name → type of the algorithm-specific keyword
       arguments its factory accepts (e.g. ``head_size`` for ℓ2-S/R).
@@ -70,6 +73,8 @@ class SketchSpec:
     bias_aware: bool = False
     #: whether the sketch supports single-update streaming ingestion
     streaming: bool = True
+    #: whether the sketch supports hashed-key mode (``dimension=None``)
+    unbounded: bool = False
     #: the query kinds the sketch can answer (subset of :data:`QUERY_KINDS`)
     queries: FrozenSet[str] = ALL_QUERY_KINDS
     #: algorithm-specific keyword arguments: name -> expected type
@@ -141,6 +146,7 @@ class SketchSpec:
             "linear": self.linear,
             "bias_aware": self.bias_aware,
             "streaming": self.streaming,
+            "unbounded": self.unbounded,
             "queries": self.supported_queries(),
             "kwargs": {key: t.__name__ for key, t in sorted(self.kwargs_schema.items())},
         }
@@ -156,6 +162,7 @@ def register_sketch(
     linear: bool,
     bias_aware: bool = False,
     streaming: bool = True,
+    unbounded: bool = False,
     queries: Optional[FrozenSet[str]] = None,
     kwargs_schema: Optional[Mapping[str, type]] = None,
     overwrite: bool = False,
@@ -179,6 +186,7 @@ def register_sketch(
         linear=linear,
         bias_aware=bias_aware,
         streaming=streaming,
+        unbounded=unbounded,
         queries=queries,
         kwargs_schema=dict(kwargs_schema or {}),
     )
@@ -271,30 +279,35 @@ register_sketch(
     "CM (plain Count-Min)",
     lambda n, s, d, seed, **kw: CountMin(n, s, d, seed=seed, **kw),
     linear=True,
+    unbounded=True,
 )
 register_sketch(
     "count_median",
     "CM (Count-Median)",
     lambda n, s, d, seed, **kw: CountMedian(n, s, d, seed=seed, **kw),
     linear=True,
+    unbounded=True,
 )
 register_sketch(
     "count_sketch",
     "CS (Count-Sketch)",
     lambda n, s, d, seed, **kw: CountSketch(n, s, d, seed=seed, **kw),
     linear=True,
+    unbounded=True,
 )
 register_sketch(
     "count_min_cu",
     "CM-CU (conservative update)",
     lambda n, s, d, seed, **kw: CountMinCU(n, s, d, seed=seed, **kw),
     linear=False,
+    unbounded=True,
 )
 register_sketch(
     "count_min_log_cu",
     "CML-CU (Count-Min-Log, conservative update)",
     lambda n, s, d, seed, **kw: CountMinLogCU(n, s, d, seed=seed, **kw),
     linear=False,
+    unbounded=True,
     kwargs_schema={"base": float},
 )
 register_sketch(

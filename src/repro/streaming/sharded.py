@@ -47,6 +47,10 @@ from repro.utils.validation import ensure_batch_arrays, require_positive_int
 #: batched-replay sweet spot from the PR-1 benchmark)
 DEFAULT_BATCH_SIZE = 8_192
 
+#: sentinel distinguishing "dimension not provided" from an explicit
+#: ``dimension=None`` (hashed-key mode over an unbounded universe)
+_DIMENSION_NOT_PROVIDED = object()
+
 
 @dataclass
 class ShardedIngestReport:
@@ -105,7 +109,7 @@ def shard_arrays(
 
 def _replay_shard(
     name: str,
-    dimension: int,
+    dimension: Optional[int],
     width: int,
     depth: int,
     seed: int,
@@ -143,7 +147,7 @@ def _ingest_stream_sharded(
     depth: int,
     seed: int,
     shards: int,
-    dimension: Optional[int] = None,
+    dimension=_DIMENSION_NOT_PROVIDED,
     batch_size: int = DEFAULT_BATCH_SIZE,
     max_workers: Optional[int] = None,
     options: Optional[dict] = None,
@@ -168,6 +172,9 @@ def _ingest_stream_sharded(
         code path is identical.
     dimension:
         Vector dimension; inferred from an :class:`UpdateStream` input.
+        An explicit ``dimension=None`` selects hashed-key mode (unbounded
+        universe), in which case raw ``(indices, deltas)`` arrays may carry
+        any non-negative 64-bit keys.
     batch_size:
         ``update_batch`` chunk size inside each worker.
     max_workers:
@@ -201,10 +208,12 @@ def _ingest_stream_sharded(
         dimension = stream.dimension
         indices, deltas = stream.indices(), stream.deltas()
     else:
-        if dimension is None:
+        if dimension is _DIMENSION_NOT_PROVIDED:
             raise ValueError(
                 "dimension is required when ingesting raw (indices, deltas) "
-                "arrays"
+                "arrays; for hashed-key mode use "
+                "SketchSession.ingest (the deprecated ingest_stream_sharded "
+                "entry point predates unbounded universes)"
             )
         indices, deltas = ensure_batch_arrays(stream[0], stream[1], dimension)
 
@@ -272,7 +281,9 @@ def ingest_stream_sharded(
         depth,
         seed=seed,
         shards=shards,
-        dimension=dimension,
+        # the deprecated entry point keeps its original contract: None means
+        # "not provided" (required for raw arrays), not hashed-key mode
+        dimension=_DIMENSION_NOT_PROVIDED if dimension is None else dimension,
         batch_size=batch_size,
         max_workers=max_workers,
     )

@@ -56,13 +56,23 @@ def require_in_range(
     return value
 
 
-def require_index(index: int, dimension: int, name: str = "index") -> int:
-    """Validate that ``index`` addresses a coordinate of a ``dimension``-vector."""
+#: upper bound on keys in hashed-key mode (``dimension=None``): any
+#: non-negative 64-bit signed integer hashes cleanly
+UNBOUNDED_KEY_LIMIT = 2**63
+
+
+def require_index(index: int, dimension: Optional[int], name: str = "index") -> int:
+    """Validate that ``index`` addresses a coordinate of a ``dimension``-vector.
+
+    ``dimension=None`` means hashed-key mode: any key in
+    ``[0, UNBOUNDED_KEY_LIMIT)`` is accepted.
+    """
     if isinstance(index, bool) or not isinstance(index, (int, np.integer)):
         raise TypeError(f"{name} must be an integer, got {type(index).__name__}")
     index = int(index)
-    if not (0 <= index < dimension):
-        raise IndexError(f"{name} must be in [0, {dimension}), got {index}")
+    bound = UNBOUNDED_KEY_LIMIT if dimension is None else dimension
+    if not (0 <= index < bound):
+        raise IndexError(f"{name} must be in [0, {bound}), got {index}")
     return index
 
 
@@ -88,10 +98,12 @@ def ensure_batch_arrays(indices, deltas, dimension, name: str = "indices"):
     """Validate a batch of ``(indices, deltas)`` updates and return them as arrays.
 
     ``indices`` must be a 1-D integer array-like with every entry in
-    ``[0, dimension)``.  ``deltas`` may be ``None`` (unit increments), a scalar
-    (broadcast to every index) or a 1-D float array-like of the same length.
-    Returns ``(int64 array, float64 array)`` of equal shape; the pair may be
-    empty, which every batch operation treats as a no-op.
+    ``[0, dimension)`` — or any non-negative 64-bit key when ``dimension`` is
+    ``None`` (hashed-key mode).  ``deltas`` may be ``None`` (unit
+    increments), a scalar (broadcast to every index) or a 1-D float
+    array-like of the same length.  Returns ``(int64 array, float64 array)``
+    of equal shape; the pair may be empty, which every batch operation treats
+    as a no-op.
     """
     idx = np.asarray(indices)
     if idx.ndim != 1:
@@ -100,14 +112,21 @@ def ensure_batch_arrays(indices, deltas, dimension, name: str = "indices"):
         raise TypeError(
             f"{name} must be an integer array, got dtype {idx.dtype}"
         )
+    bound = UNBOUNDED_KEY_LIMIT if dimension is None else dimension
+    if idx.size and np.issubdtype(idx.dtype, np.unsignedinteger):
+        # check before the int64 view: a uint64 key >= 2^63 would wrap to a
+        # negative and the error would report a value the caller never passed
+        top = int(idx.max())
+        if top >= bound:
+            raise IndexError(f"{name} must be in [0, {bound}), got {top}")
     idx = idx.astype(np.int64, copy=False)
     if idx.size:
         low = int(idx.min())
         high = int(idx.max())
-        if low < 0 or high >= dimension:
+        if low < 0 or high >= bound:
             bad = low if low < 0 else high
             raise IndexError(
-                f"{name} must be in [0, {dimension}), got {bad}"
+                f"{name} must be in [0, {bound}), got {bad}"
             )
 
     if deltas is None:

@@ -17,11 +17,27 @@ class TestValidation:
             SketchConfig("", dimension=10, width=4, depth=2)
 
     @pytest.mark.parametrize("field", ["dimension", "width", "depth"])
-    @pytest.mark.parametrize("bad", [0, -3, 2.5, "8", None, True])
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "8", True])
     def test_geometry_must_be_positive_ints(self, field, bad):
         fields = {"dimension": 100, "width": 8, "depth": 3, field: bad}
         with pytest.raises(ConfigError, match=field):
             SketchConfig("count_sketch", **fields)
+
+    @pytest.mark.parametrize("field", ["width", "depth"])
+    def test_width_and_depth_cannot_be_none(self, field):
+        fields = {"dimension": 100, "width": 8, "depth": 3, field: None}
+        with pytest.raises(ConfigError, match=field):
+            SketchConfig("count_sketch", **fields)
+
+    def test_dimension_none_selects_hashed_key_mode(self):
+        """dimension=None is valid exactly for algorithms declaring unbounded."""
+        config = SketchConfig("count_sketch", dimension=None, width=8, depth=3)
+        assert config.dimension is None
+        assert config.build().dimension is None
+
+    def test_dimension_none_rejected_for_bounded_only_algorithms(self):
+        with pytest.raises(ConfigError, match="bounded dimension"):
+            SketchConfig("l2_sr", dimension=None, width=8, depth=3)
 
     def test_seed_must_be_int_or_none(self):
         with pytest.raises(ConfigError, match="seed"):

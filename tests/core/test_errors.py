@@ -116,6 +116,38 @@ class TestOptimalBias:
         assert solution.beta == pytest.approx(7.5)
         assert solution.error == pytest.approx(0.0)
 
+    def test_exactly_debiasable_tail_with_huge_head_is_zero(self):
+        """A huge head coordinate must not leave cancellation noise in an
+        exactly-zero tail cost (the prefix-of-squares subtraction cancels
+        at the head's magnitude)."""
+        x = np.array([0.0, 0.0, -65.0, -1.8927117819257546])
+        assert optimal_bias(x, 2, 2).error == 0.0
+        x = np.array([0.0, 0.0, -4098.0, -2.8927117819257546])
+        assert optimal_bias(x, 2, 2).error == 0.0
+
+    def test_cancellation_floor_does_not_clamp_real_costs(self):
+        """A huge coordinate sorting after the window must not raise the
+        cancellation floor and zero out genuinely nonzero window costs."""
+        x = np.array([0.0, 0.0, 100.0, 100.0, 100.0, 1e9])
+        solution = optimal_bias(x, 2, 2)
+        betas = np.linspace(0.0, 150.0, 3_001)
+        grid_best = min(debiased_err(x, 2, beta, 2) for beta in betas)
+        assert solution.error == pytest.approx(grid_best, rel=1e-3)
+        assert solution.error > 1.0
+
+    def test_cancellation_floor_is_ulp_scaled(self):
+        """A huge coordinate sorting *before* the window inflates the
+        prefix scale, but exactly representable small costs survive and
+        the true optimal window is still selected."""
+        assert optimal_bias(
+            np.array([-1e6, 0.0, 1.0]), 1, 2
+        ).error == pytest.approx(np.sqrt(0.5))
+        solution = optimal_bias(np.array([-1e6, 0.0, 1.0, 10.0, 10.05]), 3, 2)
+        assert solution.beta == pytest.approx(10.025)
+        # the cost itself carries prefix-scale rounding (~10 ulps of 1e12),
+        # so only window/β selection and the rough magnitude are exact
+        assert solution.error == pytest.approx(0.035355, rel=0.05)
+
     def test_head_indices_size(self, rng):
         x = rng.normal(size=50)
         solution = optimal_bias(x, 7, 1)

@@ -1,0 +1,255 @@
+"""Large-universe and hashed-key sessions: the new scenario class.
+
+The refactor's acceptance bar: ``SketchSession.from_config`` with
+``dimension = 10^8`` must construct in O(depth × width) memory — nothing
+the session allocates may scale with the universe — and the full
+ingest → query → save → restore → merge lifecycle must work both at huge
+bounded dimensions and in unbounded (``dimension=None``) hashed-key mode.
+The CI large-universe smoke job runs this module under a hard RSS cap.
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.api import CapabilityError, ConfigError, SketchConfig, SketchSession
+from repro.queries.heavy_hitters import _heavy_hitters
+from repro.queries.topk import StreamingTopK
+from repro.sketches.registry import available_sketches, get_spec
+
+HUGE = 10**8
+WIDTH = 4_096
+DEPTH = 9
+
+#: hard cap on what constructing a huge-universe session may allocate —
+#: the counters are depth × width × 8 ≈ 295 KB; anything within the cap is
+#: structure-free, anything O(n) would blow it by orders of magnitude
+CONSTRUCTION_ALLOCATION_CAP = 8 * 2**20
+
+
+class TestHugeBoundedUniverse:
+    def test_construction_memory_is_universe_independent(self):
+        tracemalloc.start()
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=HUGE, width=WIDTH,
+                         depth=DEPTH, seed=3)
+        )
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < CONSTRUCTION_ALLOCATION_CAP, (
+            f"construction allocated {peak / 2**20:.1f} MiB for n={HUGE}; "
+            "the on-demand path must be O(depth × width)"
+        )
+        assert session.size_in_words() == WIDTH * DEPTH
+
+    def test_ingest_and_query_arbitrary_coordinates(self):
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=HUGE, width=WIDTH,
+                         depth=DEPTH, seed=3)
+        )
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, HUGE, size=50_000)
+        session.ingest(keys, deltas=1.0)
+        session.ingest(int(HUGE - 1), 5.0)
+        assert session.query(kind="point", index=HUGE - 1) >= 5.0
+        estimates = session.query(kind="point", index=keys[:100])
+        assert np.all(estimates >= 1.0)
+
+    def test_save_restore_and_merge_at_huge_dimension(self, tmp_path):
+        config = SketchConfig("count_sketch", dimension=HUGE, width=256,
+                              depth=5, seed=11)
+        a = SketchSession.from_config(config).ingest(
+            np.array([10**7, 5 * 10**7, 99_999_999]), deltas=7.0
+        )
+        path = a.save(tmp_path / "huge.sketch")
+        restored = SketchSession.open(path)
+        assert restored.dimension == HUGE
+        b = SketchSession.from_config(config).ingest(
+            np.array([10**7]), deltas=3.0
+        )
+        restored.merge(b)
+        assert restored.query(kind="point", index=10**7) == pytest.approx(10.0)
+
+    def test_recover_scans_blockwise(self):
+        """recover() transients stay O(block): hashing a 1M-coordinate
+        domain in one shot would peak near a gigabyte of uint64 temporaries."""
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=2**20, width=256, depth=5,
+                         seed=3)
+        )
+        session.ingest(np.array([123_456]), deltas=9.0)
+        tracemalloc.start()
+        recovered = session.recover()
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert recovered.size == 2**20
+        assert recovered[123_456] >= 9.0
+        assert peak < 150 * 2**20, (
+            f"recover peaked at {peak / 2**20:.0f} MiB; the domain must be "
+            "evaluated in SCAN_BLOCK chunks"
+        )
+
+    def test_range_query_over_huge_key_span(self):
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=HUGE, width=WIDTH,
+                         depth=DEPTH, seed=3)
+        )
+        session.ingest(np.arange(1000, 1010), deltas=2.0)
+        estimate = session.query(kind="range", low=1000, high=1010)
+        assert estimate >= 20.0
+
+
+class TestUnboundedHashedKeyMode:
+    def test_unbounded_config_builds_for_declared_algorithms(self):
+        for name in available_sketches():
+            spec = get_spec(name)
+            if spec.unbounded:
+                session = SketchSession.from_config(
+                    SketchConfig(name, dimension=None, width=64, depth=3,
+                                 seed=1)
+                )
+                assert session.unbounded
+                assert session.dimension is None
+            else:
+                with pytest.raises(ConfigError, match="bounded dimension"):
+                    SketchConfig(name, dimension=None, width=64, depth=3)
+
+    def test_streaming_and_batched_updates_with_64_bit_keys(self):
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=None, width=128, depth=5,
+                         seed=2)
+        )
+        giant_key = 2**62 + 12345
+        session.ingest(giant_key, 3.0)
+        session.ingest(np.array([giant_key, 17, 2**40]), deltas=2.0)
+        assert session.query(kind="point", index=giant_key) >= 5.0
+        assert session.query(giant_key) >= 5.0
+
+    def test_float_pairs_with_unrepresentable_keys_are_rejected(self):
+        """(index, delta) pairs travel through float64; keys >= 2^53 would
+        silently round to a different coordinate, so they must be refused."""
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=None, width=64, depth=3,
+                         seed=2)
+        )
+        with pytest.raises(ConfigError, match="2\\^53"):
+            session.ingest(np.array([[float(2**62 + 12345), 5.0]]))
+        # integer-dtype pairs keep full 64-bit precision
+        session.ingest(np.array([[2**62 + 12345, 5]], dtype=np.int64))
+        assert session.query(kind="point", index=2**62 + 12345) >= 5.0
+        # small float pairs keep working
+        session.ingest(np.array([[7.0, 2.0]]))
+        assert session.query(kind="point", index=7) >= 2.0
+
+    def test_dense_vectors_and_recovery_are_rejected(self):
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=None, width=64, depth=3,
+                         seed=2)
+        )
+        with pytest.raises(ConfigError, match="dense frequency vector"):
+            session.ingest(np.ones(64))
+        with pytest.raises(CapabilityError, match="recover"):
+            session.recover()
+        with pytest.raises(CapabilityError, match="candidates"):
+            session.query(kind="heavy_hitters", threshold=1.0)
+        with pytest.raises(CapabilityError, match="inner_product"):
+            session.query(kind="inner_product", vector=np.ones(4))
+        assert not session.supports("inner_product")
+        assert session.supports("point")
+
+    def test_candidate_driven_heavy_hitters_via_topk_tracker(self):
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=None, width=256, depth=5,
+                         seed=4)
+        )
+        tracker = StreamingTopK(session.sketch, k=3)
+        rng = np.random.default_rng(1)
+        noise = rng.integers(0, 2**60, size=2000)
+        hot = [2**55, 2**56 + 1, 2**57 + 2]
+        for key in noise.tolist():
+            tracker.update(int(key))
+        for key in hot:
+            for _ in range(50):
+                tracker.update(key)
+        found = session.query(
+            kind="heavy_hitters", threshold=25.0,
+            candidates=tracker.candidates(),
+        )
+        assert set(hot) <= {h.index for h in found}
+        assert set(tracker.top_indices()) == set(hot)
+
+    def test_topk_batched_path_tracks_the_same_heavies(self):
+        session = SketchSession.from_config(
+            SketchConfig("count_sketch", dimension=None, width=256, depth=5,
+                         seed=4)
+        )
+        tracker = StreamingTopK(session.sketch, k=2)
+        tracker.update_batch(
+            np.array([2**50] * 40 + [7] * 30 + list(range(100, 140)))
+        )
+        assert set(tracker.top_indices()) == {2**50, 7}
+
+    def test_unbounded_round_trip_preserves_mode(self, tmp_path):
+        config = SketchConfig("count_median", dimension=None, width=64,
+                              depth=3, seed=9)
+        session = SketchSession.from_config(config)
+        session.ingest(np.array([2**61, 5]), deltas=4.0)
+        restored = SketchSession.open(session.save(tmp_path / "u.sketch"))
+        assert restored.unbounded
+        assert restored.query(kind="point", index=2**61) == pytest.approx(
+            session.query(kind="point", index=2**61)
+        )
+
+    def test_unbounded_range_queries_are_capped(self):
+        from repro.queries.range_query import MAX_UNBOUNDED_RANGE
+
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=None, width=64, depth=3,
+                         seed=2)
+        )
+        session.ingest(np.arange(100, 110), deltas=1.0)
+        assert session.query(kind="range", low=100, high=110) >= 10.0
+        with pytest.raises(ValueError, match="at most"):
+            session.query(kind="range", low=0,
+                          high=MAX_UNBOUNDED_RANGE + 2)
+
+    def test_negative_keys_are_rejected_by_the_addressing_layer(self):
+        from repro.sketches._tables import HashedCounterTable
+
+        table = HashedCounterTable(None, 32, 3, seed=1)
+        with pytest.raises(IndexError, match="non-negative"):
+            table.bucket_columns(np.array([3, -1]))
+        with pytest.raises(IndexError, match="non-negative"):
+            table.bucket_column(-1)
+
+    def test_unbounded_sharded_ingest_matches_single_process(self):
+        config = SketchConfig("count_min", dimension=None, width=128,
+                              depth=4, seed=6)
+        rng = np.random.default_rng(8)
+        keys = rng.integers(0, 2**62, size=20_000)
+        single = SketchSession.from_config(config).ingest(keys, deltas=1.0)
+        sharded = SketchSession.from_config(config).ingest(
+            keys, deltas=1.0, shards=2
+        )
+        np.testing.assert_array_equal(
+            single.sketch.table, sharded.sketch.table
+        )
+
+    def test_bounded_candidates_mode_matches_domain_scan(self):
+        """On bounded sketches candidates= agrees with the full scan."""
+        vector = np.zeros(500)
+        vector[42] = 100.0
+        vector[7] = 80.0
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=500, width=128, depth=5,
+                         seed=5)
+        ).ingest(vector)
+        scanned = session.query(kind="heavy_hitters", threshold=50.0)
+        candidate = _heavy_hitters(
+            session.sketch, threshold=50.0, candidates=np.arange(500)
+        )
+        assert [h.index for h in scanned] == [h.index for h in candidate]
+        assert [h.estimate for h in scanned] == [
+            h.estimate for h in candidate
+        ]

@@ -50,6 +50,18 @@ class TestHeavyHitters:
         scores = [h.score for h in found]
         assert scores == sorted(scores, reverse=True)
 
+    def test_phi_with_candidates_keeps_domain_relative_meaning(self):
+        """On a bounded sketch, candidates restrict which keys are reported
+        but phi stays relative to the whole domain's mass."""
+        vector = np.zeros(1_000)
+        vector[7] = 900.0
+        vector[13] = 60.0
+        sketch = CountSketch(1_000, 128, 5, seed=3).fit(vector)
+        full = heavy_hitters(sketch, phi=0.5)
+        restricted = heavy_hitters(sketch, phi=0.5,
+                                   candidates=[7, 13, 500])
+        assert [h.index for h in restricted] == [h.index for h in full] == [7]
+
     def test_argument_validation(self, outlier_vector):
         vector, _ = outlier_vector
         sketch = CountSketch(4_000, 64, 3, seed=5).fit(vector)

@@ -26,6 +26,44 @@ class TestVersionFlag:
         assert "repro" in captured.out
 
 
+class TestScientificNotationGeometry:
+    """Geometry flags accept scientific notation (`--dimension 1e8`)."""
+
+    def test_dimension_and_width_in_scientific_notation(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "2e3",
+            "--width", "1.28e2", "--depth", "4", "--algorithm", "count_min",
+        )
+        assert code == 0
+        assert "n = 2000" in output
+
+    def test_datasets_accepts_scientific_dimension(self):
+        code, output = run_cli("datasets", "--dimension", "2e3",
+                               "--head-size", "1e2")
+        assert code == 0
+        assert "dataset" in output
+
+    def test_non_integral_value_is_one_line_error(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "1.5e-3",
+            "--width", "64", "--depth", "3",
+        )
+        assert code == 2
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
+        assert "whole number" in output
+
+    def test_garbage_value_is_one_line_error(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "huge",
+            "--width", "64", "--depth", "3",
+        )
+        assert code == 2
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
+        assert "scientific notation" in output
+
+
 class TestErrorPaths:
     """User errors exit non-zero with a one-line actionable message."""
 
