@@ -1,0 +1,101 @@
+"""Recency-bounded monitoring: last-hour heavy hitters over a drifting stream.
+
+Scenario (the ROADMAP's web-traffic workload): requests arrive tagged with a
+timestamp, and an operator wants *currently* trending keys — not the keys
+that dominated hours ago.  A whole-stream sketch cannot answer this: its
+counters remember everything since time zero.  The sliding-window engine
+(`repro.streaming.windows`) answers it with the machinery the library
+already has — per-pane linear sketches merged on demand — by keeping a ring
+of the most recent panes and aging old panes out wholesale.
+
+The simulation drifts the hot set: each "hour" a different small group of
+keys dominates the traffic.  A 6-pane time-based sliding window (covering
+the last hour) is compared against an unwindowed session over the same
+stream: the windowed heavy hitters track the *current* hot group, while the
+unwindowed sketch keeps reporting the stale heavyweights of earlier hours.
+
+Run with::
+
+    python examples/windowed_monitoring.py
+"""
+
+import numpy as np
+
+from repro import SketchConfig, SketchSession
+from repro.streaming import WindowSpec
+
+KEYS = 50_000
+HOURS = 4
+REQUESTS_PER_HOUR = 120_000
+HOT_KEYS_PER_HOUR = 8
+#: a pane covers 10 minutes; 6 panes cover the trailing hour
+PANE_MINUTES = 10.0
+PANES = 6
+
+
+def simulate_hour(rng, hour):
+    """One hour of traffic: background noise plus that hour's hot group."""
+    hot = np.arange(HOT_KEYS_PER_HOUR) + 1_000 * (hour + 1)
+    background = rng.integers(0, KEYS, size=REQUESTS_PER_HOUR)
+    # ~20% of requests hit the hour's hot group
+    hot_positions = rng.random(REQUESTS_PER_HOUR) < 0.2
+    background[hot_positions] = rng.choice(hot, size=int(hot_positions.sum()))
+    minutes = np.sort(rng.uniform(hour * 60.0, (hour + 1) * 60.0,
+                                  size=REQUESTS_PER_HOUR))
+    return background, minutes, hot
+
+
+def top_keys(session, **query):
+    hits = session.query(kind="heavy_hitters", top_k=5, **query)
+    return [(hit.index, round(hit.estimate)) for hit in hits]
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    windowed = SketchSession.from_config(SketchConfig(
+        "count_sketch", dimension=KEYS, width=4_096, depth=7, seed=11,
+        window=WindowSpec(mode="sliding", panes=PANES,
+                          pane_size=PANE_MINUTES, by="time"),
+    ))
+    whole = SketchSession.from_config(SketchConfig(
+        "count_sketch", dimension=KEYS, width=4_096, depth=7, seed=11,
+    ))
+
+    print(f"Simulated drifting traffic: {KEYS} keys, {HOURS} hours x "
+          f"{REQUESTS_PER_HOUR} requests, hot group changes hourly")
+    print(f"Window: sliding, {PANES} panes x {PANE_MINUTES:.0f} minutes "
+          f"(the trailing hour)")
+    print()
+
+    threshold = 0.05 * REQUESTS_PER_HOUR / HOT_KEYS_PER_HOUR
+    for hour in range(HOURS):
+        keys, minutes, hot = simulate_hour(rng, hour)
+        windowed.ingest(keys, timestamps=minutes)
+        whole.ingest(keys)
+        in_window = windowed.items_in_window
+        print(f"hour {hour + 1}: hot group = keys "
+              f"{int(hot[0])}..{int(hot[-1])}  "
+              f"(window holds {in_window:,} of "
+              f"{windowed.items_processed:,} requests, "
+              f"{windowed.window.evictions} panes evicted)")
+        print(f"  windowed top-5 : {top_keys(windowed, threshold=threshold)}")
+        print(f"  all-time top-5 : {top_keys(whole, threshold=threshold)}")
+        current = {hit.index for hit in windowed.query(
+            kind="heavy_hitters", threshold=threshold, top_k=5)}
+        fresh_hits = len(current & set(int(k) for k in hot))
+        print(f"  -> {fresh_hits}/5 windowed hits are in the CURRENT hot "
+              "group")
+        print()
+
+    # the window state is a portable artifact like any sketch
+    payload = windowed.to_bytes()
+    reopened = SketchSession.from_bytes(payload)
+    assert reopened.to_bytes() == payload
+    print(f"Window state serialized to {len(payload):,} bytes "
+          f"({windowed.window.pane_count} live panes), reopened "
+          "byte-identically; the reopened session keeps answering "
+          "last-hour queries from where this one left off.")
+
+
+if __name__ == "__main__":
+    main()

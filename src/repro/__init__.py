@@ -63,7 +63,25 @@ Operations that enumerate the universe (dense-vector ``ingest``,
 ``depth × width`` words, plus a lazily-filled hot-key cache of at most
 ``depth × 65_536`` assignments, plus — for bias-aware sketches on bounded
 universes — O(depth × width) column sums computed by a one-off O(n) scan,
-memoised and shared across copies, shards and restored replicas.
+memoised and shared across copies, shards and restored replicas (the
+hot-key cache is shared the same way, so window panes and shard replicas
+built from one seed hash the hot range once).
+
+Windowed streams
+----------------
+Recency-bounded queries — last-hour heavy hitters, last-N-updates
+estimates — ride the same linearity: configure a session with
+``window=WindowSpec(...)`` and every update is routed into a ring of
+per-pane sketches whose merged view answers all queries over the most
+recent panes only (see :mod:`repro.streaming.windows`).
+
+>>> from repro import WindowSpec
+>>> session = SketchSession.from_config(SketchConfig(
+...     "count_sketch", dimension=x.size, width=2_000, depth=9, seed=1,
+...     window=WindowSpec(mode="sliding", panes=16, pane_size=10_000),
+... ))
+>>> _ = session.ingest(x)                    # only the tail stays queryable
+>>> _ = session.save("trailing.window")      # full window state, versioned
 
 Package layout
 --------------
@@ -129,8 +147,10 @@ from repro.sketches import (
 )
 from repro.serialization import sketch_from_bytes, sketch_from_state
 from repro.streaming import (
+    SlidingWindowSketch,
     StreamRunner,
     UpdateStream,
+    WindowSpec,
     ingest_stream_sharded,
     stream_from_vector,
 )
@@ -177,6 +197,9 @@ __all__ = [
     "StreamRunner",
     "UpdateStream",
     "stream_from_vector",
+    # windowed streams (the pane-ring engine)
+    "SlidingWindowSketch",
+    "WindowSpec",
     # portable state and sharded ingestion (deprecated shims included)
     "sketch_from_bytes",
     "sketch_from_state",

@@ -58,12 +58,21 @@ class SketchConfig:
         Integer seed, or ``None`` for fresh randomness.  An integer seed is
         required for every portable operation (save, merge across processes,
         sharded ingestion), because hash structure is re-derived from it.
+    window:
+        A :class:`~repro.streaming.windows.WindowSpec` (or its
+        :meth:`~repro.streaming.windows.WindowSpec.to_dict` form) selecting
+        **windowed ingestion**: queries are answered over the most recent
+        panes only.  Requires a *linear* algorithm (the pane ring rides
+        ``merge``/``scale``; conservative-update sketches raise
+        :class:`~repro.api.CapabilityError`) and an explicit integer seed.
+        ``None`` (the default) keeps whole-stream semantics.
     **options:
         Algorithm-specific keyword arguments, validated against the spec's
         ``kwargs_schema`` (e.g. ``head_size=256`` for ``"l2_sr"``).
     """
 
-    __slots__ = ("name", "dimension", "width", "depth", "seed", "options")
+    __slots__ = ("name", "dimension", "width", "depth", "seed", "window",
+                 "options")
 
     def __init__(
         self,
@@ -73,6 +82,7 @@ class SketchConfig:
         width: int,
         depth: int,
         seed: Optional[int] = None,
+        window: Any = None,
         **options: Any,
     ) -> None:
         if not isinstance(name, str) or not name:
@@ -109,6 +119,33 @@ class SketchConfig:
                 )
             seed = int(seed)
         object.__setattr__(self, "seed", seed)
+        if window is not None:
+            # local import: repro.streaming.windows imports repro.api.errors
+            from repro.streaming.windows import WindowSpec
+
+            if isinstance(window, Mapping):
+                window = WindowSpec.from_dict(window)
+            if not isinstance(window, WindowSpec):
+                raise ConfigError(
+                    f"window must be a WindowSpec (or its to_dict() form), "
+                    f"got {type(window).__name__}"
+                )
+            if not spec.linear:
+                from repro.api.errors import CapabilityError
+
+                raise CapabilityError(
+                    f"sketch {name!r} is not a linear sketch and cannot be "
+                    "windowed: the pane ring relies on the pane-merge "
+                    "algebra (merge/scale), which the conservative-update "
+                    "sketches do not support"
+                )
+            if seed is None:
+                raise ConfigError(
+                    "windowed sketching requires an explicit integer seed: "
+                    "panes share hash functions so they can be merged, and "
+                    "window state must be reconstructible on restore"
+                )
+        object.__setattr__(self, "window", window)
         try:
             validated = spec.validate_kwargs(options)
         except (TypeError, ValueError) as error:
@@ -160,11 +197,13 @@ class SketchConfig:
             "width": self.width,
             "depth": self.depth,
             "seed": self.seed,
+            "window": self.window,
             **self.options,
         }
         merged.update(changes)
         name = merged.pop("name")
-        core = {key: merged.pop(key) for key in ("dimension", "width", "depth", "seed")}
+        core = {key: merged.pop(key)
+                for key in ("dimension", "width", "depth", "seed", "window")}
         options = {key: value for key, value in merged.items() if value is not None}
         return SketchConfig(name, **core, **options)
 
@@ -176,6 +215,7 @@ class SketchConfig:
             "width": self.width,
             "depth": self.depth,
             "seed": self.seed,
+            "window": self.window.to_dict() if self.window is not None else None,
             **self.options,
         }
 
@@ -238,12 +278,14 @@ class SketchConfig:
     def __hash__(self) -> int:
         return hash(
             (self.name, self.dimension, self.width, self.depth, self.seed,
-             tuple(sorted(self.options.items())))
+             self.window, tuple(sorted(self.options.items())))
         )
 
     def __repr__(self) -> str:
         extras = "".join(f", {k}={v!r}" for k, v in sorted(self.options.items()))
+        windowed = f", window={self.window!r}" if self.window is not None else ""
         return (
             f"SketchConfig({self.name!r}, dimension={self.dimension}, "
-            f"width={self.width}, depth={self.depth}, seed={self.seed}{extras})"
+            f"width={self.width}, depth={self.depth}, seed={self.seed}"
+            f"{windowed}{extras})"
         )

@@ -10,7 +10,11 @@ supports behind a uniform, capability-checked surface:
 * **ingestion** — a single :meth:`ingest` that dispatches scalar updates,
   ``(index, delta)`` batches, dense frequency vectors,
   :class:`~repro.streaming.stream.UpdateStream` replays, and multi-core
-  sharded ingestion, by input type and size;
+  sharded ingestion, by input type and size; sessions configured with
+  ``SketchConfig(window=WindowSpec(...))`` route every update (optionally
+  timestamped) into the pane ring of
+  :class:`~repro.streaming.windows.SlidingWindowSketch`, and every query
+  below is answered over the current window only;
 * **queries** — a single :meth:`query` dispatching the four query kinds
   (``point``, ``heavy_hitters``, ``range``, ``inner_product``), raising
   :class:`~repro.api.CapabilityError` for kinds the algorithm's spec does
@@ -75,10 +79,17 @@ class SketchSession:
     >>> again = SketchSession.open("traffic.sketch")    # restore anywhere
     """
 
-    def __init__(self, config: SketchConfig, sketch: Sketch) -> None:
+    def __init__(self, config: SketchConfig, sketch: Any) -> None:
         # internal: use from_config / open / from_bytes
+        from repro.streaming.windows import SlidingWindowSketch
+
         self._config = config
-        self._sketch = sketch
+        if isinstance(sketch, SlidingWindowSketch):
+            self._window: Optional[SlidingWindowSketch] = sketch
+            self._sketch: Optional[Sketch] = None
+        else:
+            self._window = None
+            self._sketch = sketch
         self._last_shard_report: Optional[ShardedIngestReport] = None
         self._auto_shard_threshold: Optional[int] = DEFAULT_AUTO_SHARD_THRESHOLD
 
@@ -118,7 +129,13 @@ class SketchSession:
                 f"config must be a SketchConfig or an algorithm name, got "
                 f"{type(config).__name__}"
             )
-        session = cls(config, config.build())
+        if config.window is not None:
+            from repro.streaming.windows import SlidingWindowSketch
+
+            engine: Any = SlidingWindowSketch(config)
+        else:
+            engine = config.build()
+        session = cls(config, engine)
         if auto_shard_threshold is not None:
             auto_shard_threshold = require_positive_int(
                 auto_shard_threshold, "auto_shard_threshold"
@@ -128,7 +145,16 @@ class SketchSession:
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "SketchSession":
-        """Open a session on a sketch restored from a wire payload."""
+        """Open a session on a sketch restored from a wire payload.
+
+        Accepts both payload families: a bare sketch (``RPSK``) and a full
+        window container (``RPWD``), dispatching on the magic bytes.
+        """
+        from repro.streaming.windows import SlidingWindowSketch, is_window_payload
+
+        if is_window_payload(payload):
+            window = SlidingWindowSketch.from_bytes(payload)
+            return cls(window.config, window)
         state = decode_state(payload)
         config = SketchConfig.from_state(state)
         return cls(config, Sketch.from_state(state))
@@ -158,8 +184,37 @@ class SketchSession:
 
     @property
     def sketch(self) -> Sketch:
-        """The underlying sketch (escape hatch for specialised callers)."""
+        """The underlying sketch (escape hatch for specialised callers).
+
+        For a windowed session this is the **read-only merged window view**
+        — a sketch of exactly the in-window updates; use :attr:`window` for
+        the pane-ring engine itself.
+        """
+        return self._reader()
+
+    def _reader(self) -> Sketch:
+        """The sketch queries are answered against (window view or bare)."""
+        if self._window is not None:
+            return self._window.view()
         return self._sketch
+
+    @property
+    def windowed(self) -> bool:
+        """Whether the session answers queries over a sliding window."""
+        return self._window is not None
+
+    @property
+    def window(self):
+        """The :class:`~repro.streaming.windows.SlidingWindowSketch` engine,
+        or ``None`` for whole-stream sessions."""
+        return self._window
+
+    @property
+    def items_in_window(self) -> Optional[int]:
+        """Updates the current window summarises (``None`` if unwindowed)."""
+        if self._window is None:
+            return None
+        return self._window.items_in_window
 
     @property
     def dimension(self) -> Optional[int]:
@@ -174,6 +229,8 @@ class SketchSession:
     @property
     def items_processed(self) -> int:
         """Total updates applied across every ingestion path."""
+        if self._window is not None:
+            return self._window.items_processed
         return self._sketch.items_processed
 
     @property
@@ -182,11 +239,15 @@ class SketchSession:
         return self._last_shard_report
 
     def size_in_words(self) -> int:
-        """Counter words the sketch stores (the paper's space unit)."""
+        """Counter words stored (all live panes for a windowed session)."""
+        if self._window is not None:
+            return self._window.size_in_words()
         return self._sketch.size_in_words()
 
     def size_in_bytes(self) -> int:
         """Exact serialized payload size (requires an integer seed)."""
+        if self._window is not None:
+            return self._window.size_in_bytes()
         return self._sketch.size_in_bytes()
 
     def supports(self, kind: str) -> bool:
@@ -213,6 +274,7 @@ class SketchSession:
         data: Any,
         deltas: Any = None,
         *,
+        timestamps: Any = None,
         batch_size: Optional[int] = None,
         shards: Optional[int] = None,
     ) -> "SketchSession":
@@ -231,13 +293,25 @@ class SketchSession:
         * an :class:`~repro.streaming.stream.UpdateStream` — replayed in
           order.
 
-        ``batch_size`` chunks batched replays through ``update_batch``
-        (default: one vectorised call).  ``shards`` forces the multi-core
-        sharded engine (``shards > 1``; linear sketches with integer seeds
-        only); when omitted, ingests of at least ``auto_shard_threshold``
-        updates shard automatically on multi-core machines.  Returns
-        ``self`` for chaining.
+        ``timestamps`` (windowed sessions with time-based panes only)
+        carries each update's timestamp: a scalar for a single update, a
+        scalar broadcast to a whole batch, or a non-decreasing array
+        matching the batch; the windowing engine routes every update into
+        the pane its timestamp falls in.  ``batch_size`` chunks batched
+        replays through ``update_batch`` (default: one vectorised call).
+        ``shards`` forces the multi-core sharded engine (``shards > 1``;
+        linear sketches with integer seeds only); when omitted, ingests of
+        at least ``auto_shard_threshold`` updates shard automatically on
+        multi-core machines — windowed sessions shard *within* a pane and
+        fold the result back at pane granularity.  Returns ``self`` for
+        chaining.
         """
+        if timestamps is not None and self._window is None:
+            raise ConfigError(
+                "timestamps only apply to windowed sessions; configure the "
+                "sketch with SketchConfig(..., window=WindowSpec(by='time', "
+                "...))"
+            )
         if isinstance(data, Dataset):
             data = data.vector
         # scalar streaming update -------------------------------------- #
@@ -250,7 +324,10 @@ class SketchSession:
             if shards is not None and shards != 1:
                 raise ConfigError("a single update cannot be sharded")
             delta = 1.0 if deltas is None else float(deltas)
-            self._sketch.update(int(data), delta)
+            if self._window is not None:
+                self._window.update(int(data), delta, timestamp=timestamps)
+            else:
+                self._sketch.update(int(data), delta)
             return self
         # update stream ------------------------------------------------- #
         if isinstance(data, UpdateStream):
@@ -262,7 +339,7 @@ class SketchSession:
             if deltas is not None:
                 raise ConfigError("deltas cannot be combined with an UpdateStream")
             return self._ingest_updates(
-                data.indices(), data.deltas(), batch_size, shards
+                data.indices(), data.deltas(), batch_size, shards, timestamps
             )
         # array-likes --------------------------------------------------- #
         arr = np.asarray(data)
@@ -295,6 +372,7 @@ class SketchSession:
                 arr[:, 1].astype(np.float64),
                 batch_size,
                 shards,
+                timestamps,
             )
         if arr.ndim != 1:
             raise ConfigError(
@@ -333,6 +411,14 @@ class SketchSession:
                     "pass integer coordinates (with optional deltas) for "
                     "streaming updates"
                 )
+            if self._window is not None:
+                # a windowed session has no timeless "whole vector": stream
+                # the non-zero coordinates as updates in index order so they
+                # land in panes like any other batch
+                nonzero = np.flatnonzero(arr)
+                return self._ingest_updates(
+                    nonzero, arr[nonzero], batch_size, shards, timestamps
+                )
             resolved = self._resolve_shards(int(np.count_nonzero(arr)), shards)
             if resolved > 1:
                 indices = np.flatnonzero(arr)
@@ -342,7 +428,7 @@ class SketchSession:
             self._sketch.fit(arr)
             return self
         # 1-D coordinates (+ optional deltas)
-        return self._ingest_updates(arr, deltas, batch_size, shards)
+        return self._ingest_updates(arr, deltas, batch_size, shards, timestamps)
 
     def _ingest_updates(
         self,
@@ -350,7 +436,33 @@ class SketchSession:
         deltas: Any,
         batch_size: Optional[int],
         shards: Union[int, None],
+        timestamps: Any = None,
     ) -> "SketchSession":
+        if self._window is not None:
+            # the window engine validates the batch itself (single
+            # _check_batch pass); explicit shard counts are validated here,
+            # while auto-shard decisions are deferred to the engine so they
+            # are made per within-pane segment, not for the whole batch
+            if shards is not None:
+                resolved = self._resolve_shards(0, shards)
+                engine_shards = resolved if resolved > 1 else None
+                resolver = None          # explicit count (even 1) wins
+            else:
+                engine_shards = None
+
+                def resolver(updates: int) -> int:
+                    return self._resolve_shards(updates, None)
+            report = self._window.update_batch(
+                indices,
+                deltas,
+                timestamps=timestamps,
+                shards=engine_shards,
+                batch_size=batch_size,
+                shard_resolver=resolver,
+            )
+            if report is not None:
+                self._last_shard_report = report
+            return self
         indices, deltas = self._sketch._check_batch(indices, deltas)
         resolved = self._resolve_shards(int(indices.size), shards)
         if resolved > 1:
@@ -454,9 +566,10 @@ class SketchSession:
         return handler(**params)
 
     def _query_point(self, index: Any):
+        reader = self._reader()
         if isinstance(index, (int, np.integer)) and not isinstance(index, bool):
-            return self._sketch.query(int(index))
-        return self._sketch.query_batch(index)
+            return reader.query(int(index))
+        return reader.query_batch(index)
 
     def _query_heavy_hitters(
         self,
@@ -474,7 +587,7 @@ class SketchSession:
                 "evaluate (e.g. StreamingTopK.candidates())"
             )
         return _heavy_hitters(
-            self._sketch,
+            self._reader(),
             threshold=threshold,
             phi=phi,
             total_mass=total_mass,
@@ -484,11 +597,11 @@ class SketchSession:
         )
 
     def _query_range(self, low: int, high: int) -> float:
-        return _range_sum(self._sketch, low, high)
+        return _range_sum(self._reader(), low, high)
 
     def _query_inner_product(self, vector: Any) -> float:
         # unbounded sessions never reach here: supports() excludes the kind
-        return _inner_product_estimate(self._sketch, vector)
+        return _inner_product_estimate(self._reader(), vector)
 
     def recover(self) -> np.ndarray:
         """The full recovered vector ``x̂`` (one estimate per coordinate).
@@ -503,7 +616,7 @@ class SketchSession:
                 "full vector; use point queries or candidate-driven "
                 "heavy-hitter queries instead"
             )
-        return self._sketch.recover()
+        return self._reader().recover()
 
     def estimate_bias(self) -> float:
         """The sketch's current bias estimate ``β̂``.
@@ -511,7 +624,7 @@ class SketchSession:
         Only the bias-aware algorithms maintain one; others raise
         :class:`~repro.api.CapabilityError`.
         """
-        estimator = getattr(self._sketch, "estimate_bias", None)
+        estimator = getattr(self._reader(), "estimate_bias", None)
         if estimator is None:
             raise CapabilityError(
                 f"sketch {self._config.name!r} does not maintain a bias "
@@ -522,27 +635,70 @@ class SketchSession:
     # ------------------------------------------------------------------ #
     # composition
     # ------------------------------------------------------------------ #
-    def merge(self, other: Union["SketchSession", Sketch, bytes, bytearray]) -> "SketchSession":
-        """Fold another compatible sketch's state into this session.
+    #: the inputs :meth:`merge` accepts, spelled out once so every rejection
+    #: path names them
+    _MERGEABLE = (
+        "another SketchSession, a Sketch, a serialized wire payload "
+        "(bytes/bytearray), or a list/tuple of those"
+    )
 
-        ``other`` may be another session, a bare sketch, or a serialized
-        wire payload (what a remote site would ship).  Requires a linear
-        algorithm; geometry and seed compatibility are validated by the
-        underlying merge.
+    def merge(
+        self,
+        other: Union["SketchSession", Sketch, bytes, bytearray, list, tuple],
+    ) -> "SketchSession":
+        """Fold other compatible sketch state into this session.
+
+        ``other`` may be another session, a bare sketch, a serialized wire
+        payload (what a remote site would ship), or a list/tuple of those
+        (merged in order).  Requires a linear algorithm; geometry and seed
+        compatibility are validated by the underlying merge.  Anything else
+        raises ``TypeError`` naming the accepted inputs.
         """
+        if self._window is not None:
+            raise CapabilityError(
+                "a windowed session cannot be merged: its panes are aligned "
+                "to this session's own stream position, so folding foreign "
+                "state into the ring would mix pane boundaries; merge "
+                "unwindowed sessions, or merge against the read-only window "
+                "view (session.sketch) instead"
+            )
         if not self.spec.linear:
             raise CapabilityError(
                 f"sketch {self._config.name!r} is not a linear sketch and "
                 "cannot be merged"
             )
+        if isinstance(other, (list, tuple)):
+            # resolve and compatibility-check every element BEFORE merging
+            # any, so a bad element leaves the session untouched (a caller
+            # retrying the fixed list must not double-count the good ones)
+            resolved = []
+            for position, item in enumerate(other):
+                if isinstance(item, SketchSession):
+                    item = item.sketch
+                elif isinstance(item, (bytes, bytearray)):
+                    item = Sketch.from_bytes(bytes(item))
+                if not isinstance(item, Sketch):
+                    raise TypeError(
+                        f"cannot merge element {position} of the "
+                        f"{type(other).__name__} (a "
+                        f"{type(item).__name__}) into the session; merge() "
+                        f"accepts {self._MERGEABLE}"
+                    )
+                resolved.append(item)
+            assert isinstance(self._sketch, LinearSketch)
+            for item in resolved:
+                self._sketch._check_compatible(item)  # type: ignore[arg-type]
+            for item in resolved:
+                self._sketch.merge(item)  # type: ignore[arg-type]
+            return self
         if isinstance(other, SketchSession):
             other = other.sketch
         elif isinstance(other, (bytes, bytearray)):
             other = Sketch.from_bytes(bytes(other))
         if not isinstance(other, Sketch):
             raise TypeError(
-                "merge expects a SketchSession, a Sketch, or a serialized "
-                f"payload, got {type(other).__name__}"
+                f"cannot merge a {type(other).__name__} into the session; "
+                f"merge() accepts {self._MERGEABLE}"
             )
         assert isinstance(self._sketch, LinearSketch)
         self._sketch.merge(other)  # type: ignore[arg-type]
@@ -552,15 +708,24 @@ class SketchSession:
     # persistence
     # ------------------------------------------------------------------ #
     def to_bytes(self) -> bytes:
-        """The sketch state in the versioned binary wire format."""
+        """The session state in the versioned binary wire format.
+
+        Windowed sessions encode the full window container (spec, ring
+        bookkeeping and every live pane); bare sessions encode the sketch
+        payload.  :meth:`from_bytes` / :meth:`open` restore either.
+        """
+        if self._window is not None:
+            return self._window.to_bytes()
         return self._sketch.to_bytes()
 
     def state_dict(self) -> dict:
-        """The sketch state as a plain dict (see the state protocol)."""
+        """The session state as a plain dict (see the state protocol)."""
+        if self._window is not None:
+            return self._window.state_dict()
         return self._sketch.state_dict()
 
     def save(self, path: Union[str, Path]) -> Path:
-        """Persist the sketch state to ``path``; returns the path written."""
+        """Persist the session state to ``path``; returns the path written."""
         path = Path(path)
         path.write_bytes(self.to_bytes())
         return path

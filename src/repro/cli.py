@@ -6,7 +6,8 @@ Python, all routed through the unified :mod:`repro.api` session facade:
 * ``repro datasets`` — list the available workloads and their bias profiles;
 * ``repro sketch`` — sketch a workload with one algorithm and report its
   accuracy and size (``--shards N`` ingests through the multi-core sharded
-  engine);
+  engine; ``--window MODE[:ARG] --pane N`` sketches through the sliding-
+  window engine and reports in-window accuracy);
 * ``repro save`` — sketch a workload and persist the session's sketch state
   to disk in the versioned binary wire format;
 * ``repro load`` — reopen a saved session and query it, independently of the
@@ -42,6 +43,7 @@ from repro.eval.metrics import average_error, maximum_error
 from repro.eval.plots import plot_result_table
 from repro.serialization import SerializationError
 from repro.sketches.registry import available_sketches, get_spec
+from repro.streaming.windows import WINDOW_MODES, WindowSpec
 from repro.version import __version__
 
 
@@ -124,10 +126,19 @@ def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
                         help="ingest through the multi-core sharded engine "
                              "with this many shards (linear sketches only; "
                              "default 1 = single-process fit)")
+    parser.add_argument("--window", default=None, metavar="MODE[:ARG]",
+                        help="windowed ingestion: 'tumbling', "
+                             "'sliding:<panes>' (e.g. sliding:16) or "
+                             "'decay:<factor>' (e.g. decay:0.9); queries "
+                             "are answered over the most recent panes only "
+                             "(linear sketches; requires --pane)")
+    parser.add_argument("--pane", type=str, default=None,
+                        help="pane size in updates for --window "
+                             "(scientific notation accepted)")
 
 
 #: flags coerced through :func:`_geometry_value` before dispatch
-_GEOMETRY_FLAGS = ("dimension", "width", "depth", "head_size")
+_GEOMETRY_FLAGS = ("dimension", "width", "depth", "head_size", "pane")
 
 
 def _geometry_value(value, name: str) -> int:
@@ -164,6 +175,59 @@ def _coerce_geometry(args: argparse.Namespace) -> None:
             setattr(args, name, _geometry_value(getattr(args, name), name))
 
 
+def _window_spec(args: argparse.Namespace) -> Optional[WindowSpec]:
+    """Build the :class:`WindowSpec` the ``--window``/``--pane`` flags ask for.
+
+    Returns ``None`` when no windowing was requested; every malformed
+    combination raises :class:`~repro.api.ConfigError`, which the CLI
+    reports as its usual one-line ``error: ...`` with exit status 2.
+    """
+    window = getattr(args, "window", None)
+    pane = getattr(args, "pane", None)
+    if window is None:
+        if pane is not None:
+            raise ConfigError(
+                "--pane requires --window (it sizes the window's panes)"
+            )
+        return None
+    if pane is None:
+        raise ConfigError(
+            "--window requires --pane (the pane size in updates, e.g. "
+            "--window sliding:16 --pane 1000)"
+        )
+    mode, _, argument = window.partition(":")
+    if mode not in WINDOW_MODES:
+        raise ConfigError(
+            f"unknown window mode {mode!r}; expected tumbling, "
+            "sliding:<panes> or decay:<factor>"
+        )
+    panes, decay = 1, None
+    if mode == "sliding":
+        if not argument:
+            raise ConfigError(
+                "sliding windows take a pane count, e.g. --window sliding:16"
+            )
+        panes = _geometry_value(argument, "window pane count")
+    elif mode == "decay":
+        if not argument:
+            raise ConfigError(
+                "decay windows take a factor in (0, 1), e.g. --window "
+                "decay:0.9"
+            )
+        try:
+            decay = float(argument)
+        except ValueError:
+            raise ConfigError(
+                f"decay factor must be a number in (0, 1), got {argument!r}"
+            ) from None
+    elif argument:
+        raise ConfigError(
+            "tumbling windows take no argument; use --window tumbling"
+        )
+    return WindowSpec(mode=mode, panes=panes, pane_size=pane, by="count",
+                      decay=decay)
+
+
 def _load_cli_dataset(args: argparse.Namespace):
     if args.dataset not in available_datasets():
         known = ", ".join(available_datasets())
@@ -197,10 +261,43 @@ def _build_workload_session(args: argparse.Namespace):
         width=args.width,
         depth=args.depth,
         seed=args.seed,
+        window=_window_spec(args),
     )
     session = SketchSession.from_config(config)
     session.ingest(dataset.vector, shards=max(1, getattr(args, "shards", 1)))
     return dataset, session
+
+
+def _describe_window(session, out) -> None:
+    """Print the window lines shared by ``sketch`` and ``load``."""
+    window = session.window
+    spec = window.spec
+    extent = "update" if spec.by == "count" else "time-unit"
+    detail = f"{spec.panes} pane(s) x {spec.pane_size} {extent}s"
+    if spec.mode == "decay":
+        detail += f", factor {spec.decay}"
+    print(f"window           : {spec.mode} ({detail})", file=out)
+    print(f"window fill      : {window.items_in_window} of "
+          f"{session.items_processed} updates in window "
+          f"({window.pane_closes} pane closes, {window.evictions} evictions)",
+          file=out)
+
+
+def _windowed_truth(session, dataset) -> Optional[np.ndarray]:
+    """The frequency vector the current window actually summarises.
+
+    A dense workload vector is streamed into a windowed session as one
+    update per non-zero coordinate in index order, so the window retains the
+    *last* ``items_in_window`` of those updates.  Decay windows keep (faded)
+    full history, which no restriction reproduces — they return ``None``.
+    """
+    if session.window.spec.mode == "decay":
+        return None
+    indices = np.flatnonzero(dataset.vector)
+    kept = indices[indices.size - session.items_in_window:]
+    truth = np.zeros(dataset.dimension)
+    truth[kept] = dataset.vector[kept]
+    return truth
 
 
 def _command_sketch(args: argparse.Namespace, out) -> int:
@@ -209,19 +306,31 @@ def _command_sketch(args: argparse.Namespace, out) -> int:
             print(name, file=out)
         return 0
     dataset, session = _build_workload_session(args)
-    recovered = session.recover()
     print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
     print(f"algorithm        : {args.algorithm}", file=out)
     if getattr(args, "shards", 1) > 1:
         print(f"ingestion        : sharded ({args.shards} shards)", file=out)
+    if session.windowed:
+        _describe_window(session, out)
     print(f"sketch size      : {session.size_in_words()} words "
           f"({dataset.dimension / session.size_in_words():.1f}x compression)",
           file=out)
-    print(f"average error    : {average_error(dataset.vector, recovered):.4f}",
+    truth = dataset.vector
+    average_label, maximum_label = "average error", "maximum error"
+    if session.windowed:
+        truth = _windowed_truth(session, dataset)
+        if truth is None:
+            # no error metrics to print, so skip the (full-universe) recovery
+            print("errors           : n/a for decay windows (estimates are "
+                  "exponentially faded counts)", file=out)
+            return 0
+        average_label, maximum_label = "window avg error", "window max error"
+    recovered = session.recover()
+    print(f"{average_label:<17}: {average_error(truth, recovered):.4f}",
           file=out)
-    print(f"maximum error    : {maximum_error(dataset.vector, recovered):.4f}",
+    print(f"{maximum_label:<17}: {maximum_error(truth, recovered):.4f}",
           file=out)
-    if get_spec(args.algorithm).bias_aware:
+    if get_spec(args.algorithm).bias_aware and not session.windowed:
         print(f"estimated bias   : {session.estimate_bias():.4f}", file=out)
         print(f"vector mean      : {float(np.mean(dataset.vector)):.4f}", file=out)
     return 0
@@ -244,16 +353,25 @@ def _command_load(args: argparse.Namespace, out) -> int:
     with open(args.path, "rb") as handle:
         payload = handle.read()
     session = SketchSession.from_bytes(payload)
-    state = session.state_dict()
     print(f"loaded           : {args.path}", file=out)
-    print(f"kind             : {state['kind']} "
-          f"(state_version {state['state_version']})", file=out)
-    settings = ", ".join(f"{k}={v}" for k, v in sorted(state["config"].items()))
-    print(f"config           : {settings}", file=out)
+    if session.windowed:
+        state = session.state_dict()
+        print(f"kind             : windowed {session.config.name} "
+              f"(window_version {state['window_version']})", file=out)
+        _describe_window(session, out)
+        pane_config = state["panes"][-1]["config"]
+        settings = ", ".join(f"{k}={v}" for k, v in sorted(pane_config.items()))
+        print(f"pane config      : {settings}", file=out)
+    else:
+        state = session.state_dict()
+        print(f"kind             : {state['kind']} "
+              f"(state_version {state['state_version']})", file=out)
+        settings = ", ".join(f"{k}={v}" for k, v in sorted(state["config"].items()))
+        print(f"config           : {settings}", file=out)
     print(f"payload          : {len(payload)} bytes "
           f"({session.size_in_words()} state words)", file=out)
     print(f"items processed  : {session.items_processed}", file=out)
-    if session.spec.bias_aware:
+    if session.spec.bias_aware and not session.windowed:
         print(f"estimated bias   : {session.estimate_bias():.4f}", file=out)
     if args.query:
         for index in args.query:

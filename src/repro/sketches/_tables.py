@@ -50,6 +50,15 @@ _COLUMN_SUMS_CACHE: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
 _COLUMN_SUMS_CACHE_LIMIT = 32
 _COLUMN_SUMS_CACHE_MAX_BYTES = 64 * 2**20
 
+#: memoised hot-key block caches (bucket + sign assignments of the lowest
+#: keys), shared across tables with identical structure the same way: the
+#: assignments are pure functions of the seed-derived hash family, so the
+#: panes of a sliding window, shard replicas and copies all read one
+#: read-only block instead of re-hashing the hot range per instance
+_HOT_BLOCK_CACHE: "OrderedDict[Tuple, Tuple]" = OrderedDict()
+_HOT_BLOCK_CACHE_LIMIT = 16
+_HOT_BLOCK_CACHE_MAX_BYTES = 128 * 2**20
+
 
 def _unbounded_error(operation: str) -> ValueError:
     return ValueError(
@@ -131,13 +140,32 @@ class HashedCounterTable:
     # on-demand addressing
     # ------------------------------------------------------------------ #
     def _ensure_hot_cache(self) -> None:
-        if self._bucket_cache is None:
-            hot = np.arange(self._cache_limit, dtype=np.int64)
-            self._bucket_cache = hash_matrix(self.hashes, hot)
-            if self.signed:
-                self._sign_cache = sign_matrix(self.signs, hot).astype(
-                    np.float64
-                )
+        if self._bucket_cache is not None:
+            return
+        key = self._structure_key()
+        if key is not None:
+            cached = _HOT_BLOCK_CACHE.get(key)
+            if cached is not None:
+                _HOT_BLOCK_CACHE.move_to_end(key)
+                self._bucket_cache, self._sign_cache = cached
+                return
+        hot = np.arange(self._cache_limit, dtype=np.int64)
+        self._bucket_cache = hash_matrix(self.hashes, hot)
+        if self.signed:
+            self._sign_cache = sign_matrix(self.signs, hot).astype(np.float64)
+        if key is not None:
+            self._bucket_cache.setflags(write=False)
+            if self._sign_cache is not None:
+                self._sign_cache.setflags(write=False)
+            _HOT_BLOCK_CACHE[key] = (self._bucket_cache, self._sign_cache)
+            while len(_HOT_BLOCK_CACHE) > _HOT_BLOCK_CACHE_LIMIT or (
+                len(_HOT_BLOCK_CACHE) > 1
+                and sum(
+                    bucket.nbytes + (0 if sign is None else sign.nbytes)
+                    for bucket, sign in _HOT_BLOCK_CACHE.values()
+                ) > _HOT_BLOCK_CACHE_MAX_BYTES
+            ):
+                _HOT_BLOCK_CACHE.popitem(last=False)
 
     def _checked_keys(self, indices) -> np.ndarray:
         indices = np.asarray(indices, dtype=np.int64)

@@ -15,7 +15,37 @@ package provides:
 * :func:`ingest_stream_sharded` — multi-core sharded ingestion: the stream
   is partitioned across worker processes, each replays its shard into a
   local sketch via the batched path, and the serialized results are merged
-  (linearity makes the partition lossless).
+  (linearity makes the partition lossless),
+* :class:`WindowSpec` / :class:`SlidingWindowSketch` — sliding-window
+  sketching over the pane-merge algebra (see below).
+
+The pane-ring model
+-------------------
+The whole-stream model above summarises everything since time zero; the
+windowing layer in :mod:`repro.streaming.windows` bounds queries to *recent*
+updates instead.  The stream is chopped into **panes** — fixed-size chunks,
+by update count or by timestamp span — and each pane is summarised by its
+own sketch.  A :class:`SlidingWindowSketch` keeps a **ring** of the ``k``
+most recent panes (one open pane receiving updates plus up to ``k - 1``
+closed ones); crossing a pane boundary rotates the ring and evicts the
+oldest pane, which is how updates age out of the window in O(1) sketch
+operations.  Queries are answered from a **lazily-rebuilt merged view**:
+the live panes merged through ``LinearSketch.merge``, recomputed only when
+the window changed since the last query.  Three modes ride the same ring:
+
+* ``tumbling`` — one pane; the window resets at every boundary;
+* ``sliding`` — ``k`` panes; the window covers between ``(k-1)`` and ``k``
+  panes' worth of the most recent updates;
+* ``decay`` — one pane scaled by a constant factor at every boundary
+  (``LinearSketch.scale``), so history fades exponentially instead of
+  being evicted.
+
+Everything rests on linearity — a sketch of a stream equals the merge of
+sketches of its panes — so the conservative-update sketches are rejected
+with :class:`~repro.api.CapabilityError`.  Window state (spec, ring
+bookkeeping, every live pane) serializes to a versioned binary container
+via ``SlidingWindowSketch.to_bytes`` and reopens anywhere, exactly like a
+bare sketch.
 """
 
 from repro.streaming.stream import StreamKind, StreamUpdate, UpdateStream
@@ -36,6 +66,13 @@ from repro.streaming.trace import (
     write_csv_trace,
     write_npz_trace,
 )
+# windows must come after sharded/stream: it participates in an import cycle
+# with repro.api (api.config/api.session import those siblings lazily)
+from repro.streaming.windows import (
+    SlidingWindowSketch,
+    WindowSpec,
+    is_window_payload,
+)
 
 __all__ = [
     "StreamKind",
@@ -53,4 +90,7 @@ __all__ = [
     "read_npz_trace",
     "write_csv_trace",
     "write_npz_trace",
+    "SlidingWindowSketch",
+    "WindowSpec",
+    "is_window_payload",
 ]

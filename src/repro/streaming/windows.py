@@ -1,0 +1,795 @@
+"""Sliding-window sketching over the pane-merge algebra.
+
+The paper's streaming model summarises the whole stream since time zero, but
+recency-bounded workloads — last-hour heavy hitters, last-N-updates frequency
+estimates — need a summary of *recent* updates only.  Because the library's
+sketches are **linear**, a windowed summary falls out of existing machinery:
+
+* the stream is chopped into **panes** (fixed-size chunks, by update count or
+  by timestamp span), each summarised by its own pane sketch;
+* the window is a **ring** of the ``k`` most recent panes — one open pane
+  receiving updates plus up to ``k - 1`` closed ones; closing the open pane
+  rotates the ring and evicts the oldest pane, which is how updates age out;
+* queries are answered against a **lazily-rebuilt merged view** — the panes
+  merged through :meth:`~repro.sketches.base.LinearSketch.merge`, rebuilt
+  only when the window has changed since the last query;
+* **exponential decay** rides
+  :meth:`~repro.sketches.base.LinearSketch.scale`: a single sketch is scaled
+  by a constant factor at every pane boundary, so old updates fade instead of
+  being evicted.
+
+Everything rests on linearity (a sketch of a stream equals the merge of
+sketches of its panes), so the conservative-update sketches — whose state is
+order-dependent and unmergeable — are rejected with
+:class:`~repro.api.CapabilityError` up front.
+
+Window state is a first-class portable artifact: :meth:`SlidingWindowSketch.
+to_bytes` encodes the window spec, the ring bookkeeping and every live pane
+in a versioned container (magic ``RPWD``) whose pane payloads are exactly
+the ``RPSK`` sketch payloads of :mod:`repro.serialization`, so a window can
+be persisted, shipped and reopened anywhere like a bare sketch.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import struct
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.api.errors import CapabilityError, ConfigError
+from repro.serialization import (
+    SerializationError,
+    decode_state,
+    encode_state,
+    sketch_from_state,
+)
+from repro.streaming.sharded import (
+    DEFAULT_BATCH_SIZE,
+    ShardedIngestReport,
+    _ingest_stream_sharded,
+)
+from repro.utils.validation import require_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api -> windows)
+    from repro.api.config import SketchConfig
+    from repro.sketches.base import LinearSketch
+
+#: 4-byte magic prefixing every serialized window (vs ``RPSK`` for a sketch)
+WINDOW_MAGIC = b"RPWD"
+#: current window wire-format version (the ``uint16`` following the magic)
+WINDOW_WIRE_VERSION = 1
+
+_WINDOW_PREAMBLE = struct.Struct("<4sHI")  # magic, version, header length
+
+#: the supported window modes
+WINDOW_MODES = ("tumbling", "sliding", "decay")
+#: the supported pane extents
+PANE_UNITS = ("count", "time")
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """An immutable, validated description of one window.
+
+    Parameters
+    ----------
+    mode:
+        ``"sliding"`` — the window covers the ``panes`` most recent panes
+        (the open one plus up to ``panes - 1`` closed ones); closing a pane
+        evicts the oldest.  ``"tumbling"`` — a single pane that resets at
+        every boundary (equivalent to ``sliding`` with ``panes=1``).
+        ``"decay"`` — a single sketch scaled by ``decay`` at every pane
+        boundary, so history fades exponentially instead of being evicted.
+    panes:
+        Number of live panes ``k`` in the ring (sliding mode only; tumbling
+        and decay windows keep exactly one pane).
+    pane_size:
+        Extent of one pane: a positive update count (``by="count"``) or a
+        positive timestamp span (``by="time"``, floats allowed).  Pane ``p``
+        of a time-based window covers timestamps
+        ``[p·pane_size, (p+1)·pane_size)``.
+    by:
+        ``"count"`` — panes close after ``pane_size`` updates; updates carry
+        no timestamps.  ``"time"`` — every update carries a non-decreasing
+        timestamp and panes close when it crosses a pane boundary.
+    decay:
+        Scale factor in ``(0, 1)`` applied at each pane boundary (decay mode
+        only; forbidden otherwise).
+    """
+
+    mode: str = "sliding"
+    panes: int = 1
+    pane_size: float = 1
+    by: str = "count"
+    decay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in WINDOW_MODES:
+            raise ConfigError(
+                f"unknown window mode {self.mode!r}; supported modes: "
+                f"{', '.join(WINDOW_MODES)}"
+            )
+        if self.by not in PANE_UNITS:
+            raise ConfigError(
+                f"panes are sized by {', '.join(PANE_UNITS)!s}; got "
+                f"by={self.by!r}"
+            )
+        object.__setattr__(
+            self, "panes", require_positive_int(self.panes, "panes")
+        )
+        if self.mode != "sliding" and self.panes != 1:
+            raise ConfigError(
+                f"{self.mode} windows keep exactly one pane; panes={self.panes} "
+                "only applies to sliding windows"
+            )
+        if self.by == "count":
+            if (
+                isinstance(self.pane_size, bool)
+                or not isinstance(self.pane_size, (int, np.integer))
+                or int(self.pane_size) < 1
+            ):
+                raise ConfigError(
+                    "count-based panes need a positive integer pane_size "
+                    f"(updates per pane), got {self.pane_size!r}"
+                )
+            object.__setattr__(self, "pane_size", int(self.pane_size))
+        else:
+            size = self.pane_size
+            if isinstance(size, bool) or not isinstance(
+                size, (int, float, np.integer, np.floating)
+            ):
+                raise ConfigError(
+                    "time-based panes need a positive timestamp span as "
+                    f"pane_size, got {size!r}"
+                )
+            size = float(size)
+            if not math.isfinite(size) or size <= 0.0:
+                raise ConfigError(
+                    "time-based panes need a positive finite timestamp span, "
+                    f"got {size!r}"
+                )
+            object.__setattr__(self, "pane_size", size)
+        if self.mode == "decay":
+            decay = self.decay
+            if isinstance(decay, (int, np.integer)) and not isinstance(decay, bool):
+                decay = float(decay)
+            if not isinstance(decay, (float, np.floating)):
+                raise ConfigError(
+                    "decay windows need a decay factor in (0, 1), got "
+                    f"{self.decay!r}"
+                )
+            decay = float(decay)
+            if not (0.0 < decay < 1.0):
+                raise ConfigError(
+                    f"decay factor must be in (0, 1), got {decay}"
+                )
+            object.__setattr__(self, "decay", decay)
+        elif self.decay is not None:
+            raise ConfigError(
+                f"decay={self.decay!r} only applies to decay windows, not "
+                f"{self.mode!r}"
+            )
+
+    @property
+    def span(self) -> float:
+        """The window's maximum extent: ``panes × pane_size``."""
+        return self.panes * self.pane_size
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-able form (inverse of :meth:`from_dict`)."""
+        return {
+            "mode": self.mode,
+            "panes": self.panes,
+            "pane_size": self.pane_size,
+            "by": self.by,
+            "decay": self.decay,
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Dict[str, Any]) -> "WindowSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        data = dict(mapping)
+        unknown = set(data) - {"mode", "panes", "pane_size", "by", "decay"}
+        if unknown:
+            raise ConfigError(
+                f"unknown window spec fields {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+def is_window_payload(data: bytes) -> bool:
+    """Whether ``data`` starts like a serialized window (vs a bare sketch)."""
+    return bytes(data[: len(WINDOW_MAGIC)]) == WINDOW_MAGIC
+
+
+class SlidingWindowSketch:
+    """A pane-ring windowing engine over one linear sketch configuration.
+
+    Maintains up to ``spec.panes`` per-pane sketches — one *open* pane
+    receiving updates plus the most recent *closed* panes — and answers
+    queries from a lazily-rebuilt merged view.  Built from a
+    :class:`~repro.api.SketchConfig` whose ``window`` field carries the
+    :class:`WindowSpec` (or pass ``spec`` explicitly).
+
+    The engine requires a **linear** algorithm (pane merging and decay ride
+    ``merge``/``scale``) with an **explicit integer seed** (panes must share
+    hash functions to merge, and window state must be reconstructible).
+    """
+
+    def __init__(
+        self,
+        config: "SketchConfig",
+        spec: Optional[WindowSpec] = None,
+        *,
+        _panes: Optional[List["LinearSketch"]] = None,
+    ) -> None:
+        from repro.api.config import SketchConfig  # local: import cycle
+
+        if not isinstance(config, SketchConfig):
+            raise ConfigError(
+                f"SlidingWindowSketch needs a SketchConfig, got "
+                f"{type(config).__name__}"
+            )
+        if spec is None:
+            spec = config.window
+        if spec is None:
+            raise ConfigError(
+                "SlidingWindowSketch needs a WindowSpec: pass spec=... or a "
+                "config constructed with window=WindowSpec(...)"
+            )
+        if not isinstance(spec, WindowSpec):
+            raise ConfigError(
+                f"window spec must be a WindowSpec, got {type(spec).__name__}"
+            )
+        if not config.spec.linear:
+            raise CapabilityError(
+                f"sketch {config.name!r} is not a linear sketch and cannot be "
+                "windowed: the pane ring relies on the pane-merge algebra "
+                "(merge/scale), which the conservative-update sketches do "
+                "not support"
+            )
+        if not config.portable:
+            raise ConfigError(
+                "windowed sketching requires an explicit integer seed: panes "
+                "share hash functions so they can be merged, and window "
+                "state must be reconstructible on restore"
+            )
+        self._config = config if config.window is spec else config.replace(window=spec)
+        self._spec = spec
+        if _panes is None:
+            self._closed: List["LinearSketch"] = []
+            self._current: "LinearSketch" = self._new_pane()
+        else:
+            # restore path: adopt already-deserialized panes instead of
+            # building a throwaway open pane
+            self._closed = list(_panes[:-1])
+            self._current = _panes[-1]
+        self._fill = 0                    # updates in the open pane
+        self._pane_index = 0              # ordinal of the open pane
+        self._time_started = False        # time mode: first timestamp seen?
+        self._last_timestamp: Optional[float] = None
+        self._pane_closes = 0
+        self._evictions = 0
+        self._items_total = 0
+        self._merged: Optional["LinearSketch"] = None
+
+    def _new_pane(self) -> "LinearSketch":
+        return self._config.build()  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> "SketchConfig":
+        """The windowed configuration (``config.window`` is the spec)."""
+        return self._config
+
+    @property
+    def spec(self) -> WindowSpec:
+        """The window specification."""
+        return self._spec
+
+    @property
+    def dimension(self) -> Optional[int]:
+        return self._config.dimension
+
+    @property
+    def items_processed(self) -> int:
+        """Total updates ever ingested (in or out of the current window)."""
+        return self._items_total
+
+    @property
+    def items_in_window(self) -> int:
+        """Updates the live panes currently summarise.
+
+        For decay windows this counts every update ever applied (history
+        fades by scaling; it is never dropped).
+        """
+        return self._current.items_processed + sum(
+            pane.items_processed for pane in self._closed
+        )
+
+    @property
+    def pane_count(self) -> int:
+        """Live panes right now (open pane plus retained closed panes)."""
+        return 1 + len(self._closed)
+
+    @property
+    def pane_closes(self) -> int:
+        """Pane boundaries crossed since construction."""
+        return self._pane_closes
+
+    @property
+    def evictions(self) -> int:
+        """Panes dropped from the ring (aged out of the window)."""
+        return self._evictions
+
+    @property
+    def current_fill(self) -> int:
+        """Updates in the open pane."""
+        return self._fill
+
+    @property
+    def last_timestamp(self) -> Optional[float]:
+        """Most recent timestamp seen (time-based panes only)."""
+        return self._last_timestamp
+
+    def size_in_words(self) -> int:
+        """Counter words across every live pane."""
+        return self._current.size_in_words() + sum(
+            pane.size_in_words() for pane in self._closed
+        )
+
+    # ------------------------------------------------------------------ #
+    # pane rotation
+    # ------------------------------------------------------------------ #
+    def _close_pane(self) -> None:
+        """Cross one pane boundary."""
+        self._pane_closes += 1
+        self._pane_index += 1
+        self._fill = 0
+        self._merged = None
+        if self._spec.mode == "decay":
+            self._current.scale(self._spec.decay)
+            return
+        self._closed.append(self._current)
+        self._current = self._new_pane()
+        keep = self._spec.panes - 1
+        while len(self._closed) > keep:
+            self._closed.pop(0)
+            self._evictions += 1
+
+    def _advance_to_pane(self, pane: int) -> None:
+        """Close panes until the open pane is ``pane`` (time mode)."""
+        steps = pane - self._pane_index
+        if steps <= 0:
+            return
+        if self._spec.mode == "decay":
+            # small gaps replay boundary-by-boundary (bit-exact with the
+            # scalar path); a gap of thousands of panes collapses into one
+            # scale by decay**steps, equal up to float rounding
+            if steps <= 64:
+                for _ in range(steps):
+                    self._close_pane()
+            else:
+                self._current.scale(self._spec.decay ** steps)
+                self._pane_closes += steps
+                self._pane_index = pane
+                self._fill = 0
+                self._merged = None
+            return
+        if steps <= self._spec.panes:
+            for _ in range(steps):
+                self._close_pane()
+            return
+        # a gap wider than the ring ages every live pane out; rotating
+        # `panes` times reaches the same (empty) state without building one
+        # throwaway pane per skipped boundary
+        for _ in range(self._spec.panes):
+            self._close_pane()
+        self._pane_closes += steps - self._spec.panes
+        self._pane_index = pane
+
+    def _advance_time(self, timestamp: Any) -> float:
+        if timestamp is None:
+            raise ConfigError(
+                "time-based panes require a timestamp for every update; "
+                "pass timestamps=... to ingest"
+            )
+        if isinstance(timestamp, bool) or not isinstance(
+            timestamp, (int, float, np.integer, np.floating)
+        ):
+            raise ConfigError(
+                f"timestamps must be numbers, got {type(timestamp).__name__}"
+            )
+        ts = float(timestamp)
+        if not math.isfinite(ts):
+            raise ConfigError(f"timestamps must be finite, got {ts!r}")
+        if self._last_timestamp is not None and ts < self._last_timestamp:
+            raise ConfigError(
+                f"timestamps must be non-decreasing; got {ts} after "
+                f"{self._last_timestamp}"
+            )
+        pane = math.floor(ts / self._spec.pane_size)
+        if not self._time_started:
+            self._pane_index = pane
+            self._time_started = True
+        else:
+            self._advance_to_pane(pane)
+        self._last_timestamp = ts
+        return ts
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def update(self, index: int, delta: float = 1.0, timestamp: Any = None) -> None:
+        """Apply one streaming update, routing it into the open pane."""
+        if self._spec.by == "time":
+            self._advance_time(timestamp)
+        elif timestamp is not None:
+            raise ConfigError(
+                "count-based panes take no timestamps; use "
+                "WindowSpec(by='time', ...) for timestamp-driven panes"
+            )
+        self._current.update(index, delta)
+        self._fill += 1
+        self._items_total += 1
+        self._merged = None
+        if self._spec.by == "count" and self._fill >= self._spec.pane_size:
+            self._close_pane()
+
+    def _check_batch(self, indices, deltas) -> Tuple[np.ndarray, np.ndarray]:
+        return self._current._check_batch(indices, deltas)
+
+    def _check_timestamps(self, timestamps: Any, count: int) -> np.ndarray:
+        if timestamps is None:
+            raise ConfigError(
+                "time-based panes require a timestamp for every update; "
+                "pass timestamps=... to ingest"
+            )
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.ndim == 0:
+            ts = np.full(count, float(ts))
+        if ts.ndim != 1 or ts.size != count:
+            raise ConfigError(
+                f"timestamps must be a scalar or a 1-D array matching the "
+                f"{count} updates, got shape {np.asarray(timestamps).shape}"
+            )
+        if ts.size and not np.all(np.isfinite(ts)):
+            raise ConfigError("timestamps must be finite")
+        if ts.size > 1 and np.any(np.diff(ts) < 0):
+            raise ConfigError("timestamps must be non-decreasing")
+        if (
+            ts.size
+            and self._last_timestamp is not None
+            and float(ts[0]) < self._last_timestamp
+        ):
+            raise ConfigError(
+                f"timestamps must be non-decreasing; got {float(ts[0])} "
+                f"after {self._last_timestamp}"
+            )
+        return ts
+
+    def update_batch(
+        self,
+        indices,
+        deltas=None,
+        timestamps=None,
+        *,
+        shards: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        shard_resolver=None,
+    ) -> Optional[ShardedIngestReport]:
+        """Apply a batch of updates in stream order, splitting it at pane
+        boundaries and feeding each segment to the then-open pane.
+
+        ``shards > 1`` sketches each segment through the multi-core sharded
+        engine and merges the result into the open pane — sharding happens
+        *within* a pane, and shard results meet the ring only at pane
+        granularity, so the window semantics are identical to the
+        single-process path.  ``shard_resolver`` (used when ``shards`` is
+        ``None``) maps a segment's update count to a worker count, so
+        auto-sharding decisions are made per within-pane segment rather than
+        for the whole batch.  Returns the last segment's
+        :class:`~repro.streaming.sharded.ShardedIngestReport` (or ``None``
+        when no segment was sharded).
+        """
+        idx, d = self._check_batch(indices, deltas)
+        if batch_size is not None:
+            batch_size = require_positive_int(batch_size, "batch_size")
+        if shards is not None:
+            shards = require_positive_int(shards, "shards")
+        report: Optional[ShardedIngestReport] = None
+        if self._spec.by == "time":
+            ts = self._check_timestamps(timestamps, idx.size)
+            if not idx.size:
+                return None
+            panes = np.floor(ts / self._spec.pane_size).astype(np.int64)
+            cuts = np.flatnonzero(np.diff(panes)) + 1
+            for start, stop in zip(
+                np.concatenate(([0], cuts)), np.concatenate((cuts, [idx.size]))
+            ):
+                self._advance_time(float(ts[start]))
+                segment = self._apply_segment(
+                    idx[start:stop], d[start:stop], shards, batch_size,
+                    shard_resolver,
+                )
+                report = segment if segment is not None else report
+                self._last_timestamp = float(ts[stop - 1])
+            return report
+        if timestamps is not None:
+            raise ConfigError(
+                "count-based panes take no timestamps; use "
+                "WindowSpec(by='time', ...) for timestamp-driven panes"
+            )
+        position = 0
+        while position < idx.size:
+            room = self._spec.pane_size - self._fill
+            if room <= 0:  # unreachable via public paths; never spin
+                self._close_pane()
+                continue
+            take = int(min(room, idx.size - position))
+            segment = self._apply_segment(
+                idx[position:position + take],
+                d[position:position + take],
+                shards,
+                batch_size,
+                shard_resolver,
+            )
+            report = segment if segment is not None else report
+            position += take
+        return report
+
+    def _apply_segment(
+        self,
+        indices: np.ndarray,
+        deltas: np.ndarray,
+        shards: Optional[int],
+        batch_size: Optional[int],
+        shard_resolver=None,
+    ) -> Optional[ShardedIngestReport]:
+        """Feed one within-pane segment to the open pane, then close it if full."""
+        if not indices.size:
+            return None
+        report: Optional[ShardedIngestReport] = None
+        if shards is None and shard_resolver is not None:
+            resolved = shard_resolver(int(indices.size))
+            shards = resolved if resolved > 1 else None
+        if shards is not None and shards > 1:
+            report = _ingest_stream_sharded(
+                (indices, deltas),
+                self._config.name,
+                self._config.width,
+                self._config.depth,
+                seed=self._config.seed,
+                shards=shards,
+                dimension=self._config.dimension,
+                batch_size=batch_size or DEFAULT_BATCH_SIZE,
+                options=self._config.options,
+            )
+            self._current.merge(report.sketch)
+        elif batch_size is not None:
+            for start in range(0, indices.size, batch_size):
+                stop = start + batch_size
+                self._current.update_batch(indices[start:stop], deltas[start:stop])
+        else:
+            self._current.update_batch(indices, deltas)
+        self._fill += int(indices.size)
+        self._items_total += int(indices.size)
+        self._merged = None
+        if self._spec.by == "count" and self._fill >= self._spec.pane_size:
+            self._close_pane()
+        return report
+
+    # ------------------------------------------------------------------ #
+    # queries (via the merged view)
+    # ------------------------------------------------------------------ #
+    def view(self) -> "LinearSketch":
+        """The merged window sketch, rebuilt lazily.
+
+        The view is a sketch of exactly the in-window updates: the live
+        panes merged oldest-to-newest (linearity makes the order
+        irrelevant).  Treat it as **read-only** — when only one pane is
+        live it *is* the open pane.
+        """
+        if self._merged is not None:
+            return self._merged
+        if not self._closed:
+            merged = self._current
+        else:
+            merged = self._closed[0].copy()
+            for pane in self._closed[1:]:
+                merged.merge(pane)
+            merged.merge(self._current)
+        self._merged = merged
+        return merged
+
+    def query(self, index: int) -> float:
+        """Point estimate of ``index`` restricted to the current window."""
+        return float(self.view().query(index))
+
+    def query_batch(self, indices) -> np.ndarray:
+        """Windowed point estimates for a batch of coordinates."""
+        return self.view().query_batch(indices)
+
+    def recover(self) -> np.ndarray:
+        """The recovered in-window frequency vector (bounded universes)."""
+        return self.view().recover()
+
+    # ------------------------------------------------------------------ #
+    # state protocol (versioned RPWD container over RPSK pane payloads)
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, Any]:
+        """The complete window state as a plain dict.
+
+        ``panes`` holds one sketch state dict per live pane, oldest first,
+        the open pane last; ``meta`` carries the ring bookkeeping that makes
+        a restore continue exactly where the original left off.
+        """
+        return {
+            "kind": "window",
+            "window_version": WINDOW_WIRE_VERSION,
+            "spec": self._spec.to_dict(),
+            "meta": {
+                "fill": int(self._fill),
+                "pane_index": int(self._pane_index),
+                "time_started": bool(self._time_started),
+                "last_timestamp": self._last_timestamp,
+                "pane_closes": int(self._pane_closes),
+                "evictions": int(self._evictions),
+                "items_total": int(self._items_total),
+            },
+            "panes": [pane.state_dict() for pane in self._closed]
+            + [self._current.state_dict()],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "SlidingWindowSketch":
+        """Reconstruct a window from a :meth:`state_dict` snapshot."""
+        from repro.api.config import SketchConfig  # local: import cycle
+
+        if state.get("kind") != "window":
+            raise SerializationError(
+                f"state of kind {state.get('kind')!r} is not a window snapshot"
+            )
+        recorded = int(state.get("window_version", 1))
+        if recorded != WINDOW_WIRE_VERSION:
+            raise SerializationError(
+                f"window snapshot has window_version {recorded}, but this "
+                f"build reads version {WINDOW_WIRE_VERSION}"
+            )
+        spec = WindowSpec.from_dict(state["spec"])
+        pane_states = state.get("panes", [])
+        if not pane_states:
+            raise SerializationError("window snapshot carries no panes")
+        max_live = 1 if spec.mode == "decay" else spec.panes
+        if len(pane_states) > max_live:
+            raise SerializationError(
+                f"window snapshot carries {len(pane_states)} panes, but a "
+                f"{spec.mode} window of {spec.panes} pane(s) holds at most "
+                f"{max_live}"
+            )
+        config = SketchConfig.from_state(pane_states[-1]).replace(window=spec)
+        meta = state.get("meta", {})
+        fill = int(meta.get("fill", 0))
+        if fill < 0 or (spec.by == "count" and fill >= spec.pane_size):
+            # an out-of-range fill can only come from a corrupt or crafted
+            # payload; restoring it would break the open-pane invariant
+            # (count-mode panes close the moment they reach pane_size)
+            raise SerializationError(
+                f"window snapshot carries fill={fill}, outside the open-pane "
+                f"range [0, {spec.pane_size}) of its count-based panes"
+                if spec.by == "count"
+                else f"window snapshot carries a negative fill ({fill})"
+            )
+        panes = [sketch_from_state(pane) for pane in pane_states]
+        window = cls(config, spec, _panes=panes)
+        window._fill = fill
+        window._pane_index = int(meta.get("pane_index", 0))
+        window._time_started = bool(meta.get("time_started", False))
+        last = meta.get("last_timestamp")
+        window._last_timestamp = None if last is None else float(last)
+        window._pane_closes = int(meta.get("pane_closes", 0))
+        window._evictions = int(meta.get("evictions", 0))
+        window._items_total = int(meta.get("items_total", 0))
+        window._merged = None
+        return window
+
+    def to_bytes(self) -> bytes:
+        """Encode the full window state in the versioned binary container.
+
+        Layout mirrors the sketch wire format of :mod:`repro.serialization`::
+
+            offset  size   field
+            0       4      magic  b"RPWD"
+            4       2      window wire version, uint16 LE
+            6       4      header length H, uint32 LE
+            10      H      header, UTF-8 JSON (sorted keys): spec, meta,
+                           pane payload lengths
+            10+H    ...    pane payloads (RPSK sketch wire format),
+                           oldest pane first, the open pane last
+
+        Encoding is deterministic, so equal window states produce identical
+        bytes (the golden-wire regression suite pins this).
+        """
+        state = self.state_dict()
+        payloads = [encode_state(pane) for pane in state["panes"]]
+        header = {
+            "window_version": WINDOW_WIRE_VERSION,
+            "spec": state["spec"],
+            "meta": state["meta"],
+            "panes": [len(payload) for payload in payloads],
+        }
+        header_bytes = json.dumps(
+            header, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        parts = [
+            _WINDOW_PREAMBLE.pack(
+                WINDOW_MAGIC, WINDOW_WIRE_VERSION, len(header_bytes)
+            ),
+            header_bytes,
+        ]
+        parts.extend(payloads)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "SlidingWindowSketch":
+        """Decode a container produced by :meth:`to_bytes`."""
+        data = bytes(data)
+        if len(data) < _WINDOW_PREAMBLE.size:
+            raise SerializationError(
+                f"payload of {len(data)} bytes is too short to be a "
+                "serialized window"
+            )
+        magic, version, header_len = _WINDOW_PREAMBLE.unpack_from(data, 0)
+        if magic != WINDOW_MAGIC:
+            raise SerializationError(
+                f"bad magic {magic!r}; not a serialized window payload"
+            )
+        if version != WINDOW_WIRE_VERSION:
+            raise SerializationError(
+                f"unsupported window wire-format version {version}; this "
+                f"build reads version {WINDOW_WIRE_VERSION}"
+            )
+        start = _WINDOW_PREAMBLE.size
+        end = start + header_len
+        if len(data) < end:
+            raise SerializationError("truncated window payload: header is incomplete")
+        try:
+            header = json.loads(data[start:end].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"corrupt window header: {exc}") from exc
+        pane_states = []
+        offset = end
+        for length in header.get("panes", []):
+            length = int(length)
+            chunk = data[offset:offset + length]
+            if len(chunk) != length:
+                raise SerializationError(
+                    f"truncated window payload: pane expects {length} bytes, "
+                    f"got {len(chunk)}"
+                )
+            pane_states.append(decode_state(chunk))
+            offset += length
+        return cls.from_state({
+            "kind": "window",
+            "window_version": int(header.get("window_version", 1)),
+            "spec": header.get("spec", {}),
+            "meta": header.get("meta", {}),
+            "panes": pane_states,
+        })
+
+    def size_in_bytes(self) -> int:
+        """Exact size of the serialized window container."""
+        return len(self.to_bytes())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SlidingWindowSketch({self._config.name!r}, mode="
+            f"{self._spec.mode!r}, panes={self.pane_count}/{self._spec.panes}, "
+            f"items_in_window={self.items_in_window})"
+        )

@@ -329,9 +329,102 @@ class TestMerge:
         whole.ingest(np.concatenate(chunks))
         np.testing.assert_array_equal(combined.recover(), whole.recover())
 
-    def test_merge_rejects_junk(self):
-        with pytest.raises(TypeError, match="merge expects"):
-            make_session().merge(3.14)
+    def test_merge_accepts_a_list_of_payloads(self, rng):
+        partials = [make_session(seed=3) for _ in range(3)]
+        chunks = [rng.integers(0, DIMENSION, size=400) for _ in range(3)]
+        for session, chunk in zip(partials, chunks):
+            session.ingest(chunk)
+        combined = make_session(seed=3)
+        combined.merge([p.to_bytes() for p in partials])
+        whole = make_session(seed=3)
+        whole.ingest(np.concatenate(chunks))
+        np.testing.assert_array_equal(combined.recover(), whole.recover())
+
+    def test_merge_accepts_a_mixed_tuple(self, rng):
+        one, two = make_session(seed=3), make_session(seed=3)
+        one.ingest(rng.integers(0, DIMENSION, size=200))
+        two.ingest(rng.integers(0, DIMENSION, size=200))
+        combined = make_session(seed=3)
+        combined.merge((one, two.to_bytes()))
+        assert combined.items_processed == 400
+
+
+class TestMergeRejectionPaths:
+    """Every rejected ``merge`` input gets an error naming the accepted ones."""
+
+    ACCEPTED_NEEDLES = ("SketchSession", "Sketch", "bytes", "list/tuple")
+
+    def assert_names_accepted_inputs(self, excinfo):
+        message = str(excinfo.value)
+        for needle in self.ACCEPTED_NEEDLES:
+            assert needle in message, (needle, message)
+
+    @pytest.mark.parametrize("junk", [
+        3.14,
+        "a-path-not-a-payload",
+        {"payload": b"..."},
+        None,
+        object(),
+    ])
+    def test_scalar_junk_is_rejected_with_accepted_inputs(self, junk):
+        with pytest.raises(TypeError) as excinfo:
+            make_session().merge(junk)
+        self.assert_names_accepted_inputs(excinfo)
+        assert type(junk).__name__ in str(excinfo.value)
+
+    def test_list_with_a_junk_element_names_its_position(self, rng):
+        good = make_session(seed=7)
+        good.ingest(rng.integers(0, DIMENSION, size=50))
+        target = make_session(seed=7)
+        with pytest.raises(TypeError) as excinfo:
+            target.merge([good.to_bytes(), 3.14])
+        self.assert_names_accepted_inputs(excinfo)
+        assert "element 1" in str(excinfo.value)
+        assert "float" in str(excinfo.value)
+        # the junk element was detected before any merging happened
+        assert target.items_processed == 0
+
+    def test_failed_list_merge_leaves_the_session_untouched(self, rng):
+        """Decode and compatibility failures mid-list must also be atomic —
+        retrying the fixed list must not double-count earlier elements."""
+        from repro.serialization import SerializationError
+
+        good = make_session(seed=7)
+        good.ingest(rng.integers(0, DIMENSION, size=50))
+        target = make_session(seed=7)
+        with pytest.raises(SerializationError):
+            target.merge([good.to_bytes(), b"corrupt payload"])
+        assert target.items_processed == 0
+        mismatched = make_session(seed=8)       # different seed: unmergeable
+        mismatched.ingest(rng.integers(0, DIMENSION, size=50))
+        with pytest.raises(ValueError, match="seed"):
+            target.merge([good.to_bytes(), mismatched])
+        assert target.items_processed == 0
+        target.merge([good.to_bytes()])          # the fixed list applies once
+        assert target.items_processed == 50
+
+    def test_corrupt_payload_still_raises_serialization_error(self):
+        from repro.serialization import SerializationError
+
+        with pytest.raises(SerializationError):
+            make_session().merge(b"this is not a sketch payload")
+
+    def test_windowed_session_cannot_be_merged(self, rng):
+        from repro.streaming import WindowSpec
+
+        windowed = SketchSession.from_config(
+            SketchConfig("count_sketch", dimension=DIMENSION, width=128,
+                         depth=5, seed=7,
+                         window=WindowSpec(mode="sliding", panes=2,
+                                           pane_size=100))
+        )
+        windowed.ingest(rng.integers(0, DIMENSION, size=50))
+        with pytest.raises(CapabilityError, match="windowed session"):
+            windowed.merge(make_session())
+
+    def test_timestamps_require_a_windowed_session(self):
+        with pytest.raises(ConfigError, match="windowed"):
+            make_session().ingest(np.arange(10), timestamps=np.arange(10.0))
 
 
 class TestPersistence:

@@ -2,12 +2,32 @@
 
 All fixtures are deterministic: anything random is seeded, so failures are
 reproducible from the test name alone.
+
+Hypothesis profiles: the property suites run under the profile named by the
+``HYPOTHESIS_PROFILE`` environment variable (CI pins ``ci``).  The ``ci``
+profile derandomises example generation and disables deadlines so the
+property budget is fixed and runs are reproducible; ``dev`` is a slightly
+richer local profile.  Individual suites may still cap ``max_examples``
+per-test where a case iterates over every registered sketch.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "ci",
+    max_examples=20,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", max_examples=50, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,0 +1,121 @@
+"""Golden-state regression for the window wire format.
+
+The fixtures under ``tests/data/golden_window/`` freeze the window wire
+format from day one, mirroring ``tests/sketches/test_golden_wire.py``: one
+serialized 4-pane sliding window per linear sketch kind, all built from the
+same seed and fed the same deterministic integer stream, plus the windowed
+point estimates they answered and the ring bookkeeping they recorded.
+
+The tests pin three contracts:
+
+* replaying the generating stream reproduces the *exact* container bytes
+  (the encoder is deterministic and the pane routing is stable);
+* restoring a golden payload reproduces the exact windowed answers and
+  ring bookkeeping (``items_in_window``, pane closes, evictions);
+* decode → re-encode is the identity on the stored payloads.
+
+Any change to the container layout, the pane payloads, the JSON header or
+the pane-rotation semantics breaks these tests — which is the point: bump
+:data:`repro.streaming.windows.WINDOW_WIRE_VERSION` and regenerate the
+fixtures deliberately instead of silently shifting the format.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.api import SketchConfig, SketchSession
+from repro.sketches.registry import available_sketches, get_spec
+from repro.streaming import WindowSpec
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "data" / "golden_window"
+
+#: the exact configuration and stream the fixtures were generated with
+DIM, WIDTH, DEPTH, SEED = 256, 16, 3, 20170707
+PANES, PANE_SIZE = 4, 50
+
+LINEAR_SKETCHES = [
+    name for name in available_sketches() if get_spec(name).linear
+]
+
+
+def golden_stream():
+    rng = np.random.default_rng(123)
+    indices = rng.integers(0, DIM, size=430)
+    deltas = rng.integers(1, 9, size=430).astype(float)
+    return indices, deltas
+
+
+def windowed_session(name):
+    return SketchSession.from_config(
+        SketchConfig(
+            name, dimension=DIM, width=WIDTH, depth=DEPTH, seed=SEED,
+            window=WindowSpec(mode="sliding", panes=PANES,
+                              pane_size=PANE_SIZE),
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return json.loads((GOLDEN_DIR / "expected_queries.json").read_text())
+
+
+@pytest.mark.parametrize("name", LINEAR_SKETCHES)
+def test_replay_reproduces_golden_bytes(name):
+    """Same seed + same stream ⇒ byte-identical window container."""
+    golden = (GOLDEN_DIR / f"{name}.window").read_bytes()
+    indices, deltas = golden_stream()
+    session = windowed_session(name)
+    for start in range(0, indices.size, 100):
+        session.ingest(indices[start:start + 100], deltas[start:start + 100])
+    assert session.to_bytes() == golden
+
+
+@pytest.mark.parametrize("name", LINEAR_SKETCHES)
+def test_restored_golden_answers_identically(name, expected):
+    """Golden payloads restore to the exact recorded windowed estimates."""
+    session = SketchSession.from_bytes(
+        (GOLDEN_DIR / f"{name}.window").read_bytes()
+    )
+    got = [float(session.query(probe)) for probe in expected["probes"]]
+    assert got == expected["queries"][name]
+
+
+@pytest.mark.parametrize("name", LINEAR_SKETCHES)
+def test_restored_golden_preserves_ring_bookkeeping(name, expected):
+    """The ring resumes exactly where the original left off."""
+    session = SketchSession.from_bytes(
+        (GOLDEN_DIR / f"{name}.window").read_bytes()
+    )
+    window = session.window
+    meta = expected["meta"][name]
+    assert window.items_in_window == meta["items_in_window"]
+    assert window.pane_closes == meta["pane_closes"]
+    assert window.evictions == meta["evictions"]
+    assert window.current_fill == meta["current_fill"]
+
+
+@pytest.mark.parametrize("name", LINEAR_SKETCHES)
+def test_golden_round_trip_is_byte_stable(name):
+    """decode → re-encode is the identity on the stored payloads."""
+    golden = (GOLDEN_DIR / f"{name}.window").read_bytes()
+    assert SketchSession.from_bytes(golden).to_bytes() == golden
+
+
+@pytest.mark.parametrize("name", LINEAR_SKETCHES)
+def test_restored_golden_evolves_like_the_original(name):
+    """Further updates after a restore replay exactly as they would have on
+    the session that wrote the payload (pane rotation included)."""
+    golden = (GOLDEN_DIR / f"{name}.window").read_bytes()
+    indices, deltas = golden_stream()
+    original = windowed_session(name)
+    for start in range(0, indices.size, 100):
+        original.ingest(indices[start:start + 100], deltas[start:start + 100])
+    restored = SketchSession.from_bytes(golden)
+    more = np.arange(60) % DIM
+    original.ingest(more, deltas=2.0)
+    restored.ingest(more, deltas=2.0)
+    assert restored.to_bytes() == original.to_bytes()

@@ -223,6 +223,125 @@ class TestSaveLoadCommands:
         assert path.exists()
 
 
+class TestWindowFlags:
+    """``--window``/``--pane`` happy paths and exit-2 error paths."""
+
+    BASE = ("sketch", "--dataset", "gaussian", "--dimension", "2000",
+            "--width", "128", "--depth", "5", "--algorithm", "count_sketch")
+
+    def assert_one_line_error(self, code, output, *needles):
+        assert code == 2
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
+        assert "Traceback" not in output
+        for needle in needles:
+            assert needle in output
+
+    def test_sliding_window_reports_fill_and_in_window_errors(self):
+        code, output = run_cli(*self.BASE, "--window", "sliding:4",
+                               "--pane", "300")
+        assert code == 0
+        assert "window           : sliding (4 pane(s) x 300 updates)" in output
+        assert "updates in window" in output
+        assert "window avg error" in output
+
+    def test_tumbling_window_happy_path(self):
+        code, output = run_cli(*self.BASE, "--window", "tumbling",
+                               "--pane", "500")
+        assert code == 0
+        assert "tumbling" in output
+
+    def test_decay_window_reports_no_error_metrics(self):
+        code, output = run_cli(*self.BASE, "--window", "decay:0.9",
+                               "--pane", "500")
+        assert code == 0
+        assert "decay" in output
+        assert "n/a for decay windows" in output
+
+    def test_pane_accepts_scientific_notation(self):
+        code, output = run_cli(*self.BASE, "--window", "sliding:4",
+                               "--pane", "3e2")
+        assert code == 0
+        assert "x 300 updates" in output
+
+    def test_windowed_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "windowed.sketch"
+        code, output = run_cli(
+            "save", "--dataset", "gaussian", "--dimension", "2000",
+            "--width", "128", "--depth", "5", "--algorithm", "count_sketch",
+            "--window", "sliding:4", "--pane", "300", "--output", str(path),
+        )
+        assert code == 0
+        assert path.exists()
+        code, output = run_cli("load", str(path), "--query", "0", "1")
+        assert code == 0
+        assert "windowed count_sketch" in output
+        assert "sliding (4 pane(s) x 300 updates)" in output
+        assert "query x[0]" in output
+
+    def test_window_without_pane(self):
+        code, output = run_cli(*self.BASE, "--window", "sliding:4")
+        self.assert_one_line_error(code, output, "--window requires --pane")
+
+    def test_pane_without_window(self):
+        code, output = run_cli(*self.BASE, "--pane", "300")
+        self.assert_one_line_error(code, output, "--pane requires --window")
+
+    def test_sliding_without_pane_count(self):
+        code, output = run_cli(*self.BASE, "--window", "sliding",
+                               "--pane", "300")
+        self.assert_one_line_error(code, output, "pane count", "sliding:16")
+
+    def test_unknown_window_mode(self):
+        code, output = run_cli(*self.BASE, "--window", "hopping:4",
+                               "--pane", "300")
+        self.assert_one_line_error(code, output, "hopping", "tumbling")
+
+    def test_tumbling_rejects_an_argument(self):
+        code, output = run_cli(*self.BASE, "--window", "tumbling:4",
+                               "--pane", "300")
+        self.assert_one_line_error(code, output, "no argument")
+
+    def test_decay_without_factor(self):
+        code, output = run_cli(*self.BASE, "--window", "decay",
+                               "--pane", "300")
+        self.assert_one_line_error(code, output, "factor")
+
+    def test_decay_factor_out_of_range(self):
+        code, output = run_cli(*self.BASE, "--window", "decay:1.5",
+                               "--pane", "300")
+        self.assert_one_line_error(code, output, "(0, 1)", "1.5")
+
+    def test_decay_factor_garbage(self):
+        code, output = run_cli(*self.BASE, "--window", "decay:hot",
+                               "--pane", "300")
+        self.assert_one_line_error(code, output, "hot")
+
+    def test_non_positive_pane_size(self):
+        code, output = run_cli(*self.BASE, "--window", "sliding:4",
+                               "--pane", "0")
+        self.assert_one_line_error(code, output, "pane_size")
+
+    def test_garbage_pane_size(self):
+        code, output = run_cli(*self.BASE, "--window", "sliding:4",
+                               "--pane", "huge")
+        self.assert_one_line_error(code, output, "pane", "scientific notation")
+
+    def test_non_positive_pane_count(self):
+        code, output = run_cli(*self.BASE, "--window", "sliding:0",
+                               "--pane", "300")
+        self.assert_one_line_error(code, output, "panes")
+
+    def test_non_linear_sketch_cannot_be_windowed(self):
+        code, output = run_cli(
+            "sketch", "--dataset", "gaussian", "--dimension", "2000",
+            "--width", "128", "--depth", "5", "--algorithm", "count_min_cu",
+            "--window", "sliding:4", "--pane", "300",
+        )
+        self.assert_one_line_error(code, output, "count_min_cu",
+                                   "pane-merge algebra")
+
+
 class TestExperimentCommand:
     def test_list(self):
         code, output = run_cli("experiment", "--list")
