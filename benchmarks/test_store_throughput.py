@@ -1,0 +1,177 @@
+"""Sketch-store throughput: put/get latency and the compaction win.
+
+A checkpointing pipeline over the Figure 6 stream: the scaled-down Hudong
+edge trace is replayed through a sliding-window session, and a snapshot is
+``put`` into a :class:`repro.store.SketchStore` catalog at every pane's
+worth of progress — the retention pattern ``compact`` is designed for,
+since every historical snapshot carries the full pane ring.
+
+Measured per backend discipline (WAL + busy timeout + materialized
+listing):
+
+* **put latency** — staging a snapshot (serialize + ``BEGIN IMMEDIATE``
+  insert + listing refresh), for the windowed checkpoint stream and for a
+  plain whole-stream sketch of the same geometry;
+* **get latency** — restoring a snapshot in a fresh store handle, latest
+  and version-pinned (the reader side of the WAL concurrency story);
+* **compaction win** — bytes before/after ``compact`` over the retained
+  history, with every version asserted to restore bit-equal answers.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a reduced-size configuration (used by CI).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import RESULTS_DIR
+from repro.api import SketchConfig, SketchSession
+from repro.data.hudong import simulated_hudong
+from repro.store import SketchStore
+from repro.streaming import WindowSpec, stream_from_items
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+DIMENSION = 2_000 if SMOKE else 20_000
+EDGES = 24_000 if SMOKE else 120_000
+WIDTH = 256 if SMOKE else 2_048
+DEPTH = 9
+PANES = 8
+SNAPSHOTS = 8
+#: the ring covers the most recent half of the stream
+PANE_SIZE = EDGES // (2 * PANES)
+BATCH_SIZE = 4_096
+
+
+@pytest.fixture(scope="module")
+def fig6_updates():
+    data = simulated_hudong(dimension=DIMENSION, edges=EDGES, seed=66)
+    stream = stream_from_items(data.sources, data.dimension)
+    return stream.indices(), stream.deltas()
+
+
+def windowed_config():
+    return SketchConfig(
+        "count_min", dimension=DIMENSION, width=WIDTH, depth=DEPTH, seed=17,
+        window=WindowSpec(mode="sliding", panes=PANES, pane_size=PANE_SIZE),
+    )
+
+
+def timed(operation):
+    start = time.perf_counter()
+    result = operation()
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.figure("6-store")
+def test_store_put_get_latency_and_compaction_win(fig6_updates, tmp_path):
+    indices, deltas = fig6_updates
+    path = tmp_path / "catalog.db"
+
+    # -- put: checkpoint the windowed replay every stream-eighth ---------- #
+    put_seconds = []
+    checkpoint = indices.size // SNAPSHOTS
+    with SketchStore(path) as store:
+        session = SketchSession.from_config(windowed_config())
+        for step in range(SNAPSHOTS):
+            begin, end = step * checkpoint, (step + 1) * checkpoint
+            for start in range(begin, end, BATCH_SIZE):
+                stop = min(start + BATCH_SIZE, end)
+                session.ingest(indices[start:stop], deltas[start:stop])
+            seconds, _ = timed(lambda: store.put("fig6-window", session))
+            put_seconds.append(seconds)
+
+        plain = SketchSession.from_config(windowed_config().replace(window=None))
+        plain.ingest(indices, deltas)
+        plain_put_seconds, _ = timed(lambda: store.put("fig6-plain", plain))
+
+        expected = {
+            version: store.get_payload("fig6-window", version)
+            for version in range(1, SNAPSHOTS + 1)
+        }
+
+    # -- get: restores from fresh handles (the cross-process reader path) - #
+    def restore_latest():
+        with SketchStore(path) as reader:
+            return reader.get_payload("fig6-window")
+
+    def restore_pinned(version):
+        with SketchStore(path) as reader:
+            return reader.get_payload("fig6-window", version)
+
+    get_latest_seconds, latest_payload = timed(restore_latest)
+    assert latest_payload == expected[SNAPSHOTS]
+    pinned_seconds = []
+    for version in range(1, SNAPSHOTS + 1):
+        seconds, payload = timed(lambda: restore_pinned(version))
+        assert payload == expected[version]
+        pinned_seconds.append(seconds)
+
+    # -- compact: fold the retained pane rings, answers must not move ----- #
+    answers_before = {
+        version: SketchSession.from_bytes(payload).recover()
+        for version, payload in expected.items()
+    }
+    file_bytes_before = os.path.getsize(path)
+    with SketchStore(path) as store:
+        compact_seconds, report = timed(
+            lambda: store.compact("fig6-window", keep_latest=False)
+        )
+        assert report.snapshots_compacted > 0
+        assert report.bytes_after < report.bytes_before
+        for version, recovered in answers_before.items():
+            restored = store.get("fig6-window", version)
+            np.testing.assert_array_equal(restored.recover(), recovered)
+        history = store.history("fig6-window")
+        assert all(snapshot.pane_count <= 2 for snapshot in history)
+    # the WAL checkpoints into the main file on close, so the VACUUM's
+    # reclaim is only visible once the handle is gone
+    file_bytes_after = os.path.getsize(path)
+    assert file_bytes_after < file_bytes_before
+
+    payload_bytes = len(expected[SNAPSHOTS])
+    lines = [
+        f"sketch store put/get latency and compaction win on the Figure 6 "
+        f"stream (n={DIMENSION}, updates={indices.size}, s={WIDTH}, "
+        f"d={DEPTH}, window=sliding {PANES}x{PANE_SIZE}, "
+        f"{SNAPSHOTS} checkpoints{', smoke' if SMOKE else ''})",
+        "",
+        "puts checkpoint a windowed replay into a WAL-mode SQLite catalog",
+        "(serialize + BEGIN IMMEDIATE insert + materialized-listing",
+        "refresh); gets restore through a fresh store handle, which is the",
+        "cross-process reader path the concurrency tests exercise.  the",
+        "compaction pass folds each retained snapshot's closed panes into",
+        "one (linearity keeps every answer bit-identical, asserted here);",
+        "'win' is payload bytes before/after over the retained history.",
+        "",
+        f"{'operation':<26} {'mean_ms':>9} {'min_ms':>8} {'max_ms':>8}",
+        f"{'put (windowed, ' + str(PANES) + ' panes)':<26} "
+        f"{1e3 * np.mean(put_seconds):>9.2f} "
+        f"{1e3 * np.min(put_seconds):>8.2f} "
+        f"{1e3 * np.max(put_seconds):>8.2f}",
+        f"{'put (plain sketch)':<26} {1e3 * plain_put_seconds:>9.2f} "
+        f"{1e3 * plain_put_seconds:>8.2f} {1e3 * plain_put_seconds:>8.2f}",
+        f"{'get (latest)':<26} {1e3 * get_latest_seconds:>9.2f} "
+        f"{1e3 * get_latest_seconds:>8.2f} {1e3 * get_latest_seconds:>8.2f}",
+        f"{'get (version-pinned)':<26} "
+        f"{1e3 * np.mean(pinned_seconds):>9.2f} "
+        f"{1e3 * np.min(pinned_seconds):>8.2f} "
+        f"{1e3 * np.max(pinned_seconds):>8.2f}",
+        "",
+        f"snapshot payload          : {payload_bytes} bytes "
+        f"({PANES} live panes)",
+        f"compaction                : {report.snapshots_compacted} snapshots, "
+        f"{report.panes_folded} panes folded in {compact_seconds:.3f}s",
+        f"payload bytes             : {report.bytes_before} -> "
+        f"{report.bytes_after} "
+        f"({report.bytes_before / report.bytes_after:.2f}x win)",
+        f"catalog file bytes        : {file_bytes_before} -> "
+        f"{file_bytes_after} (after VACUUM + WAL checkpoint)",
+        "",
+    ]
+    output = "\n".join(lines)
+    print()
+    print(output)
+    RESULTS_DIR.joinpath("store_throughput.txt").write_text(output)

@@ -15,6 +15,14 @@ paths, four query modules and the serialization layer — behind two objects:
   :meth:`~SketchSession.merge`, and persistence
   (:meth:`~SketchSession.save` / :meth:`~SketchSession.to_bytes`).
 
+**The polymorphic I/O rule.**  Every I/O entry point in the API accepts all
+three source/destination forms: a filesystem **path** (``str`` / ``Path``),
+an open **binary file object** (``.read()`` / ``.write()``), and a **store
+URI** (``store://PATH#NAME[@VERSION]``, addressing a named, versioned
+snapshot in a :class:`repro.store.SketchStore` catalog).  New I/O surfaces
+must keep this contract; :func:`repro.api.session.read_payload` is the
+shared reader side.
+
 Quick start::
 
     from repro.api import SketchConfig, SketchSession
@@ -33,7 +41,11 @@ Quick start::
 
 from repro.api.config import SketchConfig
 from repro.api.errors import CapabilityError, ConfigError
-from repro.api.session import DEFAULT_AUTO_SHARD_THRESHOLD, SketchSession
+from repro.api.session import (
+    DEFAULT_AUTO_SHARD_THRESHOLD,
+    SketchSession,
+    read_payload,
+)
 
 __all__ = [
     "CapabilityError",
@@ -41,4 +53,5 @@ __all__ = [
     "SketchConfig",
     "SketchSession",
     "DEFAULT_AUTO_SHARD_THRESHOLD",
+    "read_payload",
 ]

@@ -178,6 +178,26 @@ class SketchConfig:
         sketches (requires an integer seed)."""
         return self.seed is not None
 
+    @property
+    def windowed(self) -> bool:
+        """Whether the config selects windowed (pane-ring) ingestion."""
+        return self.window is not None
+
+    def summary(self) -> str:
+        """A one-line human description: algorithm, geometry, seed, window.
+
+        Used by catalog-facing surfaces (``repro store get``/``history``)
+        where the full ``repr`` is too noisy for a table cell.
+        """
+        dimension = "unbounded" if self.dimension is None else str(self.dimension)
+        parts = [f"n={dimension}", f"s={self.width}", f"d={self.depth}",
+                 f"seed={self.seed}"]
+        if self.window is not None:
+            parts.append(f"window={self.window.mode}:{self.window.panes}"
+                         f"x{self.window.pane_size}")
+        parts.extend(f"{key}={value}" for key, value in sorted(self.options.items()))
+        return f"{self.name} ({', '.join(parts)})"
+
     def build(self) -> Sketch:
         """Construct a fresh sketch from this configuration."""
         return self.spec.build(

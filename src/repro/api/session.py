@@ -51,7 +51,35 @@ from repro.streaming.sharded import (
     _ingest_stream_sharded,
 )
 from repro.streaming.stream import UpdateStream
+from repro.store.uri import is_store_uri, parse_store_uri
 from repro.utils.validation import require_positive_int
+
+
+def read_payload(source: Any) -> bytes:
+    """Read a wire payload from a polymorphic ``source``.
+
+    This is the reader side of the library-wide I/O rule — every I/O entry
+    point accepts all three source forms:
+
+    * a **path** (``str`` / :class:`~pathlib.Path`) — the file's bytes;
+    * a **binary file object** (anything with ``.read()``) — its contents
+      (the object is left open);
+    * a **store URI** (``store://PATH#NAME[@VERSION]``) — the named
+      snapshot's payload from the :class:`~repro.store.SketchStore` catalog
+      (latest version when ``@VERSION`` is omitted).
+    """
+    if is_store_uri(source):
+        from repro.store import SketchStore
+
+        reference = parse_store_uri(source)
+        with SketchStore(reference.path) as store:
+            return store.get_payload(reference.name, reference.version)
+    reader = getattr(source, "read", None)
+    if callable(reader):
+        return bytes(reader())
+    with open(source, "rb") as handle:
+        return handle.read()
+
 
 #: update count at which :meth:`SketchSession.ingest` switches to the
 #: multi-core sharded engine on its own (linear sketches with integer seeds
@@ -160,14 +188,23 @@ class SketchSession:
         return cls(config, Sketch.from_state(state))
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "SketchSession":
+    def open(cls, source: Union[str, Path, Any]) -> "SketchSession":
         """Open a session on a sketch persisted by :meth:`save`.
 
+        ``source`` is polymorphic, following the library-wide I/O rule
+        (every I/O entry point accepts all three forms):
+
+        * a **path** (``str`` / ``Path``) — a file written by :meth:`save`;
+        * a **binary file object** (anything with ``.read()``) — an open
+          file, a socket wrapper, an ``io.BytesIO``;
+        * a **store URI** — ``store://PATH#NAME[@VERSION]``, restoring the
+          named snapshot from a :class:`~repro.store.SketchStore` catalog
+          (latest version when ``@VERSION`` is omitted).
+
         The payload is self-contained: the restoring process (or machine)
-        needs nothing beyond the file.
+        needs nothing beyond the bytes.
         """
-        with open(path, "rb") as handle:
-            return cls.from_bytes(handle.read())
+        return cls.from_bytes(read_payload(source))
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -724,9 +761,41 @@ class SketchSession:
             return self._window.state_dict()
         return self._sketch.state_dict()
 
-    def save(self, path: Union[str, Path]) -> Path:
-        """Persist the session state to ``path``; returns the path written."""
-        path = Path(path)
+    def save(self, destination: Union[str, Path, Any]) -> Union[Path, str]:
+        """Persist the session state to ``destination``.
+
+        ``destination`` is polymorphic, following the library-wide I/O rule
+        (every I/O entry point accepts all three forms):
+
+        * a **path** (``str`` / ``Path``) — the payload is written to the
+          file; returns the :class:`~pathlib.Path` written;
+        * a **binary file object** (anything with ``.write()``) — the
+          payload is written to it (left open); returns ``None``;
+        * a **store URI** — ``store://PATH#NAME`` appends a new immutable
+          snapshot under ``NAME`` in the :class:`~repro.store.SketchStore`
+          catalog at ``PATH`` (created if missing); returns the canonical
+          URI of the snapshot written, with its assigned ``@VERSION``.
+          A version in a save URI is rejected — snapshots are append-only.
+        """
+        if is_store_uri(destination):
+            from repro.store import SketchStore, format_store_uri
+            from repro.store.errors import StoreError
+
+            reference = parse_store_uri(destination)
+            if reference.version is not None:
+                raise StoreError(
+                    f"cannot save to {destination!r}: snapshots are "
+                    "append-only, so a save URI names the sketch without a "
+                    "version (the store assigns the next one)"
+                )
+            with SketchStore(reference.path) as store:
+                version = store.put(reference.name, self.to_bytes())
+            return format_store_uri(reference.path, reference.name, version)
+        writer = getattr(destination, "write", None)
+        if callable(writer):
+            writer(self.to_bytes())
+            return None
+        path = Path(destination)
         path.write_bytes(self.to_bytes())
         return path
 

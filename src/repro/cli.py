@@ -1,23 +1,38 @@
-"""Command-line interface.
+"""Command-line interface: noun-verb subcommands over the session facade.
 
-Five subcommands cover the everyday uses of the library without writing any
-Python, all routed through the unified :mod:`repro.api` session facade:
+The grammar is ``repro NOUN VERB [options]``, one noun per subsystem, all
+routed through the unified :mod:`repro.api` session facade:
 
-* ``repro datasets`` — list the available workloads and their bias profiles;
-* ``repro sketch`` — sketch a workload with one algorithm and report its
-  accuracy and size (``--shards N`` ingests through the multi-core sharded
-  engine; ``--window MODE[:ARG] --pane N`` sketches through the sliding-
-  window engine and reports in-window accuracy);
-* ``repro save`` — sketch a workload and persist the session's sketch state
-  to disk in the versioned binary wire format;
-* ``repro load`` — reopen a saved session and query it, independently of the
-  process (or machine) that built it;
-* ``repro experiment`` — regenerate one of the paper's figures (see
-  ``repro experiment --list``) and optionally render it as an ASCII chart.
+* ``repro dataset list`` — list the available workloads and their bias
+  profiles;
+* ``repro sketch fit`` — sketch a workload with one algorithm and report
+  its accuracy and size (``--shards N`` ingests through the multi-core
+  sharded engine; ``--window MODE[:ARG] --pane N`` sketches through the
+  sliding-window engine and reports in-window accuracy);
+* ``repro sketch list`` — list the registered algorithms;
+* ``repro sketch save`` — sketch a workload and persist the session's
+  sketch state (``--output`` takes a path **or** a ``store://`` URI);
+* ``repro sketch load`` — reopen a saved session (from a path or a
+  ``store://`` URI) and query it, independently of the process (or
+  machine) that built it;
+* ``repro experiment list`` / ``repro experiment run NAME`` — regenerate
+  one of the paper's figures and optionally render it as an ASCII chart;
+* ``repro store put|get|list|history|compact|delete`` — the persistent,
+  versioned sketch catalog (:class:`repro.store.SketchStore`): append
+  named snapshots, restore them bit-identically in any process, inspect
+  the catalog, and fold closed window panes to reclaim space.
+
+**Legacy invocations keep working.**  The flat verbs that predate the
+noun-verb grammar — ``repro datasets``, bare ``repro sketch``, ``repro
+save``, ``repro load``, ``repro experiment [--list|NAME]`` — are rewritten
+to their noun-verb form before parsing, each emitting exactly one
+:class:`DeprecationWarning` naming the replacement (the same shim pattern
+the :mod:`repro.api` migration used).
 
 User errors (unknown sketch or dataset names, invalid geometry, missing
-files) exit with status 2 and a one-line ``error: ...`` message, never a
-traceback.  ``repro --version`` prints the package version.
+files, unknown store entries) exit with status 2 and a one-line
+``error: ...`` message, never a traceback.  ``repro --version`` prints the
+package version.
 
 Invoke either as ``python -m repro.cli ...`` or through the ``repro-sketches``
 console script installed by the package.
@@ -32,7 +47,13 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.api import CapabilityError, ConfigError, SketchConfig, SketchSession
+from repro.api import (
+    CapabilityError,
+    ConfigError,
+    SketchConfig,
+    SketchSession,
+    read_payload,
+)
 from repro.data.registry import available_datasets, load_dataset
 from repro.eval.experiments import (
     available_experiments,
@@ -43,77 +64,200 @@ from repro.eval.metrics import average_error, maximum_error
 from repro.eval.plots import plot_result_table
 from repro.serialization import SerializationError
 from repro.sketches.registry import available_sketches, get_spec
+from repro.store import SketchStore, format_store_uri
 from repro.streaming.windows import WINDOW_MODES, WindowSpec
+from repro.utils.deprecation import warn_deprecated
 from repro.version import __version__
+
+#: verbs of the ``sketch`` / ``experiment`` nouns, used to tell a new-style
+#: invocation from a legacy flat one in :func:`_normalize_argv`
+_SKETCH_VERBS = frozenset({"fit", "list", "save", "load"})
+_EXPERIMENT_VERBS = frozenset({"list", "run"})
+
+
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """Rewrite a legacy flat invocation to its noun-verb form.
+
+    Each rewrite emits exactly one :class:`DeprecationWarning` naming the
+    replacement; new-style invocations pass through untouched.  The mapping:
+
+    ========================   ==============================
+    legacy                     noun-verb
+    ========================   ==============================
+    ``datasets``               ``dataset list``
+    ``sketch`` (no verb)       ``sketch fit``
+    ``save``                   ``sketch save``
+    ``load``                   ``sketch load``
+    ``experiment --list``      ``experiment list``
+    ``experiment`` (bare)      ``experiment list``
+    ``experiment NAME``        ``experiment run NAME``
+    ========================   ==============================
+    """
+    argv = list(argv)
+    index = next(
+        (i for i, token in enumerate(argv) if not token.startswith("-")), None
+    )
+    if index is None:
+        return argv
+    head, command, rest = argv[:index], argv[index], argv[index + 1:]
+    following = rest[0] if rest else None
+    if command == "datasets":
+        warn_deprecated("repro datasets", "repro dataset list")
+        return head + ["dataset", "list"] + rest
+    if command in ("save", "load"):
+        warn_deprecated(f"repro {command}", f"repro sketch {command}")
+        return head + ["sketch", command] + rest
+    if command == "sketch" and following not in _SKETCH_VERBS:
+        warn_deprecated("repro sketch", "repro sketch fit")
+        return head + ["sketch", "fit"] + rest
+    if command == "experiment" and following not in _EXPERIMENT_VERBS:
+        if "--list" in rest:
+            warn_deprecated("repro experiment --list", "repro experiment list")
+            return (head + ["experiment", "list"]
+                    + [token for token in rest if token != "--list"])
+        if following is None or following.startswith("-"):
+            warn_deprecated("repro experiment", "repro experiment list")
+            return head + ["experiment", "list"] + rest
+        warn_deprecated("repro experiment <name>", "repro experiment run <name>")
+        return head + ["experiment", "run"] + rest
+    return argv
+
+
+class _NounVerbParser(argparse.ArgumentParser):
+    """An ``ArgumentParser`` that rewrites legacy invocations before parsing."""
+
+    def parse_args(self, args=None, namespace=None):  # type: ignore[override]
+        if args is None:
+            args = sys.argv[1:]
+        return super().parse_args(_normalize_argv(list(args)), namespace)
 
 
 def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
+    parser = _NounVerbParser(
         prog="repro-sketches",
         description="Bias-aware sketches (Chen & Zhang, VLDB 2017): datasets, "
-                    "sketching, and figure reproduction from the command line.",
+                    "sketching, a persistent sketch store, and figure "
+                    "reproduction from the command line.",
     )
     parser.add_argument("--version", action="version",
                         version=f"%(prog)s {__version__}")
-    subparsers = parser.add_subparsers(dest="command", required=True)
+    nouns = parser.add_subparsers(dest="command", required=True)
 
-    datasets = subparsers.add_parser(
-        "datasets", help="list available workloads and their bias profiles"
+    dataset = nouns.add_parser("dataset", help="the workload catalog")
+    dataset_verbs = dataset.add_subparsers(dest="verb", required=True)
+    dataset_list = dataset_verbs.add_parser(
+        "list", help="list available workloads and their bias profiles"
     )
-    datasets.add_argument("--dimension", type=str, default=20_000,
-                          help="dimension used when profiling each workload "
-                               "(scientific notation like 1e5 is accepted)")
-    datasets.add_argument("--head-size", type=str, default=100,
-                          help="k used for the tail/bias-gain statistics")
-    datasets.add_argument("--seed", type=int, default=0)
+    dataset_list.add_argument("--dimension", type=str, default=20_000,
+                              help="dimension used when profiling each "
+                                   "workload (scientific notation like 1e5 "
+                                   "is accepted)")
+    dataset_list.add_argument("--head-size", type=str, default=100,
+                              help="k used for the tail/bias-gain statistics")
+    dataset_list.add_argument("--seed", type=int, default=0)
 
-    sketch = subparsers.add_parser(
-        "sketch", help="sketch one workload with one algorithm and report accuracy"
+    sketch = nouns.add_parser("sketch", help="fit, persist and restore sketches")
+    sketch_verbs = sketch.add_subparsers(dest="verb", required=True)
+    fit = sketch_verbs.add_parser(
+        "fit", help="sketch one workload with one algorithm and report accuracy"
     )
-    _add_sketch_arguments(sketch)
-    sketch.add_argument("--list-algorithms", action="store_true",
-                        help="print the registered algorithms and exit")
-
-    save = subparsers.add_parser(
-        "save", help="sketch a workload and persist the sketch state to disk"
+    _add_sketch_arguments(fit)
+    fit.add_argument("--list-algorithms", action="store_true",
+                     help="print the registered algorithms and exit")
+    sketch_verbs.add_parser("list", help="list the registered algorithms")
+    save = sketch_verbs.add_parser(
+        "save", help="sketch a workload and persist the sketch state"
     )
     _add_sketch_arguments(save)
     save.add_argument("--output", required=True,
-                      help="path the serialized sketch is written to")
-
-    load = subparsers.add_parser(
+                      help="destination for the serialized sketch: a path or "
+                           "a store://PATH#NAME catalog URI")
+    load = sketch_verbs.add_parser(
         "load", help="restore a saved sketch and query it"
     )
-    load.add_argument("path", help="file written by 'repro save' (or session.save())")
+    load.add_argument("path",
+                      help="file written by 'repro sketch save' (or "
+                           "session.save()), or a store://PATH#NAME[@VERSION] "
+                           "catalog URI")
     load.add_argument("--query", type=int, nargs="*", default=None,
                       help="coordinates to point-query on the restored sketch")
 
-    experiment = subparsers.add_parser(
-        "experiment", help="regenerate one of the paper's figures"
+    experiment = nouns.add_parser("experiment", help="the paper's figures")
+    experiment_verbs = experiment.add_subparsers(dest="verb", required=True)
+    experiment_list = experiment_verbs.add_parser(
+        "list", help="print the registered experiments"
     )
-    experiment.add_argument("name", nargs="?", default=None,
-                            help="experiment id (see --list)")
-    experiment.add_argument("--list", action="store_true",
-                            help="print the registered experiments and exit")
-    experiment.add_argument("--seed", type=int, default=2017)
-    experiment.add_argument("--batch-size", type=int, default=None,
-                            help="replay streaming experiments through the "
-                                 "vectorised update_batch path in chunks of "
-                                 "this many updates (default: scalar "
-                                 "update-at-a-time replay)")
-    experiment.add_argument("--plot", action="store_true",
-                            help="also render the series as an ASCII chart")
-    experiment.add_argument("--metric", default="average_error",
-                            choices=["average_error", "maximum_error"])
+    # legacy `repro experiment --list` could carry run options; accept and
+    # ignore them so the rewritten invocation still parses
+    _add_experiment_options(experiment_list)
+    run = experiment_verbs.add_parser(
+        "run", help="regenerate one of the paper's figures"
+    )
+    run.add_argument("name", help="experiment id (see 'repro experiment list')")
+    _add_experiment_options(run)
+
+    store = nouns.add_parser(
+        "store", help="the persistent, versioned sketch catalog (SQLite)"
+    )
+    store_verbs = store.add_subparsers(dest="verb", required=True)
+    put = store_verbs.add_parser(
+        "put", help="append an immutable snapshot of a sketch under a name"
+    )
+    put.add_argument("store",
+                     help="path of the catalog database (created if missing)")
+    put.add_argument("name", help="catalog name the snapshot is appended to")
+    put.add_argument("--input", default=None,
+                     help="store an existing payload file instead of fitting "
+                          "a workload")
+    _add_sketch_arguments(put)
+    get = store_verbs.add_parser(
+        "get", help="restore a named snapshot and describe it"
+    )
+    get.add_argument("store", help="path of the catalog database")
+    get.add_argument("name", help="catalog name to restore")
+    get.add_argument("--version", type=int, default=None,
+                     help="snapshot version to restore (default: latest)")
+    get.add_argument("--output", default=None,
+                     help="also write the restored payload to this path")
+    get.add_argument("--query", type=int, nargs="*", default=None,
+                     help="coordinates to point-query on the restored sketch")
+    store_list = store_verbs.add_parser(
+        "list", help="list the catalog's names and their latest snapshots"
+    )
+    store_list.add_argument("store", help="path of the catalog database")
+    history = store_verbs.add_parser(
+        "history", help="list every retained snapshot of a name"
+    )
+    history.add_argument("store", help="path of the catalog database")
+    history.add_argument("name", help="catalog name to inspect")
+    compact = store_verbs.add_parser(
+        "compact", help="fold closed window panes of retained snapshots"
+    )
+    compact.add_argument("store", help="path of the catalog database")
+    compact.add_argument("name", nargs="?", default=None,
+                         help="compact one name (default: the whole store)")
+    compact.add_argument("--include-latest", action="store_true",
+                         help="also fold each name's newest snapshot "
+                              "(default keeps it pane-for-pane replayable)")
+    compact.add_argument("--no-vacuum", action="store_true",
+                         help="skip the VACUUM that reclaims freed file space")
+    delete = store_verbs.add_parser(
+        "delete", help="remove a name (or one of its snapshots)"
+    )
+    delete.add_argument("store", help="path of the catalog database")
+    delete.add_argument("name", help="catalog name to remove")
+    delete.add_argument("--version", type=int, default=None,
+                        help="remove one snapshot version instead of the "
+                             "whole name")
     return parser
 
 
 def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
-    """Workload/algorithm/geometry options shared by ``sketch`` and ``save``."""
+    """Workload/algorithm/geometry options shared by the fitting verbs."""
     parser.add_argument("--dataset", default="gaussian",
-                        help="workload name (see the 'datasets' subcommand)")
+                        help="workload name (see 'repro dataset list')")
     parser.add_argument("--algorithm", default="l2_sr",
-                        help="sketch algorithm (see sketch --list-algorithms)")
+                        help="sketch algorithm (see 'repro sketch list')")
     parser.add_argument("--dimension", type=str, default=50_000,
                         help="universe size (scientific notation like 1e8 is "
                              "accepted)")
@@ -135,6 +279,20 @@ def _add_sketch_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--pane", type=str, default=None,
                         help="pane size in updates for --window "
                              "(scientific notation accepted)")
+
+
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
+    """Options of ``experiment run`` (accepted-and-ignored by ``list``)."""
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="replay streaming experiments through the "
+                             "vectorised update_batch path in chunks of "
+                             "this many updates (default: scalar "
+                             "update-at-a-time replay)")
+    parser.add_argument("--plot", action="store_true",
+                        help="also render the series as an ASCII chart")
+    parser.add_argument("--metric", default="average_error",
+                        choices=["average_error", "maximum_error"])
 
 
 #: flags coerced through :func:`_geometry_value` before dispatch
@@ -235,7 +393,7 @@ def _load_cli_dataset(args: argparse.Namespace):
     return load_dataset(args.dataset, seed=args.seed, dimension=args.dimension)
 
 
-def _command_datasets(args: argparse.Namespace, out) -> int:
+def _command_dataset_list(args: argparse.Namespace, out) -> int:
     print(f"{'dataset':<12} {'mean':>12} {'std':>12} {'bias gain (l2)':>16}",
           file=out)
     for name in available_datasets():
@@ -269,7 +427,7 @@ def _build_workload_session(args: argparse.Namespace):
 
 
 def _describe_window(session, out) -> None:
-    """Print the window lines shared by ``sketch`` and ``load``."""
+    """Print the window lines shared by ``sketch fit`` and the restore verbs."""
     window = session.window
     spec = window.spec
     extent = "update" if spec.by == "count" else "time-unit"
@@ -300,11 +458,15 @@ def _windowed_truth(session, dataset) -> Optional[np.ndarray]:
     return truth
 
 
-def _command_sketch(args: argparse.Namespace, out) -> int:
+def _command_sketch_list(args: argparse.Namespace, out) -> int:
+    for name in available_sketches():
+        print(name, file=out)
+    return 0
+
+
+def _command_sketch_fit(args: argparse.Namespace, out) -> int:
     if args.list_algorithms:
-        for name in available_sketches():
-            print(name, file=out)
-        return 0
+        return _command_sketch_list(args, out)
     dataset, session = _build_workload_session(args)
     print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
     print(f"algorithm        : {args.algorithm}", file=out)
@@ -336,12 +498,12 @@ def _command_sketch(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_save(args: argparse.Namespace, out) -> int:
+def _command_sketch_save(args: argparse.Namespace, out) -> int:
     dataset, session = _build_workload_session(args)
     payload = session.to_bytes()
-    with open(args.output, "wb") as handle:
-        handle.write(payload)
-    print(f"saved            : {args.output}", file=out)
+    destination = session.save(args.output)
+    print(f"saved            : {destination if destination is not None else args.output}",
+          file=out)
     print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
     print(f"algorithm        : {args.algorithm}", file=out)
     print(f"payload          : {len(payload)} bytes "
@@ -349,9 +511,8 @@ def _command_save(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_load(args: argparse.Namespace, out) -> int:
-    with open(args.path, "rb") as handle:
-        payload = handle.read()
+def _command_sketch_load(args: argparse.Namespace, out) -> int:
+    payload = read_payload(args.path)
     session = SketchSession.from_bytes(payload)
     print(f"loaded           : {args.path}", file=out)
     if session.windowed:
@@ -380,12 +541,14 @@ def _command_load(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _command_experiment(args: argparse.Namespace, out) -> int:
-    if args.list or args.name is None:
-        for name in available_experiments():
-            spec = get_experiment(name)
-            print(f"{name:<14} {spec.figure:<14} {spec.description}", file=out)
-        return 0
+def _command_experiment_list(args: argparse.Namespace, out) -> int:
+    for name in available_experiments():
+        spec = get_experiment(name)
+        print(f"{name:<14} {spec.figure:<14} {spec.description}", file=out)
+    return 0
+
+
+def _command_experiment_run(args: argparse.Namespace, out) -> int:
     table = run_experiment(args.name, seed=args.seed, batch_size=args.batch_size)
     metrics = ("average_error", "maximum_error")
     if any(row.update_seconds is not None for row in table):
@@ -399,12 +562,112 @@ def _command_experiment(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _command_store_put(args: argparse.Namespace, out) -> int:
+    if args.input is not None:
+        payload = read_payload(args.input)
+    else:
+        _, session = _build_workload_session(args)
+        payload = session.to_bytes()
+    with SketchStore(args.store) as store:
+        version = store.put(args.name, payload)
+    print(f"stored           : "
+          f"{format_store_uri(args.store, args.name, version)}", file=out)
+    print(f"payload          : {len(payload)} bytes", file=out)
+    return 0
+
+
+def _command_store_get(args: argparse.Namespace, out) -> int:
+    with SketchStore(args.store) as store:
+        snapshots = store.history(args.name)
+        payload = store.get_payload(args.name, args.version)
+    version = args.version if args.version is not None else snapshots[-1].version
+    session = SketchSession.from_bytes(payload)
+    print(f"restored         : "
+          f"{format_store_uri(args.store, args.name, version)}", file=out)
+    print(f"config           : {session.config.summary()}", file=out)
+    if session.windowed:
+        _describe_window(session, out)
+    print(f"payload          : {len(payload)} bytes "
+          f"({session.size_in_words()} state words)", file=out)
+    print(f"items processed  : {session.items_processed}", file=out)
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(payload)
+        print(f"written          : {args.output}", file=out)
+    if args.query:
+        for index in args.query:
+            estimate = session.query(kind="point", index=index)
+            print(f"query x[{index}]      : {estimate:.4f}", file=out)
+    return 0
+
+
+def _command_store_list(args: argparse.Namespace, out) -> int:
+    with SketchStore(args.store) as store:
+        entries = store.list()
+    print(f"{'name':<20} {'kind':<14} {'latest':>6} {'snaps':>5} "
+          f"{'items':>10} {'bytes':>10}  updated (UTC)", file=out)
+    for entry in entries:
+        kind = entry.kind + ("+w" if entry.windowed else "")
+        print(f"{entry.name:<20} {kind:<14} {entry.latest_version:>6} "
+              f"{entry.snapshot_count:>5} {entry.items_processed:>10} "
+              f"{entry.total_bytes:>10}  {entry.updated_at}", file=out)
+    if not entries:
+        print("(empty store)", file=out)
+    return 0
+
+
+def _command_store_history(args: argparse.Namespace, out) -> int:
+    with SketchStore(args.store) as store:
+        snapshots = store.history(args.name)
+    print(f"{'version':>7} {'kind':<14} {'panes':>5} {'items':>10} "
+          f"{'bytes':>10} {'compacted':>9}  created (UTC)", file=out)
+    for snapshot in snapshots:
+        panes = "-" if snapshot.pane_count is None else str(snapshot.pane_count)
+        compacted = "yes" if snapshot.compacted else "no"
+        print(f"{snapshot.version:>7} {snapshot.kind:<14} {panes:>5} "
+              f"{snapshot.items_processed:>10} {snapshot.payload_bytes:>10} "
+              f"{compacted:>9}  {snapshot.created_at}", file=out)
+    return 0
+
+
+def _command_store_compact(args: argparse.Namespace, out) -> int:
+    with SketchStore(args.store) as store:
+        report = store.compact(
+            args.name,
+            keep_latest=not args.include_latest,
+            vacuum=not args.no_vacuum,
+        )
+    print(f"compacted        : {report.snapshots_compacted} of "
+          f"{report.snapshots_examined} candidate snapshot(s)", file=out)
+    print(f"panes folded     : {report.panes_folded}", file=out)
+    print(f"payload bytes    : {report.bytes_before} -> {report.bytes_after} "
+          f"({report.bytes_saved} saved)", file=out)
+    return 0
+
+
+def _command_store_delete(args: argparse.Namespace, out) -> int:
+    with SketchStore(args.store) as store:
+        removed = store.delete(args.name, args.version)
+    label = (args.name if args.version is None
+             else f"{args.name}@{args.version}")
+    print(f"deleted          : {label} ({removed} snapshot(s))", file=out)
+    return 0
+
+
 _COMMANDS = {
-    "datasets": _command_datasets,
-    "sketch": _command_sketch,
-    "save": _command_save,
-    "load": _command_load,
-    "experiment": _command_experiment,
+    ("dataset", "list"): _command_dataset_list,
+    ("sketch", "fit"): _command_sketch_fit,
+    ("sketch", "list"): _command_sketch_list,
+    ("sketch", "save"): _command_sketch_save,
+    ("sketch", "load"): _command_sketch_load,
+    ("experiment", "list"): _command_experiment_list,
+    ("experiment", "run"): _command_experiment_run,
+    ("store", "put"): _command_store_put,
+    ("store", "get"): _command_store_get,
+    ("store", "list"): _command_store_list,
+    ("store", "history"): _command_store_history,
+    ("store", "compact"): _command_store_compact,
+    ("store", "delete"): _command_store_delete,
 }
 
 
@@ -416,7 +679,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = _build_parser()
     args = parser.parse_args(argv)
-    handler = _COMMANDS[args.command]
+    handler = _COMMANDS[(args.command, args.verb)]
     try:
         _coerce_geometry(args)
         return handler(args, out)
@@ -431,8 +694,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return _fail(f"cannot read {name}: {error.strerror or error}", out)
     except (IndexError, ValueError) as error:
         # the validation layer raises these for bad user input (out-of-range
-        # query indices, bad dataset parameters); anything else is a bug that
-        # REPRO_CLI_DEBUG=1 surfaces with a full traceback
+        # query indices, bad dataset parameters, store misuse via StoreError);
+        # anything else is a bug that REPRO_CLI_DEBUG=1 surfaces with a full
+        # traceback
         return _fail(error, out)
 
 

@@ -258,17 +258,38 @@ def _decode_header(data: bytes) -> tuple:
     if version != WIRE_VERSION:
         raise SerializationError(
             f"unsupported wire-format version {version}; this build reads "
-            f"version {WIRE_VERSION}"
+            f"version {WIRE_VERSION} — re-save the sketch with a matching "
+            "build"
         )
     start = _PREAMBLE.size
     end = start + header_len
     if len(data) < end:
-        raise SerializationError("truncated payload: header is incomplete")
+        raise SerializationError(
+            f"truncated payload (wire version {version}): header is incomplete"
+        )
     try:
         header = json.loads(data[start:end].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise SerializationError(f"corrupt payload header: {exc}") from exc
+        # name the version the payload claims, so a reader holding an
+        # incompatible minor revision sees which build wrote it instead of
+        # a bare "corrupt payload" message
+        raise SerializationError(
+            f"corrupt payload header in a payload written as wire version "
+            f"{version}: {exc}"
+        ) from exc
     return header, end
+
+
+def payload_header(data: bytes) -> Dict[str, Any]:
+    """The validated JSON header of a wire payload, without its arrays.
+
+    Cheap metadata access for catalogs and listings: the header carries
+    ``kind``, ``state_version``, ``config``, ``scalars``, ``meta`` and the
+    array manifest, which is everything an index needs — decoding the
+    (potentially large) counter arrays is skipped entirely.
+    """
+    header, _ = _decode_header(data)
+    return header
 
 
 def decode_state(data: bytes) -> Dict[str, Any]:

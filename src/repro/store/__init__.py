@@ -1,0 +1,47 @@
+"""A persistent, concurrent, multi-tenant catalog of sketches.
+
+:class:`SketchStore` turns "a sketch in a file" into "a service's durable
+state": named sketches, versioned immutable snapshots, atomic multi-sketch
+commits, windowed-snapshot compaction, and WAL-backed concurrency (readers
+restore while a writer ingests and puts).  The ``store://PATH#NAME[@VERSION]``
+URI grammar (:func:`parse_store_uri`) addresses store state anywhere a path
+is accepted — :meth:`repro.api.SketchSession.save` / ``open`` and the
+``repro sketch save`` / ``load`` CLI speak it directly.
+
+>>> from repro.store import SketchStore
+>>> with SketchStore("catalog.db") as store:
+...     store.put("traffic", session)
+...     restored = store.get("traffic")            # latest snapshot
+...     yesterday = store.get("traffic", version=1)
+"""
+
+from repro.store.catalog import (
+    CatalogEntry,
+    CompactionReport,
+    SketchStore,
+    SnapshotInfo,
+)
+from repro.store.errors import StoreError
+from repro.store.schema import SCHEMA_VERSION, schema_dump
+from repro.store.uri import (
+    STORE_URI_PREFIX,
+    StoreURI,
+    format_store_uri,
+    is_store_uri,
+    parse_store_uri,
+)
+
+__all__ = [
+    "CatalogEntry",
+    "CompactionReport",
+    "SCHEMA_VERSION",
+    "STORE_URI_PREFIX",
+    "SketchStore",
+    "SnapshotInfo",
+    "StoreError",
+    "StoreURI",
+    "format_store_uri",
+    "is_store_uri",
+    "parse_store_uri",
+    "schema_dump",
+]

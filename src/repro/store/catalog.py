@@ -1,0 +1,691 @@
+"""The :class:`SketchStore`: a persistent, concurrent, multi-tenant catalog.
+
+One store is one SQLite file holding *named* sketches with *versioned,
+immutable* snapshots:
+
+* :meth:`SketchStore.put` appends a snapshot of a
+  :class:`~repro.api.SketchSession` (or a raw wire payload) under a name,
+  returning the new version — payloads are stored verbatim, so a later
+  :meth:`get` restores bit-identical state;
+* :meth:`SketchStore.get` restores a session from any snapshot (latest by
+  default);
+* :meth:`SketchStore.list` / :meth:`history` answer from indexed metadata —
+  the materialized ``listing`` table and the ``snapshots`` metadata columns
+  — without decoding a single payload;
+* :meth:`SketchStore.commit` puts several sketches in **one transaction**,
+  so multi-sketch state (e.g. one sketch per tenant) moves atomically;
+* :meth:`SketchStore.compact` folds the closed panes of retained *windowed*
+  snapshots into one pane each, shrinking historical versions to O(live
+  panes' worth of counters) while leaving every query answer unchanged
+  (pane merging is exactly the linear algebra the window view runs);
+* concurrency rides SQLite WAL: any number of reader processes
+  ``get``/``list`` while one writer ingests and ``put``\\ s — see
+  :mod:`repro.store.schema` for the connection discipline.
+
+The :func:`repro.store.uri.parse_store_uri` grammar
+(``store://PATH#NAME[@VERSION]``) lets every path-accepting I/O entry point
+(:meth:`SketchSession.save` / :meth:`SketchSession.open`, ``repro sketch
+save/load``) address store state directly.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import os
+import sqlite3
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.serialization import SerializationError, payload_header
+from repro.store.errors import StoreError
+from repro.store.schema import (
+    DEFAULT_BUSY_TIMEOUT_MS,
+    SCHEMA_VERSION,
+    apply_connection_pragmas,
+    initialize_schema,
+    schema_version,
+)
+from repro.streaming.windows import decode_window_container, is_window_payload
+
+
+def _utc_now() -> str:
+    """The current UTC time in the store's ISO-8601 TEXT convention."""
+    return _datetime.datetime.now(_datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One row of the materialized listing: a name and its latest snapshot."""
+
+    name: str
+    kind: str
+    windowed: bool
+    latest_version: int
+    snapshot_count: int
+    total_bytes: int
+    items_processed: int
+    updated_at: str
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """The indexed metadata of one immutable snapshot row."""
+
+    name: str
+    version: int
+    kind: str
+    dimension: Optional[int]
+    width: int
+    depth: int
+    seed: Optional[int]
+    windowed: bool
+    window_mode: Optional[str]
+    pane_count: Optional[int]
+    items_processed: int
+    payload_bytes: int
+    compacted: bool
+    created_at: str
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`SketchStore.compact` call achieved."""
+
+    snapshots_examined: int
+    snapshots_compacted: int
+    panes_folded: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.bytes_before - self.bytes_after
+
+
+def _summarize_payload(payload: bytes) -> Dict[str, Any]:
+    """The indexed metadata columns, read from a payload's headers alone.
+
+    Handles both payload families (bare ``RPSK`` sketch and ``RPWD`` window
+    container) without materialising a sketch, so ``put`` of a multi-megabyte
+    payload only JSON-parses two small headers.
+    """
+    if is_window_payload(payload):
+        header, panes = decode_window_container(payload)
+        # any pane carries the shared config; the open pane is always present
+        pane_header = payload_header(panes[-1])
+        config = pane_header.get("config", {})
+        meta = header.get("meta", {})
+        spec = header.get("spec", {})
+        return {
+            "kind": pane_header.get("kind", "?"),
+            "dimension": config.get("dimension"),
+            "width": int(config.get("width", 0)),
+            "depth": int(config.get("depth", 0)),
+            "seed": config.get("seed"),
+            "windowed": 1,
+            "window_mode": spec.get("mode"),
+            "pane_count": len(panes),
+            "items_processed": int(meta.get("items_total", 0)),
+        }
+    header = payload_header(payload)
+    config = header.get("config", {})
+    return {
+        "kind": header.get("kind", "?"),
+        "dimension": config.get("dimension"),
+        "width": int(config.get("width", 0)),
+        "depth": int(config.get("depth", 0)),
+        "seed": config.get("seed"),
+        "windowed": 0,
+        "window_mode": None,
+        "pane_count": None,
+        "items_processed": int(header.get("meta", {}).get("items_processed", 0)),
+    }
+
+
+def _as_payload(item: Any, context: str) -> bytes:
+    """Coerce a session / sketch / payload into wire bytes for storage."""
+    if isinstance(item, (bytes, bytearray)):
+        return bytes(item)
+    to_bytes = getattr(item, "to_bytes", None)
+    if callable(to_bytes):
+        return to_bytes()
+    raise StoreError(
+        f"{context} must be a SketchSession, a sketch, or a wire payload "
+        f"(bytes); got {type(item).__name__}"
+    )
+
+
+class SketchStore:
+    """A named, versioned catalog of sketches in one SQLite file.
+
+    >>> from repro.store import SketchStore
+    >>> with SketchStore("catalog.db") as store:
+    ...     version = store.put("traffic", session)    # append snapshot
+    ...     again = store.get("traffic")               # latest
+    ...     v1 = store.get("traffic", version=1)       # time travel
+    ...     names = [entry.name for entry in store.list()]
+
+    A store object owns one SQLite connection and is **not** shared across
+    threads or processes — open one store per worker; WAL mode makes the
+    concurrent access safe (readers never block the writer).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+    ) -> None:
+        self._path = Path(path)
+        if self._path.is_dir():
+            raise StoreError(f"store path {self._path} is a directory")
+        parent = self._path.parent
+        if parent and not parent.exists():
+            raise StoreError(
+                f"store directory {parent} does not exist; create it first"
+            )
+        try:
+            self._connection = sqlite3.connect(
+                os.fspath(self._path), timeout=busy_timeout_ms / 1000.0
+            )
+        except sqlite3.Error as exc:
+            raise StoreError(f"cannot open store {self._path}: {exc}") from exc
+        self._connection.row_factory = sqlite3.Row
+        # transactions are explicit (BEGIN IMMEDIATE ... COMMIT) so reads
+        # run in autocommit and writers take the write lock up front
+        self._connection.isolation_level = None
+        try:
+            apply_connection_pragmas(self._connection, busy_timeout_ms)
+            self._ensure_schema()
+        except sqlite3.DatabaseError as exc:
+            self._connection.close()
+            raise StoreError(
+                f"{self._path} is not a sketch store database: {exc}"
+            ) from exc
+
+    def _ensure_schema(self) -> None:
+        has_tables = self._connection.execute(
+            "SELECT COUNT(*) FROM sqlite_master WHERE type = 'table' "
+            "AND name IN ('sketches', 'snapshots', 'listing')"
+        ).fetchone()[0]
+        recorded = schema_version(self._connection)
+        if has_tables == 0:
+            foreign_tables = self._connection.execute(
+                "SELECT COUNT(*) FROM sqlite_master WHERE type = 'table' "
+                "AND name NOT LIKE 'sqlite_%'"
+            ).fetchone()[0]
+            if foreign_tables != 0:
+                raise StoreError(
+                    f"{self._path} is not a sketch store: it has other "
+                    "tables but not the store schema"
+                )
+            if recorded not in (0, SCHEMA_VERSION):
+                raise StoreError(
+                    f"{self._path} carries schema version {recorded} but no "
+                    "store tables; refusing to overwrite a foreign database"
+                )
+            # a writer racing another writer to initialise the same fresh
+            # file is resolved by the write lock; IF NOT EXISTS semantics
+            # come from re-checking inside the transaction
+            try:
+                initialize_schema(self._connection)
+            except sqlite3.OperationalError:
+                if schema_version(self._connection) != SCHEMA_VERSION:
+                    raise
+            return
+        if has_tables != 3:
+            raise StoreError(
+                f"{self._path} is not a sketch store: it has other tables "
+                "but not the store schema"
+            )
+        if recorded != SCHEMA_VERSION:
+            raise StoreError(
+                f"store {self._path} has schema version {recorded}, but this "
+                f"build reads schema version {SCHEMA_VERSION}; migrate the "
+                "store (or re-create it) with a matching build"
+            )
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def path(self) -> Path:
+        """The SQLite file backing this store."""
+        return self._path
+
+    def close(self) -> None:
+        """Close the store's connection (idempotent)."""
+        self._connection.close()
+
+    def __enter__(self) -> "SketchStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SketchStore({os.fspath(self._path)!r})"
+
+    # ------------------------------------------------------------------ #
+    # writes
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not isinstance(name, str) or not name:
+            raise StoreError(
+                f"sketch names must be non-empty strings, got {name!r}"
+            )
+        if "#" in name or "@" in name:
+            raise StoreError(
+                f"sketch name {name!r} may not contain '#' or '@' (they "
+                "delimit the store:// URI grammar)"
+            )
+        return name
+
+    def put(self, name: str, session: Any) -> int:
+        """Append an immutable snapshot of ``session`` under ``name``.
+
+        ``session`` is a :class:`~repro.api.SketchSession`, a bare sketch, a
+        :class:`~repro.streaming.windows.SlidingWindowSketch`, or raw wire
+        bytes; in every case the stored payload is exactly ``to_bytes()``,
+        so restores are bit-identical.  Returns the snapshot's version
+        (``1`` for a new name, previous latest + 1 otherwise).
+        """
+        return self.commit([(name, session)])[name]
+
+    def commit(self, items: Any) -> Dict[str, int]:
+        """Snapshot several sketches **atomically** (one transaction).
+
+        ``items`` is a mapping ``{name: session}`` or an iterable of
+        ``(name, session)`` pairs.  Either every sketch gains a snapshot or
+        none does — a failure (bad name, unserializable session, catalog
+        contention beyond the busy timeout) rolls the whole commit back.
+        Returns ``{name: new_version}``.
+        """
+        if isinstance(items, dict):
+            pairs = list(items.items())
+        else:
+            pairs = list(items)
+        if not pairs:
+            return {}
+        staged: List[Tuple[str, bytes, Dict[str, Any]]] = []
+        seen = set()
+        for entry in pairs:
+            if not (isinstance(entry, tuple) and len(entry) == 2):
+                raise StoreError(
+                    "commit() takes {name: session} or (name, session) "
+                    f"pairs; got {entry!r}"
+                )
+            name, session = entry
+            self._check_name(name)
+            if name in seen:
+                raise StoreError(
+                    f"commit() received {name!r} twice; one snapshot per "
+                    "name per commit"
+                )
+            seen.add(name)
+            payload = _as_payload(session, f"session for {name!r}")
+            try:
+                summary = _summarize_payload(payload)
+            except SerializationError as exc:
+                raise StoreError(
+                    f"payload for {name!r} is not a valid sketch or window "
+                    f"payload: {exc}"
+                ) from exc
+            staged.append((name, payload, summary))
+        now = _utc_now()
+        versions: Dict[str, int] = {}
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute("BEGIN IMMEDIATE")
+            for name, payload, summary in staged:
+                versions[name] = self._insert_snapshot(
+                    cursor, name, payload, summary, now
+                )
+            cursor.execute("COMMIT")
+        except BaseException:
+            cursor.execute("ROLLBACK")
+            raise
+        return versions
+
+    def _insert_snapshot(
+        self,
+        cursor: sqlite3.Cursor,
+        name: str,
+        payload: bytes,
+        summary: Dict[str, Any],
+        now: str,
+    ) -> int:
+        row = cursor.execute(
+            "SELECT sketch_id FROM sketches WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            cursor.execute(
+                "INSERT INTO sketches (name, created_at) VALUES (?, ?)",
+                (name, now),
+            )
+            sketch_id = cursor.lastrowid
+        else:
+            sketch_id = row["sketch_id"]
+        version = cursor.execute(
+            "SELECT COALESCE(MAX(version), 0) + 1 FROM snapshots "
+            "WHERE sketch_id = ?",
+            (sketch_id,),
+        ).fetchone()[0]
+        cursor.execute(
+            "INSERT INTO snapshots (sketch_id, version, kind, dimension, "
+            "width, depth, seed, windowed, window_mode, pane_count, "
+            "items_processed, payload_bytes, compacted, created_at, payload) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0, ?, ?)",
+            (
+                sketch_id,
+                version,
+                summary["kind"],
+                summary["dimension"],
+                summary["width"],
+                summary["depth"],
+                summary["seed"],
+                summary["windowed"],
+                summary["window_mode"],
+                summary["pane_count"],
+                summary["items_processed"],
+                len(payload),
+                now,
+                sqlite3.Binary(payload),
+            ),
+        )
+        self._refresh_listing(cursor, sketch_id, name, now)
+        return int(version)
+
+    def _refresh_listing(
+        self, cursor: sqlite3.Cursor, sketch_id: int, name: str, now: str
+    ) -> None:
+        """Rematerialize one name's listing row from its snapshot rows."""
+        stats = cursor.execute(
+            "SELECT COUNT(*) AS snapshot_count, MAX(version) AS latest, "
+            "SUM(payload_bytes) AS total_bytes FROM snapshots "
+            "WHERE sketch_id = ?",
+            (sketch_id,),
+        ).fetchone()
+        if not stats["snapshot_count"]:
+            cursor.execute(
+                "DELETE FROM listing WHERE sketch_id = ?", (sketch_id,)
+            )
+            cursor.execute(
+                "DELETE FROM sketches WHERE sketch_id = ?", (sketch_id,)
+            )
+            return
+        latest = cursor.execute(
+            "SELECT kind, windowed, items_processed FROM snapshots "
+            "WHERE sketch_id = ? AND version = ?",
+            (sketch_id, stats["latest"]),
+        ).fetchone()
+        cursor.execute(
+            "INSERT INTO listing (sketch_id, name, kind, windowed, "
+            "latest_version, snapshot_count, total_bytes, items_processed, "
+            "updated_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?) "
+            "ON CONFLICT (sketch_id) DO UPDATE SET "
+            "kind = excluded.kind, windowed = excluded.windowed, "
+            "latest_version = excluded.latest_version, "
+            "snapshot_count = excluded.snapshot_count, "
+            "total_bytes = excluded.total_bytes, "
+            "items_processed = excluded.items_processed, "
+            "updated_at = excluded.updated_at",
+            (
+                sketch_id,
+                name,
+                latest["kind"],
+                latest["windowed"],
+                stats["latest"],
+                stats["snapshot_count"],
+                stats["total_bytes"],
+                latest["items_processed"],
+                now,
+            ),
+        )
+
+    def delete(self, name: str, version: Optional[int] = None) -> int:
+        """Delete one snapshot (``version=...``) or a whole name.
+
+        Returns the number of snapshots deleted; deleting the last snapshot
+        of a name removes its catalog entry.  Unknown names (or versions)
+        raise :class:`StoreError`.
+        """
+        self._check_name(name)
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute("BEGIN IMMEDIATE")
+            sketch_id = self._sketch_id(cursor, name)
+            if version is None:
+                count = cursor.execute(
+                    "SELECT COUNT(*) FROM snapshots WHERE sketch_id = ?",
+                    (sketch_id,),
+                ).fetchone()[0]
+                cursor.execute(
+                    "DELETE FROM sketches WHERE sketch_id = ?", (sketch_id,)
+                )
+            else:
+                count = cursor.execute(
+                    "DELETE FROM snapshots WHERE sketch_id = ? AND version = ?",
+                    (sketch_id, int(version)),
+                ).rowcount
+                if not count:
+                    raise StoreError(
+                        f"sketch {name!r} has no version {version} in "
+                        f"{self._path}"
+                    )
+                self._refresh_listing(cursor, sketch_id, name, _utc_now())
+            cursor.execute("COMMIT")
+        except BaseException:
+            cursor.execute("ROLLBACK")
+            raise
+        return int(count)
+
+    # ------------------------------------------------------------------ #
+    # reads
+    # ------------------------------------------------------------------ #
+    def _sketch_id(self, cursor: sqlite3.Cursor, name: str) -> int:
+        row = cursor.execute(
+            "SELECT sketch_id FROM sketches WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            known = [entry.name for entry in self.list()]
+            listing = ", ".join(known) if known else "(store is empty)"
+            raise StoreError(
+                f"no sketch named {name!r} in {self._path}; catalog: {listing}"
+            )
+        return int(row["sketch_id"])
+
+    def get_payload(self, name: str, version: Optional[int] = None) -> bytes:
+        """The verbatim wire payload of one snapshot (latest by default)."""
+        self._check_name(name)
+        cursor = self._connection.cursor()
+        sketch_id = self._sketch_id(cursor, name)
+        if version is None:
+            row = cursor.execute(
+                "SELECT payload FROM snapshots WHERE sketch_id = ? "
+                "ORDER BY version DESC LIMIT 1",
+                (sketch_id,),
+            ).fetchone()
+        else:
+            row = cursor.execute(
+                "SELECT payload FROM snapshots WHERE sketch_id = ? "
+                "AND version = ?",
+                (sketch_id, int(version)),
+            ).fetchone()
+        if row is None:
+            raise StoreError(
+                f"sketch {name!r} has no version {version} in {self._path}; "
+                f"see history({name!r}) for the retained versions"
+            )
+        return bytes(row["payload"])
+
+    def get(self, name: str, version: Optional[int] = None):
+        """Restore a :class:`~repro.api.SketchSession` from one snapshot.
+
+        ``version=None`` restores the latest snapshot; any retained version
+        restores that exact state (``session.to_bytes()`` is bit-identical
+        to what was ``put``, except for snapshots rewritten by
+        :meth:`compact`, which preserve query answers rather than bytes).
+        """
+        from repro.api.session import SketchSession  # local: import cycle
+
+        return SketchSession.from_bytes(self.get_payload(name, version))
+
+    def list(self) -> List[CatalogEntry]:
+        """Every catalog entry, by name, from the materialized listing."""
+        rows = self._connection.execute(
+            "SELECT name, kind, windowed, latest_version, snapshot_count, "
+            "total_bytes, items_processed, updated_at FROM listing "
+            "ORDER BY name"
+        ).fetchall()
+        return [
+            CatalogEntry(
+                name=row["name"],
+                kind=row["kind"],
+                windowed=bool(row["windowed"]),
+                latest_version=int(row["latest_version"]),
+                snapshot_count=int(row["snapshot_count"]),
+                total_bytes=int(row["total_bytes"]),
+                items_processed=int(row["items_processed"]),
+                updated_at=row["updated_at"],
+            )
+            for row in rows
+        ]
+
+    def history(self, name: str) -> List[SnapshotInfo]:
+        """Every retained snapshot of ``name``, oldest first."""
+        self._check_name(name)
+        cursor = self._connection.cursor()
+        sketch_id = self._sketch_id(cursor, name)
+        rows = cursor.execute(
+            "SELECT version, kind, dimension, width, depth, seed, windowed, "
+            "window_mode, pane_count, items_processed, payload_bytes, "
+            "compacted, created_at FROM snapshots WHERE sketch_id = ? "
+            "ORDER BY version",
+            (sketch_id,),
+        ).fetchall()
+        return [
+            SnapshotInfo(
+                name=name,
+                version=int(row["version"]),
+                kind=row["kind"],
+                dimension=row["dimension"],
+                width=int(row["width"]),
+                depth=int(row["depth"]),
+                seed=row["seed"],
+                windowed=bool(row["windowed"]),
+                window_mode=row["window_mode"],
+                pane_count=row["pane_count"],
+                items_processed=int(row["items_processed"]),
+                payload_bytes=int(row["payload_bytes"]),
+                compacted=bool(row["compacted"]),
+                created_at=row["created_at"],
+            )
+            for row in rows
+        ]
+
+    # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+    def compact(
+        self,
+        name: Optional[str] = None,
+        *,
+        keep_latest: bool = True,
+        vacuum: bool = True,
+    ) -> CompactionReport:
+        """Fold the closed panes of retained windowed snapshots.
+
+        A windowed ``put`` stores every live pane, so a history of ``v``
+        saves of a ``k``-pane window costs O(``v × k``) pane payloads.
+        Compaction rewrites each windowed snapshot to at most **two** panes
+        — the closed panes merged into one, the open pane kept separate —
+        which preserves every query answer exactly (the window view *is*
+        the merge of the panes; linearity makes the grouping irrelevant)
+        while dropping per-snapshot storage to O(live panes' counters).
+
+        ``keep_latest`` (default) leaves each name's newest snapshot
+        untouched, so ``get()`` + continued ingestion replays pane-for-pane
+        like the original session; historical versions are archives whose
+        eviction future is irrelevant.  ``name=None`` compacts the whole
+        store.  ``vacuum`` reclaims the freed file space afterwards.
+
+        Returns a :class:`CompactionReport`; snapshots that are unwindowed,
+        already compacted, or hold a single closed pane are left untouched.
+        """
+        from repro.streaming.windows import SlidingWindowSketch
+
+        cursor = self._connection.cursor()
+        if name is not None:
+            self._check_name(name)
+            sketch_ids = [self._sketch_id(cursor, name)]
+        else:
+            sketch_ids = [
+                int(row["sketch_id"])
+                for row in cursor.execute(
+                    "SELECT sketch_id FROM sketches ORDER BY sketch_id"
+                ).fetchall()
+            ]
+        examined = compacted = folded = before = after = 0
+        now = _utc_now()
+        try:
+            cursor.execute("BEGIN IMMEDIATE")
+            for sketch_id in sketch_ids:
+                row = cursor.execute(
+                    "SELECT name, MAX(version) AS latest FROM sketches "
+                    "JOIN snapshots USING (sketch_id) WHERE sketch_id = ?",
+                    (sketch_id,),
+                ).fetchone()
+                latest = row["latest"]
+                candidates = cursor.execute(
+                    "SELECT snapshot_id, version, payload_bytes, payload "
+                    "FROM snapshots WHERE sketch_id = ? AND windowed = 1 "
+                    "AND compacted = 0 AND pane_count > 2 ORDER BY version",
+                    (sketch_id,),
+                ).fetchall()
+                touched = False
+                for candidate in candidates:
+                    if keep_latest and candidate["version"] == latest:
+                        continue
+                    examined += 1
+                    window = SlidingWindowSketch.from_bytes(
+                        bytes(candidate["payload"])
+                    )
+                    panes_before = window.pane_count
+                    if window.fold_closed_panes() == 0:
+                        continue
+                    payload = window.to_bytes()
+                    compacted += 1
+                    folded += panes_before - window.pane_count
+                    before += int(candidate["payload_bytes"])
+                    after += len(payload)
+                    cursor.execute(
+                        "UPDATE snapshots SET payload = ?, payload_bytes = ?, "
+                        "pane_count = ?, compacted = 1 WHERE snapshot_id = ?",
+                        (
+                            sqlite3.Binary(payload),
+                            len(payload),
+                            window.pane_count,
+                            candidate["snapshot_id"],
+                        ),
+                    )
+                    touched = True
+                if touched:
+                    self._refresh_listing(cursor, sketch_id, row["name"], now)
+            cursor.execute("COMMIT")
+        except BaseException:
+            cursor.execute("ROLLBACK")
+            raise
+        if compacted and vacuum:
+            self._connection.execute("VACUUM")
+        return CompactionReport(
+            snapshots_examined=examined,
+            snapshots_compacted=compacted,
+            panes_folded=folded,
+            bytes_before=before,
+            bytes_after=after,
+        )

@@ -1,0 +1,12 @@
+"""Exceptions raised by the sketch store."""
+
+from __future__ import annotations
+
+
+class StoreError(ValueError):
+    """A store-level failure: bad URI, unknown name or version, schema drift.
+
+    Subclasses :class:`ValueError` so the CLI's one-line error path (and any
+    caller already catching ``ValueError`` around restores) handles it
+    without new plumbing.
+    """

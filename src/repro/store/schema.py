@@ -1,0 +1,127 @@
+"""SQLite schema and connection discipline for the sketch store.
+
+One store is one SQLite file.  The connection settings follow the
+write-ahead-logging discipline for single-writer / many-reader workloads:
+
+========================  =========  =================================================
+pragma                    value      purpose
+========================  =========  =================================================
+``journal_mode``          WAL        readers never block the writer (and vice versa)
+``synchronous``           NORMAL     fsync at checkpoints only; safe under WAL
+``foreign_keys``          ON         snapshot rows die with their catalog entry
+``busy_timeout``          30 000 ms  writers wait out short lock windows, not error
+``user_version``          schema     loud failure on schema drift (see below)
+========================  =========  =================================================
+
+Timestamps are stored as ``TEXT`` in UTC ISO-8601; booleans as ``INTEGER``
+0/1.  The schema version lives in SQLite's ``user_version`` pragma: opening
+a store written by a build with a different schema raises
+:class:`~repro.store.errors.StoreError` instead of misreading rows.  A
+golden dump of the DDL is pinned under ``tests/data/golden_store/`` so any
+drift fails loudly in CI.
+
+Tables
+------
+``sketches``
+    The catalog: one row per *name*.  Owns its snapshots.
+``snapshots``
+    Append-only versioned history: one row per :meth:`SketchStore.put`,
+    carrying the wire payload (``RPSK`` sketch or ``RPWD`` window container)
+    plus the indexed metadata that lets listings and history answer without
+    decoding payloads.
+``listing``
+    The materialized catalog view :meth:`SketchStore.list` reads: one row
+    per name with the latest-version metadata and aggregate sizes,
+    maintained transactionally by every put/delete/compact.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+#: bumped whenever the DDL below changes shape
+SCHEMA_VERSION = 1
+
+#: how long a connection waits on a locked database before failing (ms)
+DEFAULT_BUSY_TIMEOUT_MS = 30_000
+
+#: the store's DDL, executed once per fresh database (also the golden text
+#: the schema-drift test pins)
+SCHEMA_DDL = """\
+CREATE TABLE sketches (
+    sketch_id  INTEGER PRIMARY KEY,
+    name       TEXT NOT NULL UNIQUE,
+    created_at TEXT NOT NULL
+);
+
+CREATE TABLE snapshots (
+    snapshot_id     INTEGER PRIMARY KEY,
+    sketch_id       INTEGER NOT NULL
+                    REFERENCES sketches(sketch_id) ON DELETE CASCADE,
+    version         INTEGER NOT NULL,
+    kind            TEXT NOT NULL,
+    dimension       INTEGER,
+    width           INTEGER NOT NULL,
+    depth           INTEGER NOT NULL,
+    seed            INTEGER,
+    windowed        INTEGER NOT NULL DEFAULT 0,
+    window_mode     TEXT,
+    pane_count      INTEGER,
+    items_processed INTEGER NOT NULL,
+    payload_bytes   INTEGER NOT NULL,
+    compacted       INTEGER NOT NULL DEFAULT 0,
+    created_at      TEXT NOT NULL,
+    payload         BLOB NOT NULL,
+    UNIQUE (sketch_id, version)
+);
+
+CREATE TABLE listing (
+    sketch_id       INTEGER PRIMARY KEY
+                    REFERENCES sketches(sketch_id) ON DELETE CASCADE,
+    name            TEXT NOT NULL UNIQUE,
+    kind            TEXT NOT NULL,
+    windowed        INTEGER NOT NULL,
+    latest_version  INTEGER NOT NULL,
+    snapshot_count  INTEGER NOT NULL,
+    total_bytes     INTEGER NOT NULL,
+    items_processed INTEGER NOT NULL,
+    updated_at      TEXT NOT NULL
+);
+"""
+
+
+def apply_connection_pragmas(
+    connection: sqlite3.Connection,
+    busy_timeout_ms: int = DEFAULT_BUSY_TIMEOUT_MS,
+) -> None:
+    """Apply the per-connection settings every store connection runs under."""
+    connection.execute(f"PRAGMA busy_timeout = {int(busy_timeout_ms)}")
+    connection.execute("PRAGMA foreign_keys = ON")
+    connection.execute("PRAGMA journal_mode = WAL")
+    connection.execute("PRAGMA synchronous = NORMAL")
+
+
+def initialize_schema(connection: sqlite3.Connection) -> None:
+    """Create the store schema in a fresh database (one transaction)."""
+    with connection:
+        connection.executescript(SCHEMA_DDL)
+        connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+
+def schema_version(connection: sqlite3.Connection) -> int:
+    """The schema version recorded in the database's ``user_version`` pragma."""
+    return int(connection.execute("PRAGMA user_version").fetchone()[0])
+
+
+def schema_dump(connection: sqlite3.Connection) -> str:
+    """The normalized DDL of every table in the database, sorted by name.
+
+    This is the string the golden schema-drift test compares against; it is
+    exactly what SQLite preserved from :data:`SCHEMA_DDL`, so whitespace
+    differences inside the authored DDL show up too.
+    """
+    rows = connection.execute(
+        "SELECT sql FROM sqlite_master "
+        "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' ORDER BY name"
+    ).fetchall()
+    return "\n\n".join(f"{row[0]};" for row in rows) + "\n"

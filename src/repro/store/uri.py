@@ -1,0 +1,107 @@
+"""The ``store://`` URI grammar.
+
+A store URI names one sketch (optionally one version) inside one catalog
+file, so every I/O entry point that accepts a path can address durable,
+versioned state with a plain string::
+
+    store://PATH#NAME[@VERSION]
+
+* ``PATH`` — the SQLite catalog file, relative or absolute
+  (``store://cat.db#...``, ``store:///var/lib/repro/cat.db#...``);
+* ``NAME`` — the sketch's catalog name: any non-empty string without
+  ``#`` or ``@``;
+* ``VERSION`` — an optional positive snapshot version; omitted means the
+  latest snapshot.
+
+Examples::
+
+    store://catalog.db#traffic          latest snapshot of "traffic"
+    store://catalog.db#traffic@3        version 3 exactly
+    store:///abs/path/cat.db#edges      absolute catalog path
+
+Malformed URIs raise :class:`~repro.store.errors.StoreError` with a message
+naming the offending part.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.store.errors import StoreError
+
+#: the scheme prefix every store URI starts with
+STORE_URI_PREFIX = "store://"
+
+
+def is_store_uri(value: Any) -> bool:
+    """Whether ``value`` is a string in the ``store://`` scheme."""
+    return isinstance(value, str) and value.startswith(STORE_URI_PREFIX)
+
+
+@dataclass(frozen=True)
+class StoreURI:
+    """A parsed ``store://PATH#NAME[@VERSION]`` reference."""
+
+    path: str
+    name: str
+    version: Optional[int] = None
+
+    def __str__(self) -> str:
+        return format_store_uri(self.path, self.name, self.version)
+
+
+def format_store_uri(path: Any, name: str, version: Optional[int] = None) -> str:
+    """Render a canonical ``store://`` URI for ``name`` in the catalog ``path``."""
+    suffix = "" if version is None else f"@{version}"
+    return f"{STORE_URI_PREFIX}{path}#{name}{suffix}"
+
+
+def parse_store_uri(uri: str) -> StoreURI:
+    """Parse a ``store://PATH#NAME[@VERSION]`` string.
+
+    Raises :class:`StoreError` naming the malformed part; the CLI surfaces
+    it as its usual one-line ``error: ...`` with exit status 2.
+    """
+    if not is_store_uri(uri):
+        raise StoreError(
+            f"not a store URI: {uri!r} (expected "
+            f"{STORE_URI_PREFIX}PATH#NAME[@VERSION])"
+        )
+    rest = uri[len(STORE_URI_PREFIX):]
+    path, separator, fragment = rest.partition("#")
+    if not separator or not fragment:
+        raise StoreError(
+            f"store URI {uri!r} is missing the '#NAME' fragment naming the "
+            "sketch (e.g. store://catalog.db#traffic)"
+        )
+    if not path:
+        raise StoreError(
+            f"store URI {uri!r} is missing the catalog path between "
+            "'store://' and '#'"
+        )
+    name, at, version_text = fragment.partition("@")
+    if not name:
+        raise StoreError(
+            f"store URI {uri!r} carries an empty sketch name"
+        )
+    if "#" in fragment:
+        raise StoreError(
+            f"store URI {uri!r} carries more than one '#'; the grammar is "
+            f"{STORE_URI_PREFIX}PATH#NAME[@VERSION]"
+        )
+    version: Optional[int] = None
+    if at:
+        try:
+            version = int(version_text)
+        except ValueError:
+            raise StoreError(
+                f"store URI {uri!r} carries a non-integer version "
+                f"{version_text!r}"
+            ) from None
+        if version < 1:
+            raise StoreError(
+                f"store URI {uri!r} carries version {version}; snapshot "
+                "versions start at 1"
+            )
+    return StoreURI(path=path, name=name, version=version)

@@ -206,6 +206,63 @@ def is_window_payload(data: bytes) -> bool:
     return bytes(data[: len(WINDOW_MAGIC)]) == WINDOW_MAGIC
 
 
+def decode_window_container(data: bytes) -> Tuple[Dict[str, Any], List[bytes]]:
+    """Split an ``RPWD`` container into its header and raw pane payloads.
+
+    Validates the preamble and header without deserializing any pane, so
+    callers that only need metadata (the sketch store's ``put`` indexing,
+    ``repro store list``) never pay for sketch reconstruction.  Every
+    failure mode names what it read: a version mismatch reports the
+    payload's embedded wire version next to the supported one, and a
+    payload whose header cannot be parsed reports the embedded version it
+    claims instead of a bare "corrupt payload" message.
+    """
+    data = bytes(data)
+    if len(data) < _WINDOW_PREAMBLE.size:
+        raise SerializationError(
+            f"payload of {len(data)} bytes is too short to be a "
+            "serialized window"
+        )
+    magic, version, header_len = _WINDOW_PREAMBLE.unpack_from(data, 0)
+    if magic != WINDOW_MAGIC:
+        raise SerializationError(
+            f"bad magic {magic!r}; not a serialized window payload"
+        )
+    if version != WINDOW_WIRE_VERSION:
+        raise SerializationError(
+            f"unsupported window wire-format version {version}; this "
+            f"build reads version {WINDOW_WIRE_VERSION} — re-save the "
+            "window with a matching build"
+        )
+    start = _WINDOW_PREAMBLE.size
+    end = start + header_len
+    if len(data) < end:
+        raise SerializationError(
+            f"truncated window payload (wire version {version}): header is "
+            "incomplete"
+        )
+    try:
+        header = json.loads(data[start:end].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(
+            f"corrupt window header in a payload written as wire version "
+            f"{version}: {exc}"
+        ) from exc
+    payloads = []
+    offset = end
+    for length in header.get("panes", []):
+        length = int(length)
+        chunk = data[offset:offset + length]
+        if len(chunk) != length:
+            raise SerializationError(
+                f"truncated window payload (wire version {version}): pane "
+                f"expects {length} bytes, got {len(chunk)}"
+            )
+        payloads.append(chunk)
+        offset += length
+    return header, payloads
+
+
 class SlidingWindowSketch:
     """A pane-ring windowing engine over one linear sketch configuration.
 
@@ -621,6 +678,34 @@ class SlidingWindowSketch:
         return self.view().recover()
 
     # ------------------------------------------------------------------ #
+    # compaction
+    # ------------------------------------------------------------------ #
+    def fold_closed_panes(self) -> int:
+        """Merge every closed pane into one, leaving the view unchanged.
+
+        The merged window view is the merge of all live panes, so folding
+        the closed panes into a single combined pane preserves **every
+        query answer exactly** (linearity makes the grouping irrelevant)
+        while dropping the ring from ``1 + len(closed)`` sketches to at
+        most two.  What it gives up is pane-granular *aging*: the folded
+        pane ages out of a live ring as one unit instead of pane by pane,
+        which is why the sketch store only compacts historical snapshots —
+        archives whose eviction future is never replayed.
+
+        Returns the number of panes folded away (``0`` when fewer than two
+        panes are closed — tumbling and decay windows always return 0).
+        """
+        if len(self._closed) < 2:
+            return 0
+        folded = self._closed[0].copy()
+        for pane in self._closed[1:]:
+            folded.merge(pane)
+        removed = len(self._closed) - 1
+        self._closed = [folded]
+        self._merged = None
+        return removed
+
+    # ------------------------------------------------------------------ #
     # state protocol (versioned RPWD container over RPSK pane payloads)
     # ------------------------------------------------------------------ #
     def state_dict(self) -> Dict[str, Any]:
@@ -739,42 +824,8 @@ class SlidingWindowSketch:
     @classmethod
     def from_bytes(cls, data: bytes) -> "SlidingWindowSketch":
         """Decode a container produced by :meth:`to_bytes`."""
-        data = bytes(data)
-        if len(data) < _WINDOW_PREAMBLE.size:
-            raise SerializationError(
-                f"payload of {len(data)} bytes is too short to be a "
-                "serialized window"
-            )
-        magic, version, header_len = _WINDOW_PREAMBLE.unpack_from(data, 0)
-        if magic != WINDOW_MAGIC:
-            raise SerializationError(
-                f"bad magic {magic!r}; not a serialized window payload"
-            )
-        if version != WINDOW_WIRE_VERSION:
-            raise SerializationError(
-                f"unsupported window wire-format version {version}; this "
-                f"build reads version {WINDOW_WIRE_VERSION}"
-            )
-        start = _WINDOW_PREAMBLE.size
-        end = start + header_len
-        if len(data) < end:
-            raise SerializationError("truncated window payload: header is incomplete")
-        try:
-            header = json.loads(data[start:end].decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise SerializationError(f"corrupt window header: {exc}") from exc
-        pane_states = []
-        offset = end
-        for length in header.get("panes", []):
-            length = int(length)
-            chunk = data[offset:offset + length]
-            if len(chunk) != length:
-                raise SerializationError(
-                    f"truncated window payload: pane expects {length} bytes, "
-                    f"got {len(chunk)}"
-                )
-            pane_states.append(decode_state(chunk))
-            offset += length
+        header, payloads = decode_window_container(data)
+        pane_states = [decode_state(chunk) for chunk in payloads]
         return cls.from_state({
             "kind": "window",
             "window_version": int(header.get("window_version", 1)),

@@ -171,8 +171,9 @@ class TestFacadeDoesNotWarn:
             evaluate_algorithms(vector, algorithms=["l2_sr", "count_sketch"],
                                 width=32, depth=3, seed=1)
             import io
-            cli_main(["sketch", "--dataset", "gaussian", "--dimension", "500",
-                      "--width", "32", "--depth", "3"], out=io.StringIO())
+            cli_main(["sketch", "fit", "--dataset", "gaussian",
+                      "--dimension", "500", "--width", "32", "--depth", "3"],
+                     out=io.StringIO())
 
         _, deprecations = call_and_capture(run_both)
         assert deprecations == []

@@ -1,0 +1,125 @@
+"""The polymorphic I/O rule: save/open over paths, file objects and URIs.
+
+Every I/O entry point of the session facade accepts all three
+source/destination forms — a filesystem path (``str``/``Path``), an open
+binary file object, and a ``store://PATH#NAME[@VERSION]`` catalog URI —
+with :func:`repro.api.read_payload` as the shared reader side.
+"""
+
+import io
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.api
+from repro.api import SketchConfig, SketchSession, read_payload
+from repro.store import SketchStore, StoreError
+
+
+@pytest.fixture
+def session(rng):
+    config = SketchConfig("l2_sr", dimension=1_000, width=64, depth=5, seed=11)
+    opened = SketchSession.from_config(config)
+    opened.ingest(rng.normal(100.0, 15.0, 1_000))
+    return opened
+
+
+class TestPathDestinations:
+    def test_save_to_string_path_and_reopen(self, session, tmp_path):
+        destination = session.save(str(tmp_path / "x.sketch"))
+        assert destination == Path(tmp_path / "x.sketch")
+        restored = SketchSession.open(str(tmp_path / "x.sketch"))
+        assert restored.to_bytes() == session.to_bytes()
+
+    def test_save_to_pathlib_path_and_reopen(self, session, tmp_path):
+        destination = session.save(tmp_path / "x.sketch")
+        assert destination == tmp_path / "x.sketch"
+        assert (SketchSession.open(tmp_path / "x.sketch").to_bytes()
+                == session.to_bytes())
+
+    def test_open_missing_path_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SketchSession.open(tmp_path / "missing.sketch")
+
+
+class TestFileObjectDestinations:
+    def test_save_to_file_object_returns_none(self, session):
+        buffer = io.BytesIO()
+        assert session.save(buffer) is None
+        buffer.seek(0)
+        assert SketchSession.open(buffer).to_bytes() == session.to_bytes()
+
+    def test_open_from_real_file_handle(self, session, tmp_path):
+        path = tmp_path / "x.sketch"
+        with open(path, "wb") as handle:
+            session.save(handle)
+        with open(path, "rb") as handle:
+            restored = SketchSession.open(handle)
+        assert restored.to_bytes() == session.to_bytes()
+
+
+class TestStoreURIDestinations:
+    def test_save_returns_the_versioned_uri(self, session, tmp_path):
+        uri = f"store://{tmp_path}/cat.db#traffic"
+        assert session.save(uri) == f"{uri}@1"
+        assert session.save(uri) == f"{uri}@2"
+
+    def test_open_latest_and_pinned_versions(self, session, rng, tmp_path):
+        uri = f"store://{tmp_path}/cat.db#traffic"
+        session.save(uri)
+        second = SketchSession.from_config(session.config)
+        second.ingest(rng.normal(50.0, 5.0, 1_000))
+        second.save(uri)
+        assert SketchSession.open(uri).to_bytes() == second.to_bytes()
+        assert (SketchSession.open(f"{uri}@1").to_bytes()
+                == session.to_bytes())
+        assert (SketchSession.open(f"{uri}@2").to_bytes()
+                == second.to_bytes())
+
+    def test_save_to_versioned_uri_is_rejected(self, session, tmp_path):
+        with pytest.raises(StoreError, match="append-only"):
+            session.save(f"store://{tmp_path}/cat.db#traffic@3")
+
+    def test_open_unknown_name_raises_store_error(self, session, tmp_path):
+        session.save(f"store://{tmp_path}/cat.db#traffic")
+        with pytest.raises(StoreError, match="ghost"):
+            SketchSession.open(f"store://{tmp_path}/cat.db#ghost")
+
+    def test_store_and_file_payloads_are_identical(self, session, tmp_path):
+        session.save(tmp_path / "x.sketch")
+        session.save(f"store://{tmp_path}/cat.db#traffic")
+        with SketchStore(tmp_path / "cat.db") as store:
+            payload = store.get_payload("traffic")
+        assert payload == (tmp_path / "x.sketch").read_bytes()
+
+
+class TestReadPayload:
+    def test_reads_all_three_forms(self, session, tmp_path):
+        payload = session.to_bytes()
+        session.save(tmp_path / "x.sketch")
+        session.save(f"store://{tmp_path}/cat.db#traffic")
+        assert read_payload(tmp_path / "x.sketch") == payload
+        assert read_payload(str(tmp_path / "x.sketch")) == payload
+        assert read_payload(io.BytesIO(payload)) == payload
+        assert read_payload(f"store://{tmp_path}/cat.db#traffic") == payload
+
+    def test_windowed_payloads_roundtrip_through_the_store(self, tmp_path):
+        from repro.streaming.windows import WindowSpec
+
+        spec = WindowSpec(mode="sliding", panes=3, pane_size=50, by="count")
+        config = SketchConfig("count_min", dimension=500, width=32, depth=4,
+                              seed=5, window=spec)
+        session = SketchSession.from_config(config)
+        session.ingest(np.random.default_rng(5).poisson(20.0, 500)
+                       .astype(float))
+        uri = f"store://{tmp_path}/cat.db#win"
+        session.save(uri)
+        restored = SketchSession.open(uri)
+        assert restored.to_bytes() == session.to_bytes()
+        assert restored.items_in_window == session.items_in_window
+
+    def test_rule_is_documented(self):
+        assert "polymorphic I/O rule" in repro.api.__doc__
+        assert "store URI" in SketchSession.open.__doc__
+        assert "store" in SketchSession.save.__doc__

@@ -1,0 +1,39 @@
+CREATE TABLE listing (
+    sketch_id       INTEGER PRIMARY KEY
+                    REFERENCES sketches(sketch_id) ON DELETE CASCADE,
+    name            TEXT NOT NULL UNIQUE,
+    kind            TEXT NOT NULL,
+    windowed        INTEGER NOT NULL,
+    latest_version  INTEGER NOT NULL,
+    snapshot_count  INTEGER NOT NULL,
+    total_bytes     INTEGER NOT NULL,
+    items_processed INTEGER NOT NULL,
+    updated_at      TEXT NOT NULL
+);
+
+CREATE TABLE sketches (
+    sketch_id  INTEGER PRIMARY KEY,
+    name       TEXT NOT NULL UNIQUE,
+    created_at TEXT NOT NULL
+);
+
+CREATE TABLE snapshots (
+    snapshot_id     INTEGER PRIMARY KEY,
+    sketch_id       INTEGER NOT NULL
+                    REFERENCES sketches(sketch_id) ON DELETE CASCADE,
+    version         INTEGER NOT NULL,
+    kind            TEXT NOT NULL,
+    dimension       INTEGER,
+    width           INTEGER NOT NULL,
+    depth           INTEGER NOT NULL,
+    seed            INTEGER,
+    windowed        INTEGER NOT NULL DEFAULT 0,
+    window_mode     TEXT,
+    pane_count      INTEGER,
+    items_processed INTEGER NOT NULL,
+    payload_bytes   INTEGER NOT NULL,
+    compacted       INTEGER NOT NULL DEFAULT 0,
+    created_at      TEXT NOT NULL,
+    payload         BLOB NOT NULL,
+    UNIQUE (sketch_id, version)
+);

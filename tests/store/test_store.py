@@ -1,0 +1,324 @@
+"""Unit tests for the persistent sketch catalog (:mod:`repro.store`).
+
+The store's contract is bit-exactness over SQLite: ``get`` returns the very
+bytes ``put`` staged (so restores are bit-identical in any process), the
+listing table is a materialized view the write path keeps consistent, and
+``commit`` is atomic — either every staged snapshot lands or none do.
+"""
+
+import sqlite3
+
+import numpy as np
+import pytest
+
+from repro.api import SketchConfig, SketchSession
+from repro.store import (
+    SCHEMA_VERSION,
+    SketchStore,
+    StoreError,
+    StoreURI,
+    format_store_uri,
+    is_store_uri,
+    parse_store_uri,
+    schema_dump,
+)
+from repro.streaming.windows import WindowSpec
+
+DIMENSION = 512
+
+
+def make_session(seed=7, scale=1.0):
+    config = SketchConfig("l2_sr", dimension=DIMENSION, width=64, depth=5,
+                          seed=seed)
+    session = SketchSession.from_config(config)
+    vector = np.random.default_rng(seed).normal(100.0, 15.0, DIMENSION) * scale
+    session.ingest(vector)
+    return session
+
+
+def make_windowed_session(seed=7, panes=4, pane_size=100):
+    spec = WindowSpec(mode="sliding", panes=panes, pane_size=pane_size,
+                      by="count")
+    config = SketchConfig("count_min", dimension=DIMENSION, width=32, depth=4,
+                          seed=seed, window=spec)
+    session = SketchSession.from_config(config)
+    vector = np.random.default_rng(seed).poisson(30.0, DIMENSION).astype(float)
+    session.ingest(vector)
+    return session
+
+
+@pytest.fixture
+def store(tmp_path):
+    with SketchStore(tmp_path / "catalog.db") as opened:
+        yield opened
+
+
+class TestPutGet:
+    def test_put_assigns_monotonic_versions(self, store):
+        session = make_session()
+        assert store.put("traffic", session) == 1
+        assert store.put("traffic", session) == 2
+        assert store.put("other", session) == 1
+        assert store.put("traffic", session) == 3
+
+    def test_get_latest_is_bit_identical(self, store):
+        first, second = make_session(seed=1), make_session(seed=2)
+        store.put("traffic", first)
+        store.put("traffic", second)
+        restored = store.get("traffic")
+        assert restored.to_bytes() == second.to_bytes()
+
+    def test_get_by_version_is_bit_identical(self, store):
+        sessions = [make_session(seed=seed) for seed in (1, 2, 3)]
+        for session in sessions:
+            store.put("traffic", session)
+        for version, session in enumerate(sessions, start=1):
+            assert (store.get("traffic", version).to_bytes()
+                    == session.to_bytes())
+
+    def test_put_accepts_raw_payload_bytes(self, store):
+        payload = make_session().to_bytes()
+        store.put("raw", payload)
+        assert store.get_payload("raw") == payload
+
+    def test_windowed_session_roundtrips(self, store):
+        session = make_windowed_session()
+        store.put("win", session)
+        restored = store.get("win")
+        assert restored.to_bytes() == session.to_bytes()
+        assert np.array_equal(restored.recover(), session.recover())
+
+    def test_get_unknown_name_raises_store_error(self, store):
+        with pytest.raises(StoreError, match="no sketch named 'ghost'"):
+            store.get("ghost")
+
+    def test_get_unknown_version_raises_store_error(self, store):
+        store.put("traffic", make_session())
+        with pytest.raises(StoreError, match="version"):
+            store.get("traffic", 9)
+
+    def test_invalid_names_are_rejected(self, store):
+        session = make_session()
+        for name in ("", "a#b", "a@1"):
+            with pytest.raises(StoreError):
+                store.put(name, session)
+
+    def test_restores_are_cross_instance(self, tmp_path):
+        path = tmp_path / "catalog.db"
+        session = make_session()
+        with SketchStore(path) as writer:
+            writer.put("traffic", session)
+        with SketchStore(path) as reader:
+            assert reader.get("traffic").to_bytes() == session.to_bytes()
+
+
+class TestCommitAtomicity:
+    def test_commit_returns_version_mapping(self, store):
+        versions = store.commit({"a": make_session(seed=1),
+                                 "b": make_session(seed=2)})
+        assert versions == {"a": 1, "b": 1}
+        assert store.commit({"a": make_session(seed=3)}) == {"a": 2}
+
+    def test_commit_accepts_pairs(self, store):
+        versions = store.commit([("a", make_session(seed=1)),
+                                 ("b", make_session(seed=2))])
+        assert versions == {"a": 1, "b": 1}
+
+    def test_commit_rejects_duplicate_names(self, store):
+        with pytest.raises(StoreError, match="per name per commit"):
+            store.commit([("a", make_session(seed=1)),
+                          ("a", make_session(seed=2))])
+
+    def test_failed_commit_stages_nothing(self, store):
+        store.put("a", make_session(seed=1))
+        with pytest.raises(StoreError):
+            store.commit([("a", make_session(seed=2)),
+                          ("bad#name", make_session(seed=3))])
+        # the valid half of the batch must not have landed
+        assert [entry.name for entry in store.list()] == ["a"]
+        assert len(store.history("a")) == 1
+
+    def test_commit_rejects_non_payload_values(self, store):
+        with pytest.raises(StoreError):
+            store.commit({"a": 42})
+
+
+class TestListingAndHistory:
+    def test_list_is_sorted_and_materialized(self, store):
+        store.put("beta", make_session(seed=1))
+        store.put("alpha", make_windowed_session())
+        store.put("beta", make_session(seed=2))
+        entries = store.list()
+        assert [entry.name for entry in entries] == ["alpha", "beta"]
+        alpha, beta = entries
+        assert alpha.kind == "count_min" and alpha.windowed
+        assert beta.kind == "l2_sr" and not beta.windowed
+        assert beta.latest_version == 2 and beta.snapshot_count == 2
+        history = store.history("beta")
+        assert beta.total_bytes == sum(s.payload_bytes for s in history)
+
+    def test_history_is_oldest_first_with_metadata(self, store):
+        store.put("win", make_windowed_session(panes=4, pane_size=100))
+        store.put("win", make_windowed_session(panes=4, pane_size=100))
+        history = store.history("win")
+        assert [snapshot.version for snapshot in history] == [1, 2]
+        for snapshot in history:
+            assert snapshot.kind == "count_min"
+            assert snapshot.windowed and snapshot.window_mode == "sliding"
+            assert snapshot.pane_count >= 2
+            assert snapshot.width == 32 and snapshot.depth == 4
+            assert not snapshot.compacted
+
+    def test_history_of_unknown_name_raises(self, store):
+        with pytest.raises(StoreError, match="ghost"):
+            store.history("ghost")
+
+    def test_empty_store_lists_nothing(self, store):
+        assert store.list() == []
+
+
+class TestDelete:
+    def test_delete_one_version(self, store):
+        for seed in (1, 2, 3):
+            store.put("traffic", make_session(seed=seed))
+        assert store.delete("traffic", 2) == 1
+        versions = [snapshot.version for snapshot in store.history("traffic")]
+        assert versions == [1, 3]
+        # listing reflects the deletion, and the latest version is untouched
+        entry, = store.list()
+        assert entry.snapshot_count == 2 and entry.latest_version == 3
+
+    def test_delete_whole_name(self, store):
+        store.put("traffic", make_session())
+        store.put("traffic", make_session())
+        assert store.delete("traffic") == 2
+        assert store.list() == []
+        with pytest.raises(StoreError):
+            store.get("traffic")
+
+    def test_delete_unknown_raises(self, store):
+        with pytest.raises(StoreError):
+            store.delete("ghost")
+
+
+class TestDatabaseDiscipline:
+    def test_wal_mode_and_busy_timeout(self, store):
+        cursor = store._connection.cursor()
+        assert cursor.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        assert cursor.execute("PRAGMA busy_timeout").fetchone()[0] == 30_000
+        assert cursor.execute("PRAGMA foreign_keys").fetchone()[0] == 1
+
+    def test_schema_version_pragma_is_stamped(self, store):
+        cursor = store._connection.cursor()
+        assert (cursor.execute("PRAGMA user_version").fetchone()[0]
+                == SCHEMA_VERSION)
+
+    def test_foreign_sqlite_file_is_rejected(self, tmp_path):
+        path = tmp_path / "other.db"
+        with sqlite3.connect(path) as connection:
+            connection.execute("CREATE TABLE unrelated (x INTEGER)")
+        with pytest.raises(StoreError, match="not a sketch store"):
+            SketchStore(path)
+
+    def test_directory_path_is_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            SketchStore(tmp_path)
+
+    def test_missing_parent_directory_is_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            SketchStore(tmp_path / "no" / "such" / "dir" / "catalog.db")
+
+    def test_schema_matches_golden_dump(self, store, request):
+        golden = (request.config.rootpath / "tests" / "data" / "golden_store"
+                  / "schema.sql")
+        assert schema_dump(store._connection) == golden.read_text()
+
+
+class TestStoreURI:
+    def test_roundtrip(self):
+        uri = format_store_uri("/data/cat.db", "traffic", 3)
+        assert uri == "store:///data/cat.db#traffic@3"
+        parsed = parse_store_uri(uri)
+        assert parsed == StoreURI(path="/data/cat.db", name="traffic",
+                                  version=3)
+        assert str(parsed) == uri
+
+    def test_version_is_optional(self):
+        parsed = parse_store_uri("store://cat.db#traffic")
+        assert parsed.version is None
+        assert format_store_uri("cat.db", "traffic") == "store://cat.db#traffic"
+
+    def test_is_store_uri(self):
+        assert is_store_uri("store://cat.db#x")
+        assert not is_store_uri("cat.db")
+        assert not is_store_uri(b"store://cat.db#x")
+
+    @pytest.mark.parametrize("uri", [
+        "store://cat.db",            # no fragment
+        "store://#name",             # empty path
+        "store://cat.db#",           # empty name
+        "store://cat.db#a#b",        # two fragments
+        "store://cat.db#a@x",        # non-integer version
+        "store://cat.db#a@0",        # versions start at 1
+    ])
+    def test_malformed_uris_raise(self, uri):
+        with pytest.raises(StoreError):
+            parse_store_uri(uri)
+
+
+class TestCompaction:
+    def test_compact_folds_closed_panes_and_preserves_answers(self, store):
+        sessions = [make_windowed_session(seed=seed, panes=4, pane_size=100)
+                    for seed in (1, 2, 3)]
+        for session in sessions:
+            store.put("win", session)
+        before = {snapshot.version: snapshot
+                  for snapshot in store.history("win")}
+        report = store.compact("win", keep_latest=False)
+        assert report.snapshots_compacted == 3
+        assert report.panes_folded > 0
+        assert report.bytes_after < report.bytes_before
+        after = store.history("win")
+        for snapshot in after:
+            assert snapshot.compacted
+            assert snapshot.pane_count <= 2
+            assert snapshot.payload_bytes < before[snapshot.version].payload_bytes
+        # every version still answers identically
+        for version, session in enumerate(sessions, start=1):
+            restored = store.get("win", version)
+            assert np.array_equal(restored.recover(), session.recover())
+            assert restored.items_processed == session.items_processed
+
+    def test_keep_latest_leaves_newest_snapshot_untouched(self, store):
+        store.put("win", make_windowed_session(seed=1))
+        store.put("win", make_windowed_session(seed=2))
+        report = store.compact("win")
+        assert report.snapshots_compacted == 1
+        first, second = store.history("win")
+        assert first.compacted and not second.compacted
+
+    def test_unwindowed_snapshots_are_not_candidates(self, store):
+        store.put("plain", make_session())
+        store.put("plain", make_session())
+        report = store.compact("plain")
+        assert report.snapshots_examined == 0
+        assert report.snapshots_compacted == 0
+        assert not any(snapshot.compacted
+                       for snapshot in store.history("plain"))
+
+    def test_compact_is_idempotent(self, store):
+        store.put("win", make_windowed_session(seed=1))
+        store.put("win", make_windowed_session(seed=2))
+        store.compact("win", keep_latest=False)
+        report = store.compact("win", keep_latest=False)
+        assert report.snapshots_compacted == 0
+
+    def test_whole_store_compaction_updates_listing_bytes(self, store):
+        store.put("win", make_windowed_session(seed=1))
+        store.put("win", make_windowed_session(seed=2))
+        store.put("plain", make_session())
+        before = {entry.name: entry.total_bytes for entry in store.list()}
+        store.compact(keep_latest=False)
+        after = {entry.name: entry.total_bytes for entry in store.list()}
+        assert after["win"] < before["win"]
+        assert after["plain"] == before["plain"]

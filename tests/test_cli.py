@@ -375,3 +375,276 @@ class TestExperimentCommand:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestNounVerbGrammar:
+    """The noun-verb grammar and the legacy-invocation rewriter."""
+
+    def test_new_forms_emit_no_deprecation_warning(self):
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            code, output = run_cli("sketch", "list")
+            assert code == 0 and "l2_sr" in output
+            code, output = run_cli("experiment", "list")
+            assert code == 0 and "fig2" in output
+            code, output = run_cli("dataset", "list", "--dimension", "2000")
+            assert code == 0 and "bias gain" in output
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert deprecations == []
+
+    @pytest.mark.parametrize("legacy, replacement", [
+        (("datasets", "--dimension", "2000"), "repro dataset list"),
+        (("sketch", "--list-algorithms"), "repro sketch fit"),
+        (("experiment", "--list"), "repro experiment list"),
+        (("experiment",), "repro experiment list"),
+    ])
+    def test_legacy_forms_warn_once_and_keep_working(self, legacy, replacement):
+        with pytest.warns(DeprecationWarning, match=replacement) as record:
+            code, output = run_cli(*legacy)
+        assert code == 0
+        warnings_seen = [w for w in record
+                         if w.category is DeprecationWarning]
+        assert len(warnings_seen) == 1
+        assert "deprecated" in str(warnings_seen[0].message)
+
+    def test_legacy_save_and_load_are_rewritten(self, tmp_path):
+        path = tmp_path / "x.sketch"
+        with pytest.warns(DeprecationWarning, match="repro sketch save"):
+            code, _ = run_cli("save", "--dimension", "1000", "--width", "64",
+                              "--depth", "4", "--output", str(path))
+        assert code == 0
+        with pytest.warns(DeprecationWarning, match="repro sketch load"):
+            code, output = run_cli("load", str(path))
+        assert code == 0
+        assert "items processed" in output
+
+    def test_legacy_experiment_name_maps_to_run(self):
+        # fig99 is unknown: the rewrite must land in `experiment run`, whose
+        # registry lookup produces the one-line error naming the candidates
+        with pytest.warns(DeprecationWarning, match="repro experiment run"):
+            code, output = run_cli("experiment", "fig99")
+        assert code == 2
+        assert output.startswith("error:") and "available" in output
+
+    def test_new_style_sketch_fit_equals_legacy_sketch(self):
+        args = ("--dataset", "gaussian", "--dimension", "2000",
+                "--width", "128", "--depth", "4")
+        code_new, out_new = run_cli("sketch", "fit", *args)
+        with pytest.warns(DeprecationWarning):
+            code_old, out_old = run_cli("sketch", *args)
+        assert code_new == code_old == 0
+        assert out_new == out_old
+
+
+class TestStoreCommands:
+    """The ``repro store`` noun: put/get/list/history/compact/delete."""
+
+    FIT = ("--dataset", "gaussian", "--dimension", "1000",
+           "--width", "64", "--depth", "4", "--seed", "3")
+    WINDOWED = FIT + ("--algorithm", "count_sketch",
+                      "--window", "sliding:4", "--pane", "150")
+
+    def assert_one_line_error(self, code, output, *needles):
+        assert code == 2
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
+        assert "Traceback" not in output
+        for needle in needles:
+            assert needle in output
+
+    def test_put_prints_the_versioned_uri(self, tmp_path):
+        db = tmp_path / "cat.db"
+        code, output = run_cli("store", "put", str(db), "traffic", *self.FIT)
+        assert code == 0
+        assert f"store://{db}#traffic@1" in output
+        code, output = run_cli("store", "put", str(db), "traffic", *self.FIT)
+        assert code == 0
+        assert f"store://{db}#traffic@2" in output
+
+    def test_get_restores_across_processes_worth_of_state(self, tmp_path):
+        db = tmp_path / "cat.db"
+        run_cli("store", "put", str(db), "traffic", *self.FIT)
+        code, output = run_cli("store", "get", str(db), "traffic",
+                               "--query", "0", "7")
+        assert code == 0
+        assert f"store://{db}#traffic@1" in output
+        assert "config           : l2_sr" in output
+        assert "query x[0]" in output and "query x[7]" in output
+
+    def test_get_output_flag_writes_the_exact_payload(self, tmp_path):
+        db, out_path = tmp_path / "cat.db", tmp_path / "copy.sketch"
+        run_cli("store", "put", str(db), "traffic", *self.FIT)
+        code, output = run_cli("store", "get", str(db), "traffic",
+                               "--output", str(out_path))
+        assert code == 0
+        from repro.store import SketchStore
+
+        with SketchStore(db) as store:
+            assert out_path.read_bytes() == store.get_payload("traffic")
+
+    def test_put_input_flag_stores_an_existing_payload(self, tmp_path):
+        db, path = tmp_path / "cat.db", tmp_path / "x.sketch"
+        run_cli("sketch", "save", *self.FIT, "--output", str(path))
+        code, output = run_cli("store", "put", str(db), "copied",
+                               "--input", str(path))
+        assert code == 0
+        from repro.store import SketchStore
+
+        with SketchStore(db) as store:
+            assert store.get_payload("copied") == path.read_bytes()
+
+    def test_sketch_save_and_load_accept_store_uris(self, tmp_path):
+        db = tmp_path / "cat.db"
+        uri = f"store://{db}#traffic"
+        code, output = run_cli("sketch", "save", *self.FIT,
+                               "--output", uri)
+        assert code == 0
+        assert f"{uri}@1" in output
+        code, output = run_cli("sketch", "load", f"{uri}@1", "--query", "0")
+        assert code == 0
+        assert "query x[0]" in output
+
+    def test_list_and_history_render_the_catalog(self, tmp_path):
+        db = tmp_path / "cat.db"
+        run_cli("store", "put", str(db), "traffic", *self.FIT)
+        run_cli("store", "put", str(db), "win", *self.WINDOWED)
+        run_cli("store", "put", str(db), "win", *self.WINDOWED)
+        code, output = run_cli("store", "list", str(db))
+        assert code == 0
+        lines = output.strip().splitlines()
+        assert lines[0].startswith("name")
+        assert any(line.startswith("traffic") and " l2_sr " in line
+                   for line in lines)
+        assert any(line.startswith("win") and "count_sketch+w" in line
+                   for line in lines)
+        code, output = run_cli("store", "history", str(db), "win")
+        assert code == 0
+        rows = output.strip().splitlines()[1:]
+        assert len(rows) == 2
+        assert rows[0].lstrip().startswith("1")
+        assert rows[1].lstrip().startswith("2")
+
+    def test_compact_reports_and_preserves_restores(self, tmp_path):
+        db = tmp_path / "cat.db"
+        for _ in range(3):
+            run_cli("store", "put", str(db), "win", *self.WINDOWED)
+        from repro.store import SketchStore
+
+        with SketchStore(db) as store:
+            payloads = {version: store.get("win", version).recover()
+                        for version in (1, 2, 3)}
+        code, output = run_cli("store", "compact", str(db), "win",
+                               "--include-latest")
+        assert code == 0
+        assert "compacted        : 3 of 3" in output
+        assert "saved" in output
+        with SketchStore(db) as store:
+            for version, recovered in payloads.items():
+                np.testing.assert_array_equal(
+                    store.get("win", version).recover(), recovered
+                )
+
+    def test_delete_removes_a_version_then_the_name(self, tmp_path):
+        db = tmp_path / "cat.db"
+        run_cli("store", "put", str(db), "traffic", *self.FIT)
+        run_cli("store", "put", str(db), "traffic", *self.FIT)
+        code, output = run_cli("store", "delete", str(db), "traffic",
+                               "--version", "1")
+        assert code == 0
+        assert "traffic@1" in output
+        code, output = run_cli("store", "delete", str(db), "traffic")
+        assert code == 0
+        code, output = run_cli("store", "list", str(db))
+        assert "(empty store)" in output
+
+    def test_get_unknown_name_is_a_one_line_error(self, tmp_path):
+        db = tmp_path / "cat.db"
+        run_cli("store", "put", str(db), "traffic", *self.FIT)
+        code, output = run_cli("store", "get", str(db), "ghost")
+        self.assert_one_line_error(code, output, "ghost")
+
+    def test_bad_name_is_a_one_line_error(self, tmp_path):
+        db = tmp_path / "cat.db"
+        code, output = run_cli("store", "put", str(db), "bad#name", *self.FIT)
+        self.assert_one_line_error(code, output, "bad#name")
+
+    def test_malformed_uri_is_a_one_line_error(self, tmp_path):
+        code, output = run_cli("sketch", "load",
+                               f"store://{tmp_path / 'cat.db'}")
+        self.assert_one_line_error(code, output, "store://")
+
+
+class TestLoadReportsEmbeddedWireVersion:
+    """A stale-build payload names the version it was written as (exit 2)."""
+
+    def _window_payload(self, tmp_path):
+        path = tmp_path / "state.window"
+        code, _ = run_cli(
+            "sketch", "save", "--dataset", "gaussian", "--dimension", "2000",
+            "--width", "128", "--depth", "4", "--seed", "3",
+            "--algorithm", "count_sketch", "--window", "sliding:4",
+            "--pane", "300", "--output", str(path),
+        )
+        assert code == 0
+        return path
+
+    def assert_one_line_error(self, code, output, *needles):
+        assert code == 2
+        assert output.startswith("error:")
+        assert len(output.strip().splitlines()) == 1
+        assert "Traceback" not in output
+        for needle in needles:
+            assert needle in output
+
+    def test_older_window_wire_version_is_reported(self, tmp_path):
+        from repro.streaming.windows import _WINDOW_PREAMBLE
+
+        path = self._window_payload(tmp_path)
+        payload = path.read_bytes()
+        magic, _, header_len = _WINDOW_PREAMBLE.unpack_from(payload, 0)
+        path.write_bytes(_WINDOW_PREAMBLE.pack(magic, 0, header_len)
+                         + payload[_WINDOW_PREAMBLE.size:])
+        code, output = run_cli("sketch", "load", str(path))
+        self.assert_one_line_error(code, output, "version 0",
+                                   "reads version 1")
+
+    def test_corrupt_window_header_names_the_embedded_version(self, tmp_path):
+        path = self._window_payload(tmp_path)
+        payload = bytearray(path.read_bytes())
+        from repro.streaming.windows import _WINDOW_PREAMBLE
+
+        payload[_WINDOW_PREAMBLE.size] = ord("!")  # break the JSON header
+        path.write_bytes(bytes(payload))
+        code, output = run_cli("sketch", "load", str(path))
+        self.assert_one_line_error(code, output, "wire version 1",
+                                   "corrupt window header")
+
+    def test_truncated_window_payload_names_the_embedded_version(
+        self, tmp_path
+    ):
+        path = self._window_payload(tmp_path)
+        payload = path.read_bytes()
+        from repro.streaming.windows import _WINDOW_PREAMBLE
+
+        path.write_bytes(payload[:_WINDOW_PREAMBLE.size + 4])
+        code, output = run_cli("sketch", "load", str(path))
+        self.assert_one_line_error(code, output, "truncated window payload",
+                                   "wire version 1")
+
+    def test_truncated_sketch_payload_names_the_embedded_version(
+        self, tmp_path
+    ):
+        path = tmp_path / "state.sketch"
+        code, _ = run_cli("sketch", "save", "--dimension", "1000",
+                          "--width", "64", "--depth", "4",
+                          "--output", str(path))
+        assert code == 0
+        from repro.serialization import _PREAMBLE
+
+        path.write_bytes(path.read_bytes()[:_PREAMBLE.size + 4])
+        code, output = run_cli("sketch", "load", str(path))
+        self.assert_one_line_error(code, output, "truncated payload",
+                                   "wire version 1")
