@@ -1,18 +1,24 @@
-"""Sharded vs single-process ingestion on the Figure 6 streaming workload.
+"""Pooled sharded vs single-process ingestion on the Figure 6 workload.
 
-The sharded ingestion engine partitions the stream across worker processes,
-each replaying its shard into a local sketch through the PR-1 batched path,
-then merges the *serialized* shard results — linearity makes the partition
-lossless, so the merged state must equal single-process batch ingestion bit
-for bit on this unit-delta stream.
+The zero-copy engine spawns its worker pool **once**; each worker owns a
+shared-memory counter block, per-call updates are staged in a shared
+segment and described to workers as ``(offset, length)`` slices, and the
+parent folds the blocks with vectorized ``+=``.  Nothing is pickled in
+either direction, so — unlike the fork-per-call engine this replaces
+(historical numbers kept at the bottom of the results file) — the parallel
+speedup is not eaten by process spawn and counter serialization.
 
 The benchmark replays the scaled-down Hudong edge stream both ways for the
-linear reference sketches and records the wall-clock speedup.  Parallel
-efficiency is bounded by the cores actually available: the speedup bar is
-only enforced when the machine has ≥ 2 usable cores (the correctness
-assertion — identical state — always runs), and the result file records the
-core count alongside the measurements so numbers from different machines are
-comparable.
+linear reference sketches and records wall-clock speedup plus the phase
+breakdown (split / worker / fold) from the ingest report.  Pool spawn is
+excluded from the timed region (that is the engine's contract: spawn once,
+ingest many times) and a warm-up ingest precedes the measurement so page
+faults and lazy hash-table construction are off the clock.
+
+Speedup > 1.0 is enforced whenever the machine has ≥ 2 usable cores — in
+smoke mode too, which is what the CI shard-smoke job runs.  The correctness
+assertion (bit-identical state) always runs.  Per-core efficiency at
+4 shards is recorded, and enforced at ≥ 0.8× when 4+ cores are available.
 
 Set ``REPRO_BENCH_SMOKE=1`` for a reduced-size configuration (used by CI).
 """
@@ -26,7 +32,7 @@ import pytest
 from benchmarks.common import RESULTS_DIR
 from repro.data.hudong import simulated_hudong
 from repro.sketches.registry import make_sketch
-from repro.streaming import ingest_stream_sharded
+from repro.streaming import ShardedIngestPool
 from repro.streaming.generators import stream_from_items
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -41,15 +47,29 @@ EDGES = 40_000 if SMOKE else 800_000
 WIDTH = 256 if SMOKE else 2_048
 DEPTH = 9
 BATCH_SIZE = 8_192
-SHARD_COUNTS = (2, 4)
+SHARD_COUNTS = (2, 4, 8)
 
 #: linear sketches replayed both ways (non-linear sketches cannot be sharded
 #: — the engine rejects them, which tests/streaming/test_sharded.py covers)
 ALGORITHMS = ("count_min", "count_sketch", "l2_sr")
 
-#: required speedup at 4 shards — only enforced on genuinely multi-core
-#: machines; a process pool on one core measures pure overhead
-SPEEDUP_BAR = 1.3
+#: a warm pool must beat single-process on any genuinely multi-core machine
+SPEEDUP_BAR = 1.0
+
+#: required per-core efficiency at 4 shards on 4+ core machines
+EFFICIENCY_BAR = 0.8
+
+#: fork-per-call engine numbers from the same machine class (cores=1),
+#: preserved in the results file for contrast with the pooled engine
+HISTORICAL = """\
+historical: fork-per-call engine (serialized shard merge), cores=1
+algorithm       shards   single_s  sharded_s   speedup  identical  payload_B
+count_min            2      0.075      0.190     0.39x       True     295344
+count_min            4      0.075      0.146     0.51x       True     590688
+count_sketch         2      0.139      0.203     0.68x       True     295350
+count_sketch         4      0.139      0.177     0.79x       True     590700
+l2_sr                2      0.122      0.250     0.49x       True     328238
+l2_sr                4      0.122      0.209     0.58x       True     656476"""
 
 
 @pytest.fixture(scope="module")
@@ -62,6 +82,7 @@ def fig6_stream():
 def test_sharded_ingestion_speedup_and_equivalence(fig6_stream):
     indices, deltas = fig6_stream.indices(), fig6_stream.deltas()
     rows = []
+    efficiency_at_4 = {}
     for algorithm in ALGORITHMS:
         single = make_sketch(algorithm, DIMENSION, WIDTH, DEPTH, seed=17)
         start = time.perf_counter()
@@ -72,58 +93,105 @@ def test_sharded_ingestion_speedup_and_equivalence(fig6_stream):
         single_state = single.state_dict()["arrays"]
 
         for shards in SHARD_COUNTS:
-            report = ingest_stream_sharded(
-                fig6_stream, algorithm, WIDTH, DEPTH, seed=17,
-                shards=shards, batch_size=BATCH_SIZE,
-            )
-            sharded_state = report.sketch.state_dict()["arrays"]
+            workers = max(1, min(shards, CORES))
+            with ShardedIngestPool(
+                algorithm, DIMENSION, WIDTH, DEPTH, seed=17,
+                workers=workers, batch_size=BATCH_SIZE,
+            ) as pool:
+                # warm-up: touch every page and build the workers' hash
+                # tables off the clock (spawn cost is likewise excluded —
+                # a pool is spawned once and reused across ingests)
+                warmup = make_sketch(
+                    algorithm, DIMENSION, WIDTH, DEPTH, seed=17
+                )
+                pool.ingest(
+                    indices[:BATCH_SIZE], deltas[:BATCH_SIZE],
+                    target=warmup, shards=shards,
+                )
+
+                target = make_sketch(
+                    algorithm, DIMENSION, WIDTH, DEPTH, seed=17
+                )
+                start = time.perf_counter()
+                report = pool.ingest(
+                    indices, deltas, target=target, shards=shards
+                )
+                pool_seconds = time.perf_counter() - start
+
+            sharded_state = target.state_dict()["arrays"]
             identical = all(
                 np.array_equal(single_state[key], sharded_state[key])
                 for key in single_state
             )
-            speedup = single_seconds / report.elapsed_seconds
-            rows.append((algorithm, shards, single_seconds,
-                         report.elapsed_seconds, speedup, identical,
-                         sum(report.payload_bytes)))
+            speedup = single_seconds / pool_seconds
+            if shards == 4:
+                efficiency_at_4[algorithm] = speedup / min(4, CORES)
+            rows.append((
+                algorithm, shards, workers, single_seconds, pool_seconds,
+                speedup, report.split_seconds,
+                max(report.worker_seconds, default=0.0),
+                report.fold_seconds, report.bytes_crossed, identical,
+            ))
 
-            # linearity: the merged shard sketches must reproduce the
+            # linearity: the folded shard blocks must reproduce the
             # single-process counters bit for bit on this unit-delta stream
             assert identical, (
-                f"{algorithm} @ {shards} shards: merged state diverged from "
+                f"{algorithm} @ {shards} shards: folded state diverged from "
                 "single-process ingestion"
             )
-            assert report.sketch.items_processed == indices.size
+            assert target.items_processed == indices.size
+            assert report.bytes_crossed == 0
 
-    if CORES >= 2 and not SMOKE:
+    if CORES >= 2:
         best = {}
-        for algorithm, shards, _, _, speedup, _, _ in rows:
+        for row in rows:
+            algorithm, speedup = row[0], row[5]
             best[algorithm] = max(best.get(algorithm, 0.0), speedup)
         for algorithm, speedup in best.items():
-            assert speedup >= SPEEDUP_BAR, (
-                f"{algorithm}: sharded ingestion only {speedup:.2f}x on "
-                f"{CORES} cores (bar: {SPEEDUP_BAR}x)"
+            assert speedup > SPEEDUP_BAR, (
+                f"{algorithm}: pooled sharded ingestion only {speedup:.2f}x "
+                f"on {CORES} cores (bar: >{SPEEDUP_BAR}x)"
+            )
+    if CORES >= 4 and not SMOKE:
+        for algorithm, efficiency in efficiency_at_4.items():
+            assert efficiency >= EFFICIENCY_BAR, (
+                f"{algorithm}: {efficiency:.2f}x per-core efficiency at "
+                f"4 shards on {CORES} cores (bar: {EFFICIENCY_BAR}x)"
             )
 
     lines = [
-        f"sharded ingestion on the Figure 6 stream "
+        f"pooled sharded ingestion on the Figure 6 stream "
         f"(n={DIMENSION}, updates={indices.size}, s={WIDTH}, d={DEPTH}, "
         f"batch_size={BATCH_SIZE}, cores={CORES}"
         f"{', smoke' if SMOKE else ''})",
         "",
-        "workers replay contiguous shards via update_batch and the parent",
-        "merges their serialized (to_bytes) payloads; 'identical' compares",
-        "the merged counters against single-process batch ingestion.",
-        "speedup >1 requires >=2 usable cores; on a 1-core machine the",
-        "sharded path measures pure process-pool + serialization overhead.",
+        "zero-copy engine: workers scatter-add (offset, length) slices of a",
+        "shared updates segment into per-worker shared-memory counter",
+        "blocks; the parent folds the blocks with vectorized += (no pickling",
+        "either direction; pool spawn excluded — spawn once, ingest many).",
+        "split/worker/fold is the phase breakdown from the ingest report;",
+        "worker_s is the slowest worker (they run concurrently).  speedup >1",
+        "requires >=2 usable cores; on a 1-core machine the pooled path",
+        "measures pure staging + descriptor + fold overhead.",
         "",
-        f"{'algorithm':<14} {'shards':>7} {'single_s':>10} {'sharded_s':>10} "
-        f"{'speedup':>9} {'identical':>10} {'payload_B':>10}",
+        f"{'algorithm':<14} {'shards':>7} {'workers':>8} {'single_s':>10} "
+        f"{'pool_s':>8} {'speedup':>9} {'split_s':>8} {'worker_s':>9} "
+        f"{'fold_s':>7} {'crossed_B':>10} {'identical':>10}",
     ]
-    for algorithm, shards, single_s, sharded_s, speedup, identical, payload in rows:
+    for (algorithm, shards, workers, single_s, pool_s, speedup,
+         split_s, worker_s, fold_s, crossed, identical) in rows:
         lines.append(
-            f"{algorithm:<14} {shards:>7d} {single_s:>10.3f} {sharded_s:>10.3f} "
-            f"{speedup:>8.2f}x {str(identical):>10} {payload:>10d}"
+            f"{algorithm:<14} {shards:>7d} {workers:>8d} {single_s:>10.3f} "
+            f"{pool_s:>8.3f} {speedup:>8.2f}x {split_s:>8.3f} "
+            f"{worker_s:>9.3f} {fold_s:>7.3f} {crossed:>10d} "
+            f"{str(identical):>10}"
         )
+    for algorithm, efficiency in efficiency_at_4.items():
+        lines.append(
+            f"per-core efficiency @ 4 shards: {algorithm} "
+            f"{efficiency:.2f}x ({min(4, CORES)} effective cores)"
+        )
+    lines += ["", HISTORICAL]
     print()
     print("\n".join(lines))
     if not SMOKE:

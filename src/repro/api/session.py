@@ -47,8 +47,8 @@ from repro.sketches.base import LinearSketch, Sketch
 from repro.sketches.registry import QUERY_KINDS, SketchSpec
 from repro.streaming.sharded import (
     DEFAULT_BATCH_SIZE,
+    ShardedIngestPool,
     ShardedIngestReport,
-    _ingest_stream_sharded,
 )
 from repro.streaming.stream import UpdateStream
 from repro.store.uri import is_store_uri, parse_store_uri
@@ -120,6 +120,7 @@ class SketchSession:
             self._sketch = sketch
         self._last_shard_report: Optional[ShardedIngestReport] = None
         self._auto_shard_threshold: Optional[int] = DEFAULT_AUTO_SHARD_THRESHOLD
+        self._pool: Optional[ShardedIngestPool] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -496,6 +497,7 @@ class SketchSession:
                 shards=engine_shards,
                 batch_size=batch_size,
                 shard_resolver=resolver,
+                pool_factory=self._shard_pool,
             )
             if report is not None:
                 self._last_shard_report = report
@@ -503,21 +505,15 @@ class SketchSession:
         indices, deltas = self._sketch._check_batch(indices, deltas)
         resolved = self._resolve_shards(int(indices.size), shards)
         if resolved > 1:
-            report = _ingest_stream_sharded(
-                (indices, deltas),
-                self._config.name,
-                self._config.width,
-                self._config.depth,
-                seed=self._config.seed,
+            # folds straight into the live sketch through shared memory; the
+            # pool stays warm for the session's lifetime (see close())
+            self._last_shard_report = self._shard_pool(resolved).ingest(
+                indices,
+                deltas,
+                target=self._sketch,  # type: ignore[arg-type]
                 shards=resolved,
-                dimension=self.dimension,
                 batch_size=batch_size or DEFAULT_BATCH_SIZE,
-                options=self._config.options,
             )
-            self._last_shard_report = report
-            # the merged shard sketch is compatible by construction; folding
-            # it in preserves any state the session already held
-            self._sketch.merge(report.sketch)  # type: ignore[attr-defined]
             return self
         if batch_size is None:
             self._sketch.update_batch(indices, deltas)
@@ -556,6 +552,59 @@ class SketchSession:
                 "sharded ingestion requires an explicit integer seed so all "
                 "workers build compatible sketches"
             )
+
+    def _shard_pool(self, shards: int) -> ShardedIngestPool:
+        """The session's warm worker pool, (re)built to cover ``shards``.
+
+        Workers are capped at the core count — extra shards are assigned
+        round-robin inside the pool — and the pool persists across
+        ``ingest()`` calls until :meth:`close` (spawn + shared-memory setup
+        are paid once per session, not once per call).
+        """
+        workers = max(1, min(int(shards), os.cpu_count() or 1))
+        if (
+            self._pool is not None
+            and not self._pool.closed
+            and self._pool.workers >= workers
+        ):
+            return self._pool
+        if self._pool is not None:
+            self._pool.close()
+        self._pool = ShardedIngestPool(
+            self._config.name,
+            self.dimension,
+            self._config.width,
+            self._config.depth,
+            self._config.seed,
+            workers=workers,
+            options=self._config.options,
+        )
+        return self._pool
+
+    @property
+    def shard_pool(self) -> Optional[ShardedIngestPool]:
+        """The warm sharded-ingest pool, or ``None`` if none was spawned."""
+        return self._pool
+
+    def close(self) -> None:
+        """Release session resources: the warm sharded-ingest worker pool.
+
+        Idempotent, and safe on sessions that never sharded.  The session
+        remains usable afterwards — a later sharded ingest simply spawns a
+        fresh pool.  Sessions are context managers::
+
+            with SketchSession.from_config(cfg) as session:
+                session.ingest(stream, shards=4)
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "SketchSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     # queries

@@ -411,7 +411,11 @@ def _command_dataset_list(args: argparse.Namespace, out) -> int:
 
 
 def _build_workload_session(args: argparse.Namespace):
-    """Open a session on the requested workload (single-process or sharded)."""
+    """Open a session on the requested workload (single-process or sharded).
+
+    Callers must close the session (``with session: ...``) — a sharded
+    ingest leaves a warm worker pool attached to it.
+    """
     dataset = _load_cli_dataset(args)
     config = SketchConfig(
         args.algorithm,
@@ -422,7 +426,13 @@ def _build_workload_session(args: argparse.Namespace):
         window=_window_spec(args),
     )
     session = SketchSession.from_config(config)
-    session.ingest(dataset.vector, shards=max(1, getattr(args, "shards", 1)))
+    try:
+        session.ingest(
+            dataset.vector, shards=max(1, getattr(args, "shards", 1))
+        )
+    except BaseException:
+        session.close()
+        raise
     return dataset, session
 
 
@@ -468,40 +478,46 @@ def _command_sketch_fit(args: argparse.Namespace, out) -> int:
     if args.list_algorithms:
         return _command_sketch_list(args, out)
     dataset, session = _build_workload_session(args)
-    print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
-    print(f"algorithm        : {args.algorithm}", file=out)
-    if getattr(args, "shards", 1) > 1:
-        print(f"ingestion        : sharded ({args.shards} shards)", file=out)
-    if session.windowed:
-        _describe_window(session, out)
-    print(f"sketch size      : {session.size_in_words()} words "
-          f"({dataset.dimension / session.size_in_words():.1f}x compression)",
-          file=out)
-    truth = dataset.vector
-    average_label, maximum_label = "average error", "maximum error"
-    if session.windowed:
-        truth = _windowed_truth(session, dataset)
-        if truth is None:
-            # no error metrics to print, so skip the (full-universe) recovery
-            print("errors           : n/a for decay windows (estimates are "
-                  "exponentially faded counts)", file=out)
-            return 0
-        average_label, maximum_label = "window avg error", "window max error"
-    recovered = session.recover()
-    print(f"{average_label:<17}: {average_error(truth, recovered):.4f}",
-          file=out)
-    print(f"{maximum_label:<17}: {maximum_error(truth, recovered):.4f}",
-          file=out)
-    if get_spec(args.algorithm).bias_aware and not session.windowed:
-        print(f"estimated bias   : {session.estimate_bias():.4f}", file=out)
-        print(f"vector mean      : {float(np.mean(dataset.vector)):.4f}", file=out)
+    with session:
+        print(f"dataset          : {dataset.name} (n = {dataset.dimension})",
+              file=out)
+        print(f"algorithm        : {args.algorithm}", file=out)
+        if getattr(args, "shards", 1) > 1:
+            print(f"ingestion        : sharded ({args.shards} shards)", file=out)
+        if session.windowed:
+            _describe_window(session, out)
+        print(f"sketch size      : {session.size_in_words()} words "
+              f"({dataset.dimension / session.size_in_words():.1f}x compression)",
+              file=out)
+        truth = dataset.vector
+        average_label, maximum_label = "average error", "maximum error"
+        if session.windowed:
+            truth = _windowed_truth(session, dataset)
+            if truth is None:
+                # no error metrics to print, so skip the (full-universe)
+                # recovery
+                print("errors           : n/a for decay windows (estimates "
+                      "are exponentially faded counts)", file=out)
+                return 0
+            average_label, maximum_label = ("window avg error",
+                                            "window max error")
+        recovered = session.recover()
+        print(f"{average_label:<17}: {average_error(truth, recovered):.4f}",
+              file=out)
+        print(f"{maximum_label:<17}: {maximum_error(truth, recovered):.4f}",
+              file=out)
+        if get_spec(args.algorithm).bias_aware and not session.windowed:
+            print(f"estimated bias   : {session.estimate_bias():.4f}", file=out)
+            print(f"vector mean      : {float(np.mean(dataset.vector)):.4f}",
+                  file=out)
     return 0
 
 
 def _command_sketch_save(args: argparse.Namespace, out) -> int:
     dataset, session = _build_workload_session(args)
-    payload = session.to_bytes()
-    destination = session.save(args.output)
+    with session:
+        payload = session.to_bytes()
+        destination = session.save(args.output)
     print(f"saved            : {destination if destination is not None else args.output}",
           file=out)
     print(f"dataset          : {dataset.name} (n = {dataset.dimension})", file=out)
@@ -567,7 +583,8 @@ def _command_store_put(args: argparse.Namespace, out) -> int:
         payload = read_payload(args.input)
     else:
         _, session = _build_workload_session(args)
-        payload = session.to_bytes()
+        with session:
+            payload = session.to_bytes()
     with SketchStore(args.store) as store:
         version = store.put(args.name, payload)
     print(f"stored           : "

@@ -151,6 +151,25 @@ class SamplingMedianEstimator(BiasEstimator):
             )
         self.sample_values = arr
 
+    def bind_sample_buffer(self, buffer: np.ndarray) -> None:
+        """Rebind the sample values to a caller-owned buffer (copy-in).
+
+        Shared-memory counterpart of :meth:`load_sample_values`: the current
+        values are copied into ``buffer`` and it becomes the live storage,
+        so in-place updates write through (see
+        :meth:`repro.sketches._tables.HashedCounterTable.bind_buffer`).
+        """
+        if not isinstance(buffer, np.ndarray):
+            raise TypeError("bind_sample_buffer expects a numpy array view")
+        if buffer.shape != (self.samples,):
+            raise ValueError(
+                f"buffer has shape {buffer.shape}, expected ({self.samples},)"
+            )
+        if buffer.dtype != np.float64 or not buffer.flags.c_contiguous:
+            raise ValueError("buffer must be C-contiguous float64")
+        buffer[...] = self.sample_values
+        self.sample_values = buffer
+
     def current_estimate(self) -> float:
         """The bias estimate from the currently maintained sample values."""
         return float(np.median(self.sample_values))

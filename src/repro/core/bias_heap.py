@@ -14,9 +14,14 @@ three disjoint sets (bottom / middle / top) backed by indexed heaps exposing
 the boundary elements, rebalanced by boundary swaps after each update.  The
 rank boundaries are ``low = max(0, s//2 - k)`` and ``high = min(s, s//2 + k)``,
 matching the static estimator in
-:class:`repro.core.bias.MiddleBucketsMeanEstimator` (ties between equal
-per-bucket averages may be assigned to either side of a boundary; the
-resulting estimate is the same up to tie-breaking).
+:class:`repro.core.bias.MiddleBucketsMeanEstimator`.
+
+Buckets are ranked under the total order ``(w_j/π_j, j)`` — the exact order a
+stable sort of the per-bucket averages produces.  Because the order is total,
+equal averages cannot be assigned to either side of a boundary arbitrarily:
+the incrementally-maintained partition always matches the one a full re-sort
+would build, so the streaming bias estimate is identical to the static one no
+matter how the same bucket sums were reached.
 """
 
 from __future__ import annotations
@@ -25,7 +30,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core._indexed_heap import IndexedMaxHeap, IndexedMinHeap
+from repro.core._indexed_heap import IndexedMinHeap
 from repro.utils.validation import require_positive_int
 
 _BOTTOM = 0
@@ -50,10 +55,10 @@ class BiasHeap:
     initial_locations:
         Optional per-bucket rank-set assignment (0 = bottom, 1 = middle,
         2 = top) to restore instead of re-deriving the partition by sorting.
-        Used by the state protocol: ties between equal per-bucket averages
-        may be broken either way by a fresh sort, so restoring the recorded
-        membership is what makes a deserialized sketch answer bias queries
-        bit-identically.  Set sizes must match the rank boundaries.
+        Used by the state protocol so a deserialized sketch answers bias
+        queries exactly as the serialized one did — including payloads
+        recorded by older versions whose tie handling was update-order
+        dependent.  Set sizes must match the rank boundaries.
     """
 
     def __init__(
@@ -89,10 +94,15 @@ class BiasHeap:
                 )
             self.w = initial_w.copy()
 
-        # heaps exposing the boundary elements of each rank range
-        self._bottom_max = IndexedMaxHeap()
+        # Heaps exposing the boundary elements of each rank range.  All four
+        # are min-heaps over composite keys so the rank order is total:
+        # the min-boundary heaps store ``(w/π, bucket)`` and the max-boundary
+        # heaps store ``(-w/π, -bucket)`` (whose minimum is the rank-largest
+        # element).  A total order leaves no tie for update order to break,
+        # which is what keeps incremental maintenance identical to a rebuild.
+        self._bottom_max = IndexedMinHeap()
         self._middle_min = IndexedMinHeap()
-        self._middle_max = IndexedMaxHeap()
+        self._middle_max = IndexedMinHeap()
         self._top_min = IndexedMinHeap()
         self._location = np.empty(s, dtype=np.int8)
 
@@ -116,24 +126,33 @@ class BiasHeap:
             return float(self.w[bucket] / self.pi[bucket])
         return 0.0
 
+    def _rank(self, bucket: int):
+        """The bucket's position in the total rank order: ``(w/π, bucket)``."""
+        return (self._key(bucket), bucket)
+
+    def _max_rank(self, bucket: int):
+        """Rank encoded for a max-boundary heap (min of this = rank-largest)."""
+        return (-self._key(bucket), -bucket)
+
     def _initialise_partition(self) -> None:
         keys = np.array([self._key(j) for j in range(self.buckets)])
+        # a stable argsort over the float keys IS the (key, bucket) total
+        # order, so the initial partition is already canonical
         order = np.argsort(keys, kind="stable")
         for rank, bucket in enumerate(order):
             bucket = int(bucket)
-            key = float(keys[bucket])
             if rank < self._low:
                 self._location[bucket] = _BOTTOM
-                self._bottom_max.push(bucket, key)
+                self._bottom_max.push(bucket, self._max_rank(bucket))
             elif rank < self._high:
                 self._location[bucket] = _MIDDLE
-                self._middle_min.push(bucket, key)
-                self._middle_max.push(bucket, key)
+                self._middle_min.push(bucket, self._rank(bucket))
+                self._middle_max.push(bucket, self._max_rank(bucket))
                 self._middle_w_sum += self.w[bucket]
                 self._middle_pi_sum += self.pi[bucket]
             else:
                 self._location[bucket] = _TOP
-                self._top_min.push(bucket, key)
+                self._top_min.push(bucket, self._rank(bucket))
 
     def _restore_partition(self, locations: np.ndarray) -> None:
         """Rebuild the heaps from a recorded bottom/middle/top assignment."""
@@ -151,17 +170,16 @@ class BiasHeap:
             )
         for bucket in range(self.buckets):
             location = int(locations[bucket])
-            key = self._key(bucket)
             self._location[bucket] = location
             if location == _BOTTOM:
-                self._bottom_max.push(bucket, key)
+                self._bottom_max.push(bucket, self._max_rank(bucket))
             elif location == _MIDDLE:
-                self._middle_min.push(bucket, key)
-                self._middle_max.push(bucket, key)
+                self._middle_min.push(bucket, self._rank(bucket))
+                self._middle_max.push(bucket, self._max_rank(bucket))
                 self._middle_w_sum += self.w[bucket]
                 self._middle_pi_sum += self.pi[bucket]
             else:
-                self._top_min.push(bucket, key)
+                self._top_min.push(bucket, self._rank(bucket))
 
     @property
     def locations(self) -> np.ndarray:
@@ -192,22 +210,21 @@ class BiasHeap:
         self._rebalance()
 
     def _reposition(self, bucket: int) -> None:
-        """Refresh the heap key of ``bucket`` within its current set."""
-        key = self._key(bucket)
+        """Refresh the heap keys of ``bucket`` within its current set."""
         location = self._location[bucket]
         if location == _BOTTOM:
             self._bottom_max.remove(bucket)
-            self._bottom_max.push(bucket, key)
+            self._bottom_max.push(bucket, self._max_rank(bucket))
         elif location == _MIDDLE:
             self._middle_min.remove(bucket)
             self._middle_max.remove(bucket)
-            self._middle_min.push(bucket, key)
-            self._middle_max.push(bucket, key)
+            self._middle_min.push(bucket, self._rank(bucket))
+            self._middle_max.push(bucket, self._max_rank(bucket))
         else:
             self._top_min.remove(bucket)
-            self._top_min.push(bucket, key)
+            self._top_min.push(bucket, self._rank(bucket))
 
-    def _move(self, bucket: int, key: float, destination: int) -> None:
+    def _move(self, bucket: int, destination: int) -> None:
         """Move ``bucket`` from its current set into ``destination``."""
         source = self._location[bucket]
         if source == _BOTTOM:
@@ -221,35 +238,42 @@ class BiasHeap:
             self._top_min.remove(bucket)
 
         if destination == _BOTTOM:
-            self._bottom_max.push(bucket, key)
+            self._bottom_max.push(bucket, self._max_rank(bucket))
         elif destination == _MIDDLE:
-            self._middle_min.push(bucket, key)
-            self._middle_max.push(bucket, key)
+            self._middle_min.push(bucket, self._rank(bucket))
+            self._middle_max.push(bucket, self._max_rank(bucket))
             self._middle_w_sum += self.w[bucket]
             self._middle_pi_sum += self.pi[bucket]
         else:
-            self._top_min.push(bucket, key)
+            self._top_min.push(bucket, self._rank(bucket))
         self._location[bucket] = destination
 
     def _rebalance(self) -> None:
-        """Swap boundary elements until bottom ≤ middle ≤ top by key."""
-        # a single key change displaces at most one element, so a handful of
-        # boundary swaps always suffices; the guard protects against bugs
-        for _ in range(8):
+        """Swap boundary elements until bottom ≤ middle ≤ top in rank order."""
+        # A single key change displaces at most one element, so two boundary
+        # swaps suffice after an update.  Restoring a partition recorded by an
+        # older version may leave several equal-key buckets on the "wrong"
+        # side of a boundary under the total order, and the first update then
+        # canonicalises them all — hence a guard that scales with the bucket
+        # count.  Each swap removes at least one cross-set rank inversion, so
+        # the loop always terminates; the guard only protects against bugs.
+        for _ in range(2 * self.buckets + 8):
             swapped = False
             if len(self._bottom_max) and len(self._middle_min):
-                bottom_key, bottom_bucket = self._bottom_max.peek()
-                middle_key, middle_bucket = self._middle_min.peek()
-                if bottom_key > middle_key:
-                    self._move(bottom_bucket, bottom_key, _MIDDLE)
-                    self._move(middle_bucket, middle_key, _BOTTOM)
+                bottom_enc, bottom_bucket = self._bottom_max.peek()
+                bottom_rank = (-bottom_enc[0], -bottom_enc[1])
+                middle_rank, middle_bucket = self._middle_min.peek()
+                if bottom_rank > middle_rank:
+                    self._move(bottom_bucket, _MIDDLE)
+                    self._move(middle_bucket, _BOTTOM)
                     swapped = True
             if len(self._middle_max) and len(self._top_min):
-                middle_key, middle_bucket = self._middle_max.peek()
-                top_key, top_bucket = self._top_min.peek()
-                if middle_key > top_key:
-                    self._move(middle_bucket, middle_key, _TOP)
-                    self._move(top_bucket, top_key, _MIDDLE)
+                middle_enc, middle_bucket = self._middle_max.peek()
+                middle_rank = (-middle_enc[0], -middle_enc[1])
+                top_rank, top_bucket = self._top_min.peek()
+                if middle_rank > top_rank:
+                    self._move(middle_bucket, _TOP)
+                    self._move(top_bucket, _MIDDLE)
                     swapped = True
             if not swapped:
                 return
@@ -288,10 +312,15 @@ class BiasHeap:
         )
         assert len(self._middle_max) == len(self._middle_min)
 
+        # boundary order by float key (restored legacy partitions may break
+        # exact-rank ties non-canonically until the next update, so the check
+        # tolerates ties rather than demanding the full composite order)
         if len(self._bottom_max) and len(self._middle_min):
-            assert self._bottom_max.peek()[0] <= self._middle_min.peek()[0] + 1e-9
+            bottom_key = -self._bottom_max.peek()[0][0]
+            assert bottom_key <= self._middle_min.peek()[0][0] + 1e-9
         if len(self._middle_max) and len(self._top_min):
-            assert self._middle_max.peek()[0] <= self._top_min.peek()[0] + 1e-9
+            middle_key = -self._middle_max.peek()[0][0]
+            assert middle_key <= self._top_min.peek()[0][0] + 1e-9
 
         middle = self._middle_min.node_ids()
         expected_w = float(np.sum(self.w[middle])) if middle else 0.0

@@ -181,6 +181,10 @@ class L1BiasAwareSketch(LinearSketch):
             "samples": self._bias_estimator.sample_values,
         }
 
+    def bind_state_buffers(self, buffers) -> None:
+        self._table.bind_buffer(buffers["table"])
+        self._bias_estimator.bind_sample_buffer(buffers["samples"])
+
     def _load_state_payload(self, arrays, scalars, meta) -> None:
         super()._load_state_payload(arrays, scalars, meta)
         self._table.load_table(arrays["table"])

@@ -203,6 +203,10 @@ class L2BiasAwareSketch(LinearSketch):
             "bias_row": self._bias_row.table,
         }
 
+    def bind_state_buffers(self, buffers) -> None:
+        self._cs_table.bind_buffer(buffers["table"])
+        self._bias_row.bind_buffer(buffers["bias_row"])
+
     def _load_state_payload(self, arrays, scalars, meta) -> None:
         super()._load_state_payload(arrays, scalars, meta)
         self._cs_table.load_table(arrays["table"])

@@ -160,6 +160,12 @@ class MeanBiasSketch(LinearSketch):
     def _state_scalars(self):
         return {"running_sum": float(self._bias_estimator._running_sum)}
 
+    def bind_state_buffers(self, buffers) -> None:
+        self._table.bind_buffer(buffers["table"])
+
+    def _fold_scalars(self, scalars) -> None:
+        self._bias_estimator._running_sum += float(scalars["running_sum"])
+
     def _load_state_payload(self, arrays, scalars, meta) -> None:
         super()._load_state_payload(arrays, scalars, meta)
         self._table.load_table(arrays["table"])

@@ -121,6 +121,15 @@ class StreamingL1BiasAwareSketch(L1BiasAwareSketch):
         super()._load_state_payload(arrays, scalars, meta)
         self._sorted_samples = _SortedValues(self._bias_estimator.sample_values)
 
+    def bind_state_buffers(self, buffers) -> None:
+        super().bind_state_buffers(buffers)
+        self._sorted_samples = _SortedValues(self._bias_estimator.sample_values)
+
+    def _post_fold(self) -> None:
+        # a raw-state fold is a bulk ingestion: rebuild the sorted mirror,
+        # exactly as merge() does
+        self._sorted_samples = _SortedValues(self._bias_estimator.sample_values)
+
     def estimate_bias(self) -> float:
         """β̂ from the maintained sorted samples — O(1) at query time."""
         return self._sorted_samples.median()

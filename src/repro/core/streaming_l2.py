@@ -9,8 +9,10 @@ median plus β̂ — no post-processing pass, no re-sorting.
 
 :class:`StreamingL2BiasAwareSketch` keeps the exact interface of
 :class:`~repro.core.l2_sketch.L2BiasAwareSketch`; only the bias-estimate
-maintenance differs.  Estimates may differ from the batch variant only in how
-ties between equal per-bucket averages are broken.
+maintenance differs.  The heap ranks buckets under the total order
+``(w/π, bucket)`` — the same order a stable sort produces — so the estimates
+match the batch variant exactly, including on ties between equal per-bucket
+averages.
 """
 
 from __future__ import annotations
@@ -56,10 +58,9 @@ class StreamingL2BiasAwareSketch(L2BiasAwareSketch):
     def update_batch(self, indices, deltas=None) -> "StreamingL2BiasAwareSketch":
         """Batched ingestion: vectorised updates, then one heap rebuild.
 
-        The rebuilt Bias-Heap reflects exactly the bias row the per-update
-        maintenance would have produced; as with :meth:`fit`, estimates may
-        differ from the incrementally-maintained heap only in how ties
-        between equal per-bucket averages are broken.
+        The rebuilt Bias-Heap is identical to what per-update maintenance
+        would have produced: both rank buckets under the same total order
+        ``(w/π, bucket)``, so the rebuild introduces no tie-break drift.
         """
         super().update_batch(indices, deltas)
         self._rebuild_heap()
@@ -106,6 +107,16 @@ class StreamingL2BiasAwareSketch(L2BiasAwareSketch):
             head_size=self.head_size,
             initial_w=self._bias_row.table[0],
         )
+
+    def bind_state_buffers(self, buffers) -> None:
+        super().bind_state_buffers(buffers)
+        # the heap snapshots w at construction; rebind it to the new storage
+        self._rebuild_heap()
+
+    def _post_fold(self) -> None:
+        # a raw-state fold is a bulk ingestion: rebuild the heap, exactly as
+        # merge() does
+        self._rebuild_heap()
 
     # ------------------------------------------------------------------ #
     # recovery

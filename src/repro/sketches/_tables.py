@@ -27,7 +27,8 @@ the O(n) scan each.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import List, Optional, Tuple
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -440,6 +441,33 @@ class HashedCounterTable:
         self.table *= factor
 
     # ------------------------------------------------------------------ #
+    # shared-memory support
+    # ------------------------------------------------------------------ #
+    def bind_buffer(self, buffer: np.ndarray) -> None:
+        """Rebind the counters to a caller-owned buffer (copy-in, then alias).
+
+        ``buffer`` must be a C-contiguous float64 array of shape
+        ``(depth, width)`` — typically a view into a
+        :class:`SharedCounterBlock` — and becomes the table's live counter
+        storage: the current counters are copied into it and every subsequent
+        in-place mutation (:meth:`add_update`, :meth:`add_batch`,
+        :meth:`merge_from`, :meth:`scale_by`) writes through to it.  This is
+        what lets a worker process scatter-add directly into memory the
+        parent can fold without any serialization.
+        """
+        if not isinstance(buffer, np.ndarray):
+            raise TypeError("bind_buffer expects a numpy array view")
+        if buffer.shape != (self.depth, self.width):
+            raise ValueError(
+                f"buffer has shape {buffer.shape}, expected "
+                f"({self.depth}, {self.width})"
+            )
+        if buffer.dtype != np.float64 or not buffer.flags.c_contiguous:
+            raise ValueError("buffer must be C-contiguous float64")
+        buffer[...] = self.table
+        self.table = buffer
+
+    # ------------------------------------------------------------------ #
     # state protocol support
     # ------------------------------------------------------------------ #
     def load_table(self, table) -> None:
@@ -456,3 +484,234 @@ class HashedCounterTable:
     def counter_count(self) -> int:
         """Number of counters stored."""
         return self.depth * self.width
+
+
+# ---------------------------------------------------------------------- #
+# shared-memory counter storage
+# ---------------------------------------------------------------------- #
+
+#: a block layout: ``(field_name, shape, dtype_str)`` triples describing the
+#: arrays packed C-contiguously into one shared-memory segment
+BlockLayout = Tuple[Tuple[str, Tuple[int, ...], str], ...]
+
+
+def _normalize_layout(layout: Sequence) -> BlockLayout:
+    normalized = []
+    for entry in layout:
+        if len(entry) == 2:
+            field, shape = entry
+            dtype = "float64"
+        else:
+            field, shape, dtype = entry
+        normalized.append(
+            (str(field), tuple(int(s) for s in shape), np.dtype(dtype).name)
+        )
+    if not normalized:
+        raise ValueError("a SharedCounterBlock needs at least one field")
+    names = [field for field, _, _ in normalized]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate field names in block layout: {names}")
+    return tuple(normalized)
+
+
+def _layout_nbytes(layout: BlockLayout) -> int:
+    return sum(
+        int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        for _, shape, dtype in layout
+    )
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment by name without resource-tracker registration.
+
+    Before Python 3.13 (``track=False``), ``SharedMemory(name=...)``
+    unconditionally registers the segment with the resource tracker, which
+    is wrong for a non-owning attachment: under ``spawn`` the attacher's own
+    tracker would warn about (and unlink) "leaked" segments the owner is
+    still using, and under ``fork`` — where parent and child *share* one
+    tracker process — an unregister-after-attach would cancel the owner's
+    registration instead.  Suppressing registration during the attach is the
+    one behaviour correct for both start methods: the owner's registration
+    stays the single source of cleanup truth.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - python < 3.13
+        pass
+    from multiprocessing import resource_tracker
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+
+
+class SharedCounterBlock:
+    """A set of named counter arrays living in one shared-memory segment.
+
+    This is the storage layer of the zero-copy sharded-ingestion engine: the
+    parent process *creates* one block per worker (owning the segment), each
+    worker *attaches* to its block by name and binds its sketch's state
+    arrays to the views (:meth:`HashedCounterTable.bind_buffer`), scatter-adds
+    land directly in shared memory, and the parent folds the views with
+    vectorized ``+=`` — no counter bytes ever cross a pipe.
+
+    Parameters are expressed as a *layout*: a sequence of
+    ``(field_name, shape[, dtype])`` entries (dtype defaults to float64),
+    packed C-contiguously into a single segment.  The attaching side must
+    pass the identical layout — the block has no header; the layout travels
+    out of band (it is derived deterministically from the sketch config on
+    both sides).
+
+    Lifecycle
+    ---------
+    * :meth:`create` — allocate a new zero-filled segment (owner).
+    * :meth:`attach` — map an existing segment by name (non-owner; the
+      attachment is unregistered from the resource tracker so worker exit
+      never unlinks a segment the parent still owns).
+    * :meth:`close` — drop this process's mapping (views become invalid).
+    * :meth:`unlink` — remove the segment from the system (owner only);
+      idempotent, and safe to call with workers still mapped (the memory is
+      reclaimed once the last mapping closes).
+
+    The owner is a context manager: ``with SharedCounterBlock.create(...) as
+    block: ...`` closes *and unlinks* on exit, even on error.
+    """
+
+    def __init__(self, layout: Sequence, segment: shared_memory.SharedMemory,
+                 owner: bool) -> None:
+        self._layout = _normalize_layout(layout)
+        self._segment: Optional[shared_memory.SharedMemory] = segment
+        self._segment_name = segment.name
+        self._owner = bool(owner)
+        self._unlinked = False
+        self._arrays: Dict[str, np.ndarray] = {}
+        offset = 0
+        for field, shape, dtype in self._layout:
+            count = int(np.prod(shape, dtype=np.int64))
+            view = np.frombuffer(
+                segment.buf, dtype=dtype, count=count, offset=offset
+            ).reshape(shape)
+            self._arrays[field] = view
+            offset += count * np.dtype(dtype).itemsize
+
+    # -- constructors ---------------------------------------------------- #
+    @classmethod
+    def create(cls, layout: Sequence,
+               name: Optional[str] = None) -> "SharedCounterBlock":
+        """Allocate a new zero-filled block; the caller owns the segment."""
+        layout = _normalize_layout(layout)
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(1, _layout_nbytes(layout))
+        )
+        # POSIX shm is zero-filled on creation; make it explicit anyway so a
+        # recycled name can never leak stale counters
+        segment.buf[: _layout_nbytes(layout)] = bytes(_layout_nbytes(layout))
+        return cls(layout, segment, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, layout: Sequence) -> "SharedCounterBlock":
+        """Map an existing block by segment name (non-owning)."""
+        layout = _normalize_layout(layout)
+        segment = _attach_untracked(name)
+        if segment.size < _layout_nbytes(layout):
+            segment.close()
+            raise ValueError(
+                f"segment {name!r} holds {segment.size} bytes, layout "
+                f"needs {_layout_nbytes(layout)}"
+            )
+        return cls(layout, segment, owner=False)
+
+    # -- access ---------------------------------------------------------- #
+    @property
+    def name(self) -> str:
+        """System-wide segment name workers attach by."""
+        return self._segment_name
+
+    @property
+    def layout(self) -> BlockLayout:
+        return self._layout
+
+    @property
+    def nbytes(self) -> int:
+        """Payload bytes of the layout (segment may be page-rounded larger)."""
+        return _layout_nbytes(self._layout)
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @property
+    def closed(self) -> bool:
+        return self._segment is None
+
+    @property
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Live views into the segment, keyed by layout field name."""
+        if self._segment is None:
+            raise ValueError("block is closed")
+        return self._arrays
+
+    def zero(self) -> None:
+        """Reset every field to zero in place."""
+        for view in self.arrays.values():
+            view[...] = 0
+
+    # -- lifecycle ------------------------------------------------------- #
+    def close(self) -> None:
+        """Drop this process's mapping.  Views handed out become invalid.
+
+        If a bound sketch still references a view, the underlying mmap
+        cannot be released yet — the mapping then dies with the process,
+        which is fine (``unlink`` is what returns the memory to the OS).
+        """
+        if self._segment is None:
+            return
+        segment, self._segment = self._segment, None
+        self._arrays = {}
+        try:
+            segment.close()
+        except BufferError:
+            # views are still referenced elsewhere (e.g. a sketch bound to
+            # this block): the mapping dies with the process instead.
+            # Neutralise the handle's close so its __del__ at interpreter
+            # shutdown does not retry and spew "Exception ignored" noise.
+            segment.close = lambda: None  # type: ignore[method-assign]
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide (owner only; idempotent)."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        if self._segment is not None:
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        else:  # pragma: no cover - close() before unlink()
+            try:
+                shared_memory.SharedMemory(name=self._segment_name).unlink()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "SharedCounterBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+        self.close()
+
+    def __del__(self) -> None:
+        # Route garbage collection through the BufferError-safe close: when
+        # a block and its view-holding arrays die in the same gc pass, the
+        # raw SharedMemory.__del__ might run first and raise.  (Unlinking
+        # stays the owner's explicit job — for pools, the weakref.finalize
+        # backstop in repro.streaming.sharded.)
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._segment is None else self._segment.name
+        fields = ", ".join(field for field, _, _ in self._layout)
+        return f"SharedCounterBlock({state}, fields=[{fields}])"

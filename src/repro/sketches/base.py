@@ -350,6 +350,81 @@ class LinearSketch(Sketch):
     def scale(self, factor: float) -> "LinearSketch":
         """Scale the sketch state in place by ``factor`` and return ``self``."""
 
+    # ------------------------------------------------------------------ #
+    # shared-memory fold protocol (zero-copy sharded ingestion)
+    # ------------------------------------------------------------------ #
+    def shared_state_layout(self) -> Tuple[Tuple[str, Tuple[int, ...]], ...]:
+        """The ``(field, shape)`` layout of this sketch's foldable arrays.
+
+        Derived from :meth:`_state_arrays` (every linear kind's mutable
+        array state is float64), in sorted field order so the parent and the
+        workers — which compute the layout independently from the same
+        config — always agree byte-for-byte on the shared block layout.
+        """
+        return tuple(
+            (name, tuple(array.shape))
+            for name, array in sorted(self._state_arrays().items())
+        )
+
+    def bind_state_buffers(self, buffers: Dict[str, np.ndarray]) -> None:
+        """Rebind every state array to a caller-owned buffer (copy-in).
+
+        ``buffers`` maps :meth:`_state_arrays` field names to C-contiguous
+        float64 arrays of matching shape — typically views into a
+        :class:`~repro.sketches._tables.SharedCounterBlock`.  After binding,
+        all in-place mutation (``update_batch``, ``merge``, ``scale``)
+        writes through to the buffers, which is what lets a sharded-ingest
+        worker scatter-add directly into memory the parent folds without
+        serialization.  Subclasses with array state must override.
+        """
+        if self._state_arrays():
+            raise NotImplementedError(
+                f"{type(self).__name__} has state arrays but does not "
+                "implement bind_state_buffers"
+            )
+
+    def fold_state(
+        self,
+        arrays: Dict[str, np.ndarray],
+        scalars: Dict[str, float],
+        items_processed: int,
+    ) -> "LinearSketch":
+        """Add a compatible sketch's raw state into this one (vectorized).
+
+        The zero-copy counterpart of :meth:`merge`: ``arrays`` / ``scalars``
+        are the peer's :meth:`_state_arrays` / :meth:`_state_scalars`
+        contents (e.g. read straight out of a worker's shared-memory block)
+        rather than a sketch object, so nothing needs to be decoded or even
+        pickled.  Every linear kind's array *and scalar* state is additive
+        under merge, so the fold is ``+=`` all the way down; kinds with
+        derived structures (heaps, sorted mirrors) rebuild them in
+        :meth:`_post_fold`.  The caller is responsible for compatibility
+        (same config/seed) — this is an engine-internal hot path.
+        """
+        live = self._state_arrays()
+        if set(arrays) != set(live):
+            raise ValueError(
+                f"fold_state got fields {sorted(arrays)}, "
+                f"{type(self).__name__} has {sorted(live)}"
+            )
+        for name, view in live.items():
+            view += arrays[name]
+        self._fold_scalars(scalars)
+        self._items_processed += int(items_processed)
+        self._post_fold()
+        return self
+
+    def _fold_scalars(self, scalars: Dict[str, float]) -> None:
+        """Add a peer's scalar state; kinds with scalars must override."""
+        if scalars:
+            raise NotImplementedError(
+                f"{type(self).__name__} received scalars {sorted(scalars)} "
+                "but does not implement _fold_scalars"
+            )
+
+    def _post_fold(self) -> None:
+        """Rebuild any derived structures after a raw-state fold (hook)."""
+
     def _check_compatible(self, other: "LinearSketch") -> None:
         if type(other) is not type(self):
             raise TypeError(

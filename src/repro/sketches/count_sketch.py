@@ -79,6 +79,9 @@ class CountSketch(LinearSketch):
     def _state_arrays(self):
         return {"table": self._table.table}
 
+    def bind_state_buffers(self, buffers) -> None:
+        self._table.bind_buffer(buffers["table"])
+
     def _load_state_payload(self, arrays, scalars, meta) -> None:
         super()._load_state_payload(arrays, scalars, meta)
         self._table.load_table(arrays["table"])

@@ -139,6 +139,12 @@ class DebiasedCountMin(LinearSketch):
     def _state_scalars(self):
         return {"total_mass": float(self._total_mass)}
 
+    def bind_state_buffers(self, buffers) -> None:
+        self._table.bind_buffer(buffers["table"])
+
+    def _fold_scalars(self, scalars) -> None:
+        self._total_mass += float(scalars["total_mass"])
+
     def _load_state_payload(self, arrays, scalars, meta) -> None:
         super()._load_state_payload(arrays, scalars, meta)
         self._table.load_table(arrays["table"])

@@ -12,10 +12,12 @@ package provides:
 * :class:`StreamRunner` — replays a stream into one or more sketches while
   measuring per-update and per-query cost, which is what the Figure 6 timing
   comparison uses,
-* :func:`ingest_stream_sharded` — multi-core sharded ingestion: the stream
-  is partitioned across worker processes, each replays its shard into a
-  local sketch via the batched path, and the serialized results are merged
-  (linearity makes the partition lossless),
+* :class:`ShardedIngestPool` — multi-core sharded ingestion over a
+  persistent pool of worker processes sharing counter memory with the
+  parent: the stream is partitioned into contiguous slices, each worker
+  scatter-adds its slices into a shared-memory counter block via the
+  batched path, and the parent folds the blocks with vectorized ``+=``
+  (linearity makes the partition lossless; no counters are serialized),
 * :class:`WindowSpec` / :class:`SlidingWindowSketch` — sliding-window
   sketching over the pane-merge algebra (see below).
 
@@ -56,6 +58,7 @@ from repro.streaming.generators import (
 )
 from repro.streaming.runner import StreamReport, StreamRunner
 from repro.streaming.sharded import (
+    ShardedIngestPool,
     ShardedIngestReport,
     ingest_stream_sharded,
     shard_arrays,
@@ -83,6 +86,7 @@ __all__ = [
     "stream_from_vector",
     "StreamReport",
     "StreamRunner",
+    "ShardedIngestPool",
     "ShardedIngestReport",
     "ingest_stream_sharded",
     "shard_arrays",

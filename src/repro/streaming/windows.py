@@ -540,18 +540,22 @@ class SlidingWindowSketch:
         shards: Optional[int] = None,
         batch_size: Optional[int] = None,
         shard_resolver=None,
+        pool_factory=None,
     ) -> Optional[ShardedIngestReport]:
         """Apply a batch of updates in stream order, splitting it at pane
         boundaries and feeding each segment to the then-open pane.
 
         ``shards > 1`` sketches each segment through the multi-core sharded
-        engine and merges the result into the open pane — sharding happens
-        *within* a pane, and shard results meet the ring only at pane
-        granularity, so the window semantics are identical to the
-        single-process path.  ``shard_resolver`` (used when ``shards`` is
-        ``None``) maps a segment's update count to a worker count, so
+        engine, folding the shard state straight into the open pane —
+        sharding happens *within* a pane, and shard results meet the ring
+        only at pane granularity, so the window semantics are identical to
+        the single-process path.  ``shard_resolver`` (used when ``shards``
+        is ``None``) maps a segment's update count to a worker count, so
         auto-sharding decisions are made per within-pane segment rather than
-        for the whole batch.  Returns the last segment's
+        for the whole batch.  ``pool_factory`` maps a shard count to a warm
+        :class:`~repro.streaming.sharded.ShardedIngestPool` (the session
+        keeps one alive across calls); without it each sharded segment pays
+        for an ephemeral pool.  Returns the last segment's
         :class:`~repro.streaming.sharded.ShardedIngestReport` (or ``None``
         when no segment was sharded).
         """
@@ -573,7 +577,7 @@ class SlidingWindowSketch:
                 self._advance_time(float(ts[start]))
                 segment = self._apply_segment(
                     idx[start:stop], d[start:stop], shards, batch_size,
-                    shard_resolver,
+                    shard_resolver, pool_factory,
                 )
                 report = segment if segment is not None else report
                 self._last_timestamp = float(ts[stop - 1])
@@ -596,6 +600,7 @@ class SlidingWindowSketch:
                 shards,
                 batch_size,
                 shard_resolver,
+                pool_factory,
             )
             report = segment if segment is not None else report
             position += take
@@ -608,6 +613,7 @@ class SlidingWindowSketch:
         shards: Optional[int],
         batch_size: Optional[int],
         shard_resolver=None,
+        pool_factory=None,
     ) -> Optional[ShardedIngestReport]:
         """Feed one within-pane segment to the open pane, then close it if full."""
         if not indices.size:
@@ -617,6 +623,8 @@ class SlidingWindowSketch:
             resolved = shard_resolver(int(indices.size))
             shards = resolved if resolved > 1 else None
         if shards is not None and shards > 1:
+            # the shard state folds straight into the open pane through
+            # shared memory — no serialization at pane close
             report = _ingest_stream_sharded(
                 (indices, deltas),
                 self._config.name,
@@ -627,8 +635,9 @@ class SlidingWindowSketch:
                 dimension=self._config.dimension,
                 batch_size=batch_size or DEFAULT_BATCH_SIZE,
                 options=self._config.options,
+                pool=pool_factory(shards) if pool_factory is not None else None,
+                target=self._current,
             )
-            self._current.merge(report.sketch)
         elif batch_size is not None:
             for start in range(0, indices.size, batch_size):
                 stop = start + batch_size

@@ -1,0 +1,168 @@
+"""Property tests: pooled sharded ingestion ≡ single-process ingestion.
+
+The zero-copy engine is only usable if folding per-worker shared-memory
+blocks is *indistinguishable* from ingesting the whole stream in one
+process.  Linearity makes this exact for integer-valued weights (integer
+scatter-adds are exact in float64, so summation order cannot matter) and
+exact-up-to-summation-order for arbitrary reals.  Hypothesis drives every
+linear kind through a warm pool — including hashed-key mode over an
+unbounded universe — and compares full state: counter arrays, scalar
+state, and the items-processed counter.
+
+One pool per (kind, mode) is spawned lazily and reused across examples
+(that is the engine's intended warm-pool usage, and it keeps the suite
+fast); the module teardown closes them all and verifies no shared-memory
+segment leaked.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sketches.registry import available_sketches, get_spec
+from repro.streaming import ShardedIngestPool
+
+DIMENSION = 96
+WIDTH = 16
+DEPTH = 3
+SEED = 11
+WORKERS = 2
+SHARDS = 3
+
+LINEAR = [n for n in available_sketches() if get_spec(n).linear]
+HASHED_CAPABLE = ["count_min", "count_median", "count_sketch"]
+
+#: warm pools reused across hypothesis examples, keyed by (name, dimension)
+_pools = {}
+_released_segments = []
+
+
+def warm_pool(name, dimension):
+    key = (name, dimension)
+    if key not in _pools:
+        _pools[key] = ShardedIngestPool(
+            name, dimension, WIDTH, DEPTH, SEED, workers=WORKERS
+        )
+    return _pools[key]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _pool_teardown():
+    yield
+    for pool in _pools.values():
+        _released_segments.extend(pool.segment_names())
+        pool.close()
+    _pools.clear()
+    # leak check: every segment the pools ever owned must be unlinked
+    for segment_name in _released_segments:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=segment_name)
+
+
+def ingest_both_ways(name, dimension, indices, deltas):
+    spec = get_spec(name)
+    expected = spec.build(dimension, WIDTH, DEPTH, seed=SEED)
+    if indices.size:
+        expected.update_batch(indices, deltas)
+    target = spec.build(dimension, WIDTH, DEPTH, seed=SEED)
+    warm_pool(name, dimension).ingest(
+        indices, deltas, target=target, shards=SHARDS
+    )
+    return expected, target
+
+
+def assert_same_state(expected, target, exact):
+    state_a = expected._state_arrays()
+    state_b = target._state_arrays()
+    assert state_a.keys() == state_b.keys()
+    for key in state_a:
+        if exact:
+            np.testing.assert_array_equal(state_b[key], state_a[key])
+        else:
+            np.testing.assert_allclose(
+                state_b[key], state_a[key], rtol=1e-9, atol=1e-12
+            )
+    scalars_a = expected._state_scalars()
+    scalars_b = target._state_scalars()
+    assert scalars_a.keys() == scalars_b.keys()
+    for key in scalars_a:
+        assert scalars_b[key] == pytest.approx(scalars_a[key])
+    assert target.items_processed == expected.items_processed
+
+
+integer_updates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=DIMENSION - 1),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+real_updates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=DIMENSION - 1),
+        st.floats(min_value=-100.0, max_value=100.0,
+                  allow_nan=False, allow_infinity=False, width=64),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+hashed_updates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=-50, max_value=50),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def to_arrays(updates):
+    indices = np.array([i for i, _ in updates], dtype=np.int64)
+    deltas = np.array([w for _, w in updates], dtype=np.float64)
+    return indices, deltas
+
+
+@pytest.mark.parametrize("name", LINEAR)
+@settings(max_examples=15, deadline=None)
+@given(updates=integer_updates)
+def test_integer_streams_are_bit_identical(name, updates):
+    indices, deltas = to_arrays(updates)
+    expected, target = ingest_both_ways(name, DIMENSION, indices, deltas)
+    assert_same_state(expected, target, exact=True)
+
+
+@pytest.mark.parametrize("name", LINEAR)
+@settings(max_examples=10, deadline=None)
+@given(updates=real_updates)
+def test_real_streams_agree_to_summation_order(name, updates):
+    indices, deltas = to_arrays(updates)
+    expected, target = ingest_both_ways(name, DIMENSION, indices, deltas)
+    assert_same_state(expected, target, exact=False)
+
+
+@pytest.mark.parametrize("name", HASHED_CAPABLE)
+@settings(max_examples=10, deadline=None)
+@given(updates=hashed_updates)
+def test_hashed_key_mode_is_bit_identical(name, updates):
+    indices, deltas = to_arrays(updates)
+    expected, target = ingest_both_ways(name, None, indices, deltas)
+    assert_same_state(expected, target, exact=True)
+
+
+@pytest.mark.parametrize("name", LINEAR)
+def test_query_estimates_match(name):
+    """End-to-end sanity on a larger stream: estimates, not just state."""
+    rng = np.random.default_rng(4)
+    indices = rng.integers(0, DIMENSION, size=5_000).astype(np.int64)
+    expected, target = ingest_both_ways(name, DIMENSION, indices, None)
+    queries = np.arange(DIMENSION, dtype=np.int64)
+    np.testing.assert_allclose(
+        target.query_batch(queries), expected.query_batch(queries),
+        rtol=1e-9,
+    )

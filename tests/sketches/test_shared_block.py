@@ -1,0 +1,156 @@
+"""Unit tests for SharedCounterBlock, the shared-memory counter storage.
+
+The block is the storage layer of the zero-copy sharded-ingestion engine:
+the parent creates one segment per worker, workers attach by name and bind
+their sketch state into the views, and both sides see every write without a
+byte crossing a pipe.  These tests exercise the lifecycle single-process
+(create → attach → mutate → close → unlink); the cross-process behaviour is
+covered by the pool tests in ``tests/streaming/test_sharded.py``.
+"""
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.sketches._tables import HashedCounterTable, SharedCounterBlock
+
+LAYOUT = (
+    ("table", (3, 8), "float64"),
+    ("samples", (5,), "float64"),
+    ("items", (1,), "int64"),
+)
+
+
+class TestLifecycle:
+    def test_create_zero_fills_every_field(self):
+        with SharedCounterBlock.create(LAYOUT) as block:
+            assert block.owner
+            assert not block.closed
+            for field, shape, dtype in LAYOUT:
+                view = block.arrays[field]
+                assert view.shape == shape
+                assert view.dtype == np.dtype(dtype)
+                assert not view.any()
+
+    def test_attach_sees_owner_writes_and_vice_versa(self):
+        with SharedCounterBlock.create(LAYOUT) as owner:
+            owner.arrays["table"][1, 2] = 7.5
+            attached = SharedCounterBlock.attach(owner.name, LAYOUT)
+            assert not attached.owner
+            assert attached.arrays["table"][1, 2] == 7.5
+            attached.arrays["items"][0] = 42
+            assert owner.arrays["items"][0] == 42
+            attached.close()
+
+    def test_zero_resets_in_place(self):
+        with SharedCounterBlock.create(LAYOUT) as block:
+            block.arrays["table"][...] = 3.0
+            block.arrays["items"][0] = 9
+            view = block.arrays["table"]
+            block.zero()
+            assert not view.any()  # same storage, not a fresh array
+            assert block.arrays["items"][0] == 0
+
+    def test_close_invalidates_access(self):
+        block = SharedCounterBlock.create(LAYOUT)
+        name = block.name
+        block.close()
+        assert block.closed
+        with pytest.raises(ValueError, match="closed"):
+            block.arrays
+        block.close()  # idempotent
+        # close() alone must NOT unlink — the segment is still reachable
+        attached = SharedCounterBlock.attach(name, LAYOUT)
+        attached.close()
+        block.unlink()
+
+    def test_unlink_removes_the_segment(self):
+        block = SharedCounterBlock.create(LAYOUT)
+        name = block.name
+        block.unlink()
+        block.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        block.unlink()  # idempotent
+
+    def test_unlink_after_close_still_removes_the_segment(self):
+        block = SharedCounterBlock.create(LAYOUT)
+        name = block.name
+        block.close()
+        block.unlink()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_attach_is_not_allowed_to_unlink(self):
+        with SharedCounterBlock.create(LAYOUT) as owner:
+            attached = SharedCounterBlock.attach(owner.name, LAYOUT)
+            attached.unlink()  # silently refused: not the owner
+            attached.close()
+            again = SharedCounterBlock.attach(owner.name, LAYOUT)
+            again.close()
+
+    def test_context_manager_unlinks_on_exit(self):
+        with SharedCounterBlock.create(LAYOUT) as block:
+            name = block.name
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+class TestLayoutValidation:
+    def test_empty_layout_rejected(self):
+        with pytest.raises(ValueError, match="at least one field"):
+            SharedCounterBlock.create(())
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SharedCounterBlock.create((("a", (2,)), ("a", (3,))))
+
+    def test_dtype_defaults_to_float64(self):
+        with SharedCounterBlock.create((("a", (4,)),)) as block:
+            assert block.arrays["a"].dtype == np.float64
+
+    def test_attach_rejects_undersized_segment(self):
+        small = (("a", (2,)),)
+        big = (("a", (1000,)),)
+        with SharedCounterBlock.create(small) as block:
+            with pytest.raises(ValueError, match="bytes"):
+                SharedCounterBlock.attach(block.name, big)
+
+    def test_attach_missing_segment_raises(self):
+        with pytest.raises(FileNotFoundError):
+            SharedCounterBlock.attach("repro-test-no-such-segment", LAYOUT)
+
+    def test_nbytes_accounts_for_every_field(self):
+        with SharedCounterBlock.create(LAYOUT) as block:
+            assert block.nbytes == 3 * 8 * 8 + 5 * 8 + 1 * 8
+
+
+class TestBindBuffer:
+    def test_counter_table_writes_through_to_the_block(self):
+        table = HashedCounterTable(
+            dimension=100, width=8, depth=3, seed=11
+        )
+        table.add_update(5, 2.0)
+        with SharedCounterBlock.create(LAYOUT) as block:
+            table.bind_buffer(block.arrays["table"])
+            # copy-in preserved the pre-bind state
+            assert block.arrays["table"].sum() == pytest.approx(2.0 * 3)
+            table.add_update(7, 1.0)
+            # post-bind updates land directly in shared memory
+            assert block.arrays["table"].sum() == pytest.approx(3.0 * 3)
+
+    def test_bind_rejects_wrong_shape(self):
+        table = HashedCounterTable(dimension=100, width=8, depth=3, seed=11)
+        with pytest.raises(ValueError, match="shape"):
+            table.bind_buffer(np.zeros((2, 8)))
+
+    def test_bind_rejects_wrong_dtype(self):
+        table = HashedCounterTable(dimension=100, width=8, depth=3, seed=11)
+        with pytest.raises(ValueError, match="float64"):
+            table.bind_buffer(np.zeros((3, 8), dtype=np.float32))
+
+    def test_bind_rejects_non_array(self):
+        table = HashedCounterTable(dimension=100, width=8, depth=3, seed=11)
+        with pytest.raises(TypeError, match="numpy"):
+            table.bind_buffer([[0.0] * 8] * 3)
