@@ -1,0 +1,179 @@
+"""Service throughput: sustained ingest vs. concurrent query latency.
+
+The HTAP claim of the :mod:`repro.server` front door, measured end to end
+over real TCP: one load-generator connection streams update batches at
+full speed while ``QUERY_CLIENTS`` concurrent connections fire point
+queries the whole time.  Because readers answer from snapshot replicas,
+query latency must stay flat while the writer absorbs the stream — and
+every answer's ``epoch`` shows exactly how stale it was.
+
+Recorded into ``benchmarks/results/service_throughput.txt``:
+
+* **sustained ingest throughput** — updates/second absorbed by the writer
+  path (client-side framing + TCP + bounded queue + ``update_batch``);
+* **query latency** — mean / p50 / p99 across all concurrent clients,
+  measured *while the ingest stream runs*;
+* **staleness** — the distinct replica epochs the query clients observed
+  mid-stream (bounded by the snapshot cadence);
+* **bit-identity** — server answers equal a local
+  :meth:`~repro.api.SketchSession.from_bytes` restore of the ``snapshot``
+  payload for the epoch they report, asserted per probe.
+
+Set ``REPRO_BENCH_SMOKE=1`` for a reduced-size configuration (used by CI).
+"""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import RESULTS_DIR
+from repro.api import SketchConfig, SketchSession
+from repro.server import Client, ServerConfig, ServerHandle
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+DIMENSION = 2_000 if SMOKE else 20_000
+WIDTH = 256 if SMOKE else 2_048
+DEPTH = 9
+SEED = 17
+TOTAL_UPDATES = 120_000 if SMOKE else 1_500_000
+INGEST_BATCH = 8_192
+QUERY_CLIENTS = 4
+SNAPSHOT_INTERVAL = 0.05
+VERIFY_PROBES = 32
+
+
+@pytest.mark.figure("service")
+def test_service_sustained_ingest_and_query_p99():
+    config = ServerConfig(
+        sketch=SketchConfig("count_min", dimension=DIMENSION, width=WIDTH,
+                            depth=DEPTH, seed=SEED),
+        snapshot_interval=SNAPSHOT_INTERVAL,
+    )
+    handle = ServerHandle.start(config)
+    rng = np.random.default_rng(SEED)
+    # zipf-ish skew so heavy hitters exist and counters collide realistically
+    updates = (
+        rng.zipf(1.3, size=TOTAL_UPDATES).astype(np.int64) % DIMENSION
+    )
+    ingest_done = threading.Event()
+    ingest_result = {}
+    per_client_latencies = [[] for _ in range(QUERY_CLIENTS)]
+    per_client_epochs = [set() for _ in range(QUERY_CLIENTS)]
+    errors = []
+
+    def ingest_load():
+        try:
+            with Client(handle.host, handle.port) as client:
+                started = time.perf_counter()
+                for start in range(0, TOTAL_UPDATES, INGEST_BATCH):
+                    client.ingest(updates[start:start + INGEST_BATCH])
+                client.flush()  # ingest "done" = applied, not just queued
+                ingest_result["seconds"] = time.perf_counter() - started
+        except Exception as error:  # noqa: BLE001 - surfaced by the assert
+            errors.append(error)
+        finally:
+            ingest_done.set()
+
+    def query_load(slot):
+        probe_rng = np.random.default_rng(1_000 + slot)
+        probes = probe_rng.integers(0, DIMENSION, 4_096)
+        try:
+            with Client(handle.host, handle.port) as client:
+                position = 0
+                while not ingest_done.is_set():
+                    probe = int(probes[position % probes.size])
+                    position += 1
+                    started = time.perf_counter()
+                    answer = client.point(probe)
+                    per_client_latencies[slot].append(
+                        time.perf_counter() - started
+                    )
+                    per_client_epochs[slot].add(answer.epoch)
+        except Exception as error:  # noqa: BLE001
+            errors.append(error)
+
+    query_threads = [
+        threading.Thread(target=query_load, args=(slot,), daemon=True)
+        for slot in range(QUERY_CLIENTS)
+    ]
+    ingest_thread = threading.Thread(target=ingest_load, daemon=True)
+    for thread in query_threads:
+        thread.start()
+    ingest_thread.start()
+    ingest_thread.join(timeout=600)
+    for thread in query_threads:
+        thread.join(timeout=60)
+    assert not errors, f"load generator failed: {errors[:3]}"
+    assert "seconds" in ingest_result
+
+    # -- bit-identity: server answers == local restore of the epoch ------- #
+    with Client(handle.host, handle.port) as client:
+        snap_epoch, payload = client.snapshot()
+        restored = SketchSession.from_bytes(payload)
+        verified = 0
+        probe_rng = np.random.default_rng(99)
+        for probe in probe_rng.integers(0, DIMENSION, VERIFY_PROBES):
+            answer = client.point(int(probe))
+            assert answer.epoch == snap_epoch
+            assert answer.value == restored.query(kind="point",
+                                                  index=int(probe))
+            verified += 1
+        final_stats = client.stats()
+    assert verified == VERIFY_PROBES
+    # the writer really absorbed the whole stream
+    assert final_stats["updates_applied"] == TOTAL_UPDATES
+
+    summary = handle.stop()
+    assert summary["updates_applied"] == TOTAL_UPDATES
+
+    # -- report ----------------------------------------------------------- #
+    latencies = np.concatenate(
+        [np.asarray(values) for values in per_client_latencies if values]
+    )
+    queries = int(latencies.size)
+    epochs_observed = sorted(set().union(*per_client_epochs))
+    updates_per_second = TOTAL_UPDATES / ingest_result["seconds"]
+    queries_per_second = queries / ingest_result["seconds"]
+    # queries were answered at live (mid-stream) epochs, not just at the end
+    assert queries > 0
+    assert len(epochs_observed) >= 1
+
+    lines = [
+        f"service throughput: sustained ingest vs {QUERY_CLIENTS} concurrent "
+        f"query clients over TCP (count_min n={DIMENSION}, s={WIDTH}, "
+        f"d={DEPTH}, {TOTAL_UPDATES} updates in batches of {INGEST_BATCH}, "
+        f"snapshot cadence {SNAPSHOT_INTERVAL}s"
+        f"{', smoke' if SMOKE else ''})",
+        "",
+        "one writer connection streams update frames at full speed while",
+        f"{QUERY_CLIENTS} reader connections fire point queries the whole "
+        "time; readers answer from snapshot replicas (HTAP split), so every",
+        "query carries the epoch it read — staleness is explicit, and each",
+        "answer is asserted bit-identical to a local from_bytes restore of",
+        "the snapshot payload for the epoch it reports.",
+        "",
+        f"sustained ingest          : {updates_per_second:,.0f} updates/s "
+        f"({ingest_result['seconds']:.2f}s wall)",
+        f"concurrent query rate     : {queries_per_second:,.0f} queries/s "
+        f"({queries} queries across {QUERY_CLIENTS} clients)",
+        f"query latency mean        : {1e3 * latencies.mean():.3f} ms",
+        f"query latency p50         : "
+        f"{1e3 * np.percentile(latencies, 50):.3f} ms",
+        f"query latency p99         : "
+        f"{1e3 * np.percentile(latencies, 99):.3f} ms",
+        f"replica epochs observed   : {len(epochs_observed)} distinct "
+        f"(first {epochs_observed[0]}, last {epochs_observed[-1]})",
+        f"final epoch               : {summary['final_epoch']} "
+        f"({summary['updates_applied']} updates applied)",
+        f"bit-identity probes       : {verified} verified against epoch "
+        f"{snap_epoch}'s snapshot payload",
+        "",
+    ]
+    output = "\n".join(lines)
+    print()
+    print(output)
+    RESULTS_DIR.joinpath("service_throughput.txt").write_text(output)

@@ -42,7 +42,7 @@ from repro.data.dataset import Dataset
 from repro.queries.heavy_hitters import HeavyHitter, _heavy_hitters
 from repro.queries.inner_product import _inner_product_estimate
 from repro.queries.range_query import _range_sum
-from repro.serialization import decode_state
+from repro.serialization import decode_state, reconstruction_errors
 from repro.sketches.base import LinearSketch, Sketch
 from repro.sketches.registry import QUERY_KINDS, SketchSpec
 from repro.streaming.sharded import (
@@ -185,8 +185,9 @@ class SketchSession:
             window = SlidingWindowSketch.from_bytes(payload)
             return cls(window.config, window)
         state = decode_state(payload)
-        config = SketchConfig.from_state(state)
-        return cls(config, Sketch.from_state(state))
+        with reconstruction_errors(f"{state['kind']!r} payload"):
+            config = SketchConfig.from_state(state)
+            return cls(config, Sketch.from_state(state))
 
     @classmethod
     def open(cls, source: Union[str, Path, Any]) -> "SketchSession":

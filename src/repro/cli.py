@@ -20,7 +20,12 @@ routed through the unified :mod:`repro.api` session facade:
 * ``repro store put|get|list|history|compact|delete`` — the persistent,
   versioned sketch catalog (:class:`repro.store.SketchStore`): append
   named snapshots, restore them bit-identically in any process, inspect
-  the catalog, and fold closed window panes to reclaim space.
+  the catalog, and fold closed window panes to reclaim space;
+* ``repro serve`` — the asyncio ingest/query front door
+  (:mod:`repro.server`): one writer session fed by batched ingest frames,
+  read replicas answering queries on a bounded-staleness snapshot
+  cadence, optional ``--store`` restore-on-boot / checkpoint-on-shutdown,
+  graceful drain on SIGTERM.
 
 **Legacy invocations keep working.**  The flat verbs that predate the
 noun-verb grammar — ``repro datasets``, bare ``repro sketch``, ``repro
@@ -41,6 +46,8 @@ console script installed by the package.
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import os
 import sys
 from typing import List, Optional
@@ -63,6 +70,7 @@ from repro.eval.experiments import (
 from repro.eval.metrics import average_error, maximum_error
 from repro.eval.plots import plot_result_table
 from repro.serialization import SerializationError
+from repro.server import ServerConfig, serve_until_signalled
 from repro.sketches.registry import available_sketches, get_spec
 from repro.store import SketchStore, format_store_uri
 from repro.streaming.windows import WINDOW_MODES, WindowSpec
@@ -249,6 +257,59 @@ def _build_parser() -> argparse.ArgumentParser:
     delete.add_argument("--version", type=int, default=None,
                         help="remove one snapshot version instead of the "
                              "whole name")
+
+    serve = nouns.add_parser(
+        "serve", help="run the asyncio ingest/query front door"
+    )
+    serve.set_defaults(verb=None)
+    serve.add_argument("--host", default=None,
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port; 0 binds an ephemeral port and prints "
+                            "it (default 0)")
+    serve.add_argument("--config", default=None, metavar="PATH",
+                       help="JSON file of server + sketch settings "
+                            "(flags override file keys)")
+    serve.add_argument("--store", default=None, metavar="URI",
+                       help="store://PATH#NAME catalog URI: restore the "
+                            "newest snapshot on boot (when it exists) and "
+                            "checkpoint on graceful shutdown")
+    serve.add_argument("--algorithm", default=None,
+                       help="sketch to create when neither --config nor the "
+                            "store provides one (see 'repro sketch list')")
+    serve.add_argument("--dimension", type=str, default=None,
+                       help="universe size (scientific notation accepted)")
+    serve.add_argument("--width", type=str, default=2_048,
+                       help="buckets per row (scientific notation accepted)")
+    serve.add_argument("--depth", type=str, default=9,
+                       help="hash rows (scientific notation accepted)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--shards", type=int, default=None,
+                       help="apply ingest batches through the multi-core "
+                            "sharded engine with this many shards (linear "
+                            "sketches only; default 1)")
+    serve.add_argument("--window", default=None, metavar="MODE[:ARG]",
+                       help="windowed serving: 'tumbling', 'sliding:<panes>' "
+                            "or 'decay:<factor>' (requires --pane)")
+    serve.add_argument("--pane", type=str, default=None,
+                       help="pane size in updates for --window")
+    serve.add_argument("--snapshot-interval", type=float, default=None,
+                       dest="snapshot_interval", metavar="SECONDS",
+                       help="refresh the read replica at most this many "
+                            "seconds after the first un-snapshotted update "
+                            "(default 0.25)")
+    serve.add_argument("--snapshot-updates", type=str, default=None,
+                       dest="snapshot_updates", metavar="N",
+                       help="also refresh once this many updates accumulate "
+                            "(default 100000)")
+    serve.add_argument("--queue-depth", type=str, default=None,
+                       dest="queue_depth", metavar="BATCHES",
+                       help="bound of the ingest queue, in batches "
+                            "(default 64)")
+    serve.add_argument("--max-frame-bytes", type=str, default=None,
+                       dest="max_frame_bytes", metavar="BYTES",
+                       help="per-connection cap on one frame's size "
+                            "(default 64 MiB)")
     return parser
 
 
@@ -296,7 +357,8 @@ def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
 
 
 #: flags coerced through :func:`_geometry_value` before dispatch
-_GEOMETRY_FLAGS = ("dimension", "width", "depth", "head_size", "pane")
+_GEOMETRY_FLAGS = ("dimension", "width", "depth", "head_size", "pane",
+                   "snapshot_updates", "queue_depth", "max_frame_bytes")
 
 
 def _geometry_value(value, name: str) -> int:
@@ -671,6 +733,83 @@ def _command_store_delete(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _server_config(args: argparse.Namespace) -> ServerConfig:
+    """Build the :class:`ServerConfig` that ``repro serve`` asked for.
+
+    Precedence (highest first): command-line flags, ``--config`` file
+    keys, :class:`ServerConfig` defaults.  The sketch geometry flags only
+    apply when ``--algorithm`` is given; otherwise the sketch comes from
+    the config file, or from the store snapshot on boot.
+    """
+    mapping = {}
+    if args.config is not None:
+        with open(args.config, "r", encoding="utf-8") as handle:
+            try:
+                mapping = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(
+                    f"invalid JSON in {args.config}: {exc}"
+                ) from exc
+    sketch = None
+    if args.algorithm is not None:
+        if args.dimension is None:
+            raise ConfigError(
+                "serve needs --dimension alongside --algorithm"
+            )
+        sketch = SketchConfig(
+            args.algorithm,
+            dimension=args.dimension,
+            width=args.width,
+            depth=args.depth,
+            seed=args.seed,
+            window=_window_spec(args),
+        )
+    elif _window_spec(args) is not None:
+        raise ConfigError(
+            "--window on serve requires --algorithm (the window shapes the "
+            "sketch being created)"
+        )
+    overrides = {
+        key: getattr(args, key)
+        for key in ("host", "port", "store", "shards", "snapshot_interval",
+                    "snapshot_updates", "queue_depth", "max_frame_bytes")
+        if getattr(args, key) is not None
+    }
+    return ServerConfig.from_mapping(mapping, sketch=sketch, **overrides)
+
+
+def _command_serve(args: argparse.Namespace, out) -> int:
+    config = _server_config(args)
+
+    def on_ready(server) -> None:
+        print(f"serving          : {server.host}:{server.port} "
+              f"(pid {os.getpid()})", file=out)
+        print(f"sketch           : {server.sketch_config.summary()}", file=out)
+        if config.store is not None:
+            origin = ("restored from" if server.restored_from_store
+                      else "will checkpoint to")
+            print(f"store            : {origin} {config.store}", file=out)
+        if config.shards > 1:
+            print(f"ingestion        : sharded ({config.shards} shards)",
+                  file=out)
+        print(f"cadence          : snapshot every "
+              f"{config.snapshot_interval:g}s or {config.snapshot_updates} "
+              f"updates", file=out)
+        print("send SIGTERM (or Ctrl-C) to drain", file=out)
+        out.flush()
+
+    summary = asyncio.run(serve_until_signalled(config, on_ready=on_ready))
+    print(f"drained          : {summary['updates_applied']} update(s) in "
+          f"{summary['batches_applied']} batch(es), final epoch "
+          f"{summary['final_epoch']}", file=out)
+    if summary["batches_rejected"]:
+        print(f"rejected         : {summary['batches_rejected']} batch(es)",
+              file=out)
+    if summary["checkpoint"] is not None:
+        print(f"checkpoint       : {summary['checkpoint']}", file=out)
+    return 0
+
+
 _COMMANDS = {
     ("dataset", "list"): _command_dataset_list,
     ("sketch", "fit"): _command_sketch_fit,
@@ -685,6 +824,7 @@ _COMMANDS = {
     ("store", "history"): _command_store_history,
     ("store", "compact"): _command_store_compact,
     ("store", "delete"): _command_store_delete,
+    ("serve", None): _command_serve,
 }
 
 

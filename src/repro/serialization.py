@@ -51,6 +51,7 @@ from __future__ import annotations
 
 import json
 import struct
+from contextlib import contextmanager
 from typing import Any, Dict, Type
 
 import numpy as np
@@ -68,6 +69,30 @@ _KIND_REGISTRY: Dict[str, Type] = {}
 
 class SerializationError(ValueError):
     """Raised when a payload cannot be encoded or decoded."""
+
+
+@contextmanager
+def reconstruction_errors(context: str = "payload"):
+    """Turn reconstruction faults into :class:`SerializationError`.
+
+    A corrupted (but structurally parseable) payload surfaces deep inside
+    ``from_state`` as a ``KeyError`` (missing state field), ``IndexError``,
+    ``AttributeError`` or ``TypeError`` (a field of the wrong shape being
+    used as something it is not).  Every decode entry point wraps the
+    reconstruction in this guard so callers see one clean, typed error
+    instead of an implementation detail.  ``ValueError`` family errors
+    (:class:`SerializationError` itself, config validation) already carry
+    user-facing messages and pass through untouched.
+    """
+    try:
+        yield
+    except (SerializationError, ValueError):
+        raise
+    except (KeyError, IndexError, TypeError, AttributeError) as exc:
+        raise SerializationError(
+            f"corrupt {context}: reconstruction failed "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 def is_serializable_seed(seed: Any) -> bool:
@@ -138,8 +163,14 @@ class StateProtocolMixin:
 
     @classmethod
     def from_bytes(cls, data: bytes):
-        """Decode a wire payload produced by :meth:`to_bytes`."""
-        return cls.from_state(decode_state(data))
+        """Decode a wire payload produced by :meth:`to_bytes`.
+
+        Corrupt payloads raise :class:`SerializationError`, never a raw
+        ``struct.error``/``KeyError`` from the decoding internals.
+        """
+        state = decode_state(data)
+        with reconstruction_errors(f"{cls.__name__} payload"):
+            return cls.from_state(state)
 
     def size_in_bytes(self) -> int:
         """Exact size of this sketch's serialized wire payload."""
@@ -277,6 +308,17 @@ def _decode_header(data: bytes) -> tuple:
             f"corrupt payload header in a payload written as wire version "
             f"{version}: {exc}"
         ) from exc
+    if not isinstance(header, dict):
+        raise SerializationError(
+            f"corrupt payload header: expected a JSON object, got "
+            f"{type(header).__name__}"
+        )
+    kind = header.get("kind")
+    if not isinstance(kind, str) or not kind:
+        raise SerializationError(
+            f"corrupt payload header: missing or invalid sketch kind "
+            f"{kind!r}"
+        )
     return header, end
 
 
@@ -292,21 +334,61 @@ def payload_header(data: bytes) -> Dict[str, Any]:
     return header
 
 
+def _manifest_entry(entry: Any) -> tuple:
+    """Validate one array-manifest entry; returns ``(name, dtype, shape)``."""
+    if not isinstance(entry, dict):
+        raise SerializationError(
+            f"corrupt payload: array manifest entry is not an object "
+            f"({entry!r})"
+        )
+    missing = [key for key in ("name", "dtype", "shape") if key not in entry]
+    if missing:
+        raise SerializationError(
+            f"corrupt payload: array manifest entry {entry.get('name')!r} "
+            f"is missing {missing}"
+        )
+    try:
+        dtype = np.dtype(entry["dtype"])
+    except TypeError as exc:
+        raise SerializationError(
+            f"corrupt payload: array {entry['name']!r} declares invalid "
+            f"dtype {entry['dtype']!r}"
+        ) from exc
+    try:
+        shape = tuple(int(s) for s in entry["shape"])
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"corrupt payload: array {entry['name']!r} declares invalid "
+            f"shape {entry['shape']!r}"
+        ) from exc
+    if any(s < 0 for s in shape):
+        raise SerializationError(
+            f"corrupt payload: array {entry['name']!r} declares negative "
+            f"shape {shape}"
+        )
+    return entry["name"], dtype, shape
+
+
 def decode_state(data: bytes) -> Dict[str, Any]:
     """Decode a wire payload back into a sketch state dict."""
     header, offset = _decode_header(data)
+    manifest = header.get("arrays", [])
+    if not isinstance(manifest, list):
+        raise SerializationError(
+            f"corrupt payload: array manifest must be a list, got "
+            f"{type(manifest).__name__}"
+        )
     arrays: Dict[str, np.ndarray] = {}
-    for entry in header.get("arrays", []):
-        dtype = np.dtype(entry["dtype"])
-        shape = tuple(int(s) for s in entry["shape"])
+    for raw_entry in manifest:
+        name, dtype, shape = _manifest_entry(raw_entry)
         nbytes = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
         chunk = data[offset:offset + nbytes]
         if len(chunk) != nbytes:
             raise SerializationError(
-                f"truncated payload: array {entry['name']!r} expects "
+                f"truncated payload: array {name!r} expects "
                 f"{nbytes} bytes, got {len(chunk)}"
             )
-        arrays[entry["name"]] = (
+        arrays[name] = (
             np.frombuffer(chunk, dtype=dtype).reshape(shape).astype(
                 dtype.newbyteorder("="), copy=True
             )
@@ -327,7 +409,9 @@ def decode_state(data: bytes) -> Dict[str, Any]:
 # --------------------------------------------------------------------------- #
 def sketch_from_state(state: Dict[str, Any]):
     """Reconstruct a sketch from a state dict, dispatching on ``state["kind"]``."""
-    return lookup_kind(state["kind"]).from_state(state)
+    klass = lookup_kind(state["kind"])
+    with reconstruction_errors(f"{state['kind']!r} state"):
+        return klass.from_state(state)
 
 
 def sketch_from_bytes(data: bytes):

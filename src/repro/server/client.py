@@ -1,0 +1,403 @@
+"""Thin clients for the ingest/query front door.
+
+:class:`Client` is synchronous (plain sockets — usable from scripts, the
+CLI, tests, and thread-based load generators); :class:`AsyncClient` is the
+same surface over asyncio streams.  Both speak the frame protocol of
+:mod:`repro.server.protocol` and translate the three failure families into
+the typed errors of :mod:`repro.server.errors`:
+
+* transport failures (refused, reset, closed mid-frame) →
+  :class:`~repro.server.errors.ConnectionFailedError`;
+* malformed frames (including a response over the frame cap) →
+  :class:`~repro.server.errors.ProtocolError` /
+  :class:`~repro.server.errors.FrameTooLargeError`;
+* server-side rejections (error frames) →
+  :class:`~repro.server.errors.RemoteOperationError` with the server's
+  machine-readable ``code``.
+
+Every query answer carries the ``epoch`` of the read replica that answered
+(:class:`QueryAnswer`), so callers always know the staleness of what they
+read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.queries.heavy_hitters import HeavyHitter
+from repro.server.errors import (
+    ConnectionFailedError,
+    FrameTooLargeError,
+    ProtocolError,
+    RemoteOperationError,
+)
+from repro.server.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FRAME_PREAMBLE,
+    REQUEST_MAGIC,
+    RESPONSE_MAGIC,
+    decode_preamble,
+    encode_frame,
+    pack_updates,
+    pack_vector,
+    parse_frame_header,
+    read_frame,
+)
+
+
+@dataclass(frozen=True)
+class QueryAnswer:
+    """One query result, stamped with the answering replica's staleness.
+
+    Attributes
+    ----------
+    value:
+        The estimate — a float for ``point``/``range``/``inner_product``
+        (a list of floats for a vectorized point query), a list of
+        :class:`~repro.queries.heavy_hitters.HeavyHitter` records for
+        ``heavy_hitters``.
+    epoch:
+        Snapshot epoch of the read replica that answered.  Two answers
+        with the same epoch came from bit-identical replica state.
+    items:
+        Items the replica had absorbed when its snapshot was taken.
+    """
+
+    value: Any
+    epoch: int
+    items: int
+
+
+def _raise_for_error(header: Dict[str, Any]) -> None:
+    if header.get("ok", False):
+        return
+    message = str(header.get("error", "unspecified server error"))
+    code = str(header.get("code", "server"))
+    if code == "frame-too-large":
+        raise FrameTooLargeError(message)
+    raise RemoteOperationError(message, code)
+
+
+def _decode_query(header: Dict[str, Any]) -> QueryAnswer:
+    value = header.get("result")
+    if header.get("kind") == "heavy_hitters" and isinstance(value, list):
+        value = [
+            HeavyHitter(index=int(i), estimate=float(e), score=float(s))
+            for i, e, s in value
+        ]
+    return QueryAnswer(
+        value=value,
+        epoch=int(header.get("epoch", 0)),
+        items=int(header.get("items", 0)),
+    )
+
+
+class _RequestMixin:
+    """The op surface shared by the sync and async clients.
+
+    Subclasses implement ``_request(header, payload)`` (sync) or
+    ``_request_async`` (async); everything else is shared shaping of the
+    request headers and decoding of the answers.
+    """
+
+    @staticmethod
+    def _ingest_request(indices: Any, deltas: Any) -> Tuple[Dict[str, Any], bytes]:
+        payload, count = pack_updates(indices, deltas)
+        return {"op": "ingest", "count": count}, payload
+
+    @staticmethod
+    def _query_request(
+        kind: str, params: Optional[Dict[str, Any]]
+    ) -> Tuple[Dict[str, Any], bytes]:
+        params = dict(params or {})
+        payload = b""
+        header: Dict[str, Any] = {"op": "query", "kind": kind}
+        if kind == "inner_product":
+            vector = params.pop("vector", None)
+            if vector is None:
+                raise ProtocolError("inner_product queries need a vector")
+            payload, length = pack_vector(vector)
+            header["vector_length"] = length
+        if isinstance(params.get("candidates"), np.ndarray):
+            params["candidates"] = [int(v) for v in params["candidates"]]
+        if isinstance(params.get("index"), np.ndarray):
+            params["index"] = [int(v) for v in params["index"]]
+        if params:
+            header["params"] = params
+        return header, payload
+
+
+class Client(_RequestMixin):
+    """Synchronous client over a plain TCP socket.
+
+    >>> with Client(host, port) as client:
+    ...     client.ingest([3, 5, 3])
+    ...     client.flush()
+    ...     answer = client.point(3)
+    ...     answer.value, answer.epoch
+
+    One socket, one request in flight at a time (guarded by a lock — the
+    client may be shared across threads; each request/response exchange is
+    atomic).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 30.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._max_frame_bytes = max_frame_bytes
+        self._lock = threading.Lock()
+        self._address = (host, int(port))
+        try:
+            self._socket = socket.create_connection(
+                self._address, timeout=timeout
+            )
+        except OSError as exc:
+            raise ConnectionFailedError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+
+    # -- context management ------------------------------------------------
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:  # pragma: no cover - best-effort close
+            pass
+
+    # -- transport ---------------------------------------------------------
+    def _read_exactly(self, size: int) -> bytes:
+        chunks: List[bytes] = []
+        remaining = size
+        while remaining:
+            try:
+                chunk = self._socket.recv(min(remaining, 1 << 20))
+            except OSError as exc:
+                raise ConnectionFailedError(
+                    f"connection to {self._address[0]}:{self._address[1]} "
+                    f"failed mid-response: {exc}"
+                ) from exc
+            if not chunk:
+                raise ConnectionFailedError(
+                    f"server {self._address[0]}:{self._address[1]} closed "
+                    f"the connection mid-response ({size - remaining} of "
+                    f"{size} bytes read)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _request(
+        self, header: Dict[str, Any], payload: bytes = b""
+    ) -> Tuple[Dict[str, Any], bytes]:
+        frame = encode_frame(
+            REQUEST_MAGIC, header, payload,
+            max_frame_bytes=self._max_frame_bytes,
+        )
+        with self._lock:
+            try:
+                self._socket.sendall(frame)
+            except OSError as exc:
+                raise ConnectionFailedError(
+                    f"cannot send to {self._address[0]}:{self._address[1]}: "
+                    f"{exc}"
+                ) from exc
+            preamble = self._read_exactly(FRAME_PREAMBLE.size)
+            header_len, payload_len = decode_preamble(
+                preamble, RESPONSE_MAGIC,
+                max_frame_bytes=self._max_frame_bytes,
+            )
+            raw_header = self._read_exactly(header_len)
+            response_payload = self._read_exactly(payload_len)
+        response_header = parse_frame_header(raw_header)
+        _raise_for_error(response_header)
+        return response_header, response_payload
+
+    # -- operations --------------------------------------------------------
+    def ping(self) -> int:
+        """Round-trip liveness check; returns the current replica epoch."""
+        header, _ = self._request({"op": "ping"})
+        return int(header["epoch"])
+
+    def ingest(self, indices: Any, deltas: Any = None) -> int:
+        """Submit one update batch; returns the number accepted.
+
+        The batch is applied asynchronously by the writer; it becomes
+        visible to queries at the next snapshot epoch (use :meth:`flush`
+        to force one).
+        """
+        request, payload = self._ingest_request(indices, deltas)
+        header, _ = self._request(request, payload)
+        return int(header["accepted"])
+
+    def query(
+        self, kind: str = "point", **params: Any
+    ) -> QueryAnswer:
+        """Run one query; the answer carries the replica's epoch."""
+        request, payload = self._query_request(kind, params)
+        header, _ = self._request(request, payload)
+        return _decode_query(header)
+
+    def point(self, index: Union[int, Any]) -> QueryAnswer:
+        return self.query("point", index=index)
+
+    def heavy_hitters(self, **params: Any) -> QueryAnswer:
+        return self.query("heavy_hitters", **params)
+
+    def range(self, low: int, high: int) -> QueryAnswer:
+        return self.query("range", low=low, high=high)
+
+    def inner_product(self, vector: Any) -> QueryAnswer:
+        return self.query("inner_product", vector=vector)
+
+    def flush(self) -> int:
+        """Apply every queued batch and refresh the replica; returns epoch."""
+        header, _ = self._request({"op": "flush"})
+        return int(header["epoch"])
+
+    def snapshot(self) -> Tuple[int, bytes]:
+        """The current replica's ``(epoch, verbatim RPSK/RPWD payload)``.
+
+        ``SketchSession.from_bytes(payload)`` restores exactly the state
+        that answers queries at this epoch.
+        """
+        header, payload = self._request({"op": "snapshot"})
+        return int(header["epoch"]), payload
+
+    def stats(self) -> Dict[str, Any]:
+        """Server counters and per-connection ingest/query byte accounting."""
+        header, _ = self._request({"op": "stats"})
+        return header
+
+
+class AsyncClient(_RequestMixin):
+    """The same surface as :class:`Client`, over asyncio streams.
+
+    >>> client = await AsyncClient.connect(host, port)
+    >>> await client.ingest([3, 5, 3])
+    >>> answer = await client.point(3)
+    >>> await client.close()
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._lock = asyncio.Lock()
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> "AsyncClient":
+        try:
+            reader, writer = await asyncio.open_connection(host, int(port))
+        except OSError as exc:
+            raise ConnectionFailedError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        return cls(reader, writer, max_frame_bytes=max_frame_bytes)
+
+    async def __aenter__(self) -> "AsyncClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (OSError, asyncio.CancelledError):  # pragma: no cover
+            pass
+
+    async def _request(
+        self, header: Dict[str, Any], payload: bytes = b""
+    ) -> Tuple[Dict[str, Any], bytes]:
+        frame = encode_frame(
+            REQUEST_MAGIC, header, payload,
+            max_frame_bytes=self._max_frame_bytes,
+        )
+        async with self._lock:
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+                response = await read_frame(
+                    self._reader, RESPONSE_MAGIC,
+                    max_frame_bytes=self._max_frame_bytes,
+                )
+            except ProtocolError:
+                raise
+            except OSError as exc:
+                raise ConnectionFailedError(
+                    f"connection failed mid-request: {exc}"
+                ) from exc
+        if response is None:
+            raise ConnectionFailedError(
+                "server closed the connection before answering"
+            )
+        response_header, response_payload = response
+        _raise_for_error(response_header)
+        return response_header, response_payload
+
+    async def ping(self) -> int:
+        header, _ = await self._request({"op": "ping"})
+        return int(header["epoch"])
+
+    async def ingest(self, indices: Any, deltas: Any = None) -> int:
+        request, payload = self._ingest_request(indices, deltas)
+        header, _ = await self._request(request, payload)
+        return int(header["accepted"])
+
+    async def query(self, kind: str = "point", **params: Any) -> QueryAnswer:
+        request, payload = self._query_request(kind, params)
+        header, _ = await self._request(request, payload)
+        return _decode_query(header)
+
+    async def point(self, index: Union[int, Any]) -> QueryAnswer:
+        return await self.query("point", index=index)
+
+    async def heavy_hitters(self, **params: Any) -> QueryAnswer:
+        return await self.query("heavy_hitters", **params)
+
+    async def range(self, low: int, high: int) -> QueryAnswer:
+        return await self.query("range", low=low, high=high)
+
+    async def inner_product(self, vector: Any) -> QueryAnswer:
+        return await self.query("inner_product", vector=vector)
+
+    async def flush(self) -> int:
+        header, _ = await self._request({"op": "flush"})
+        return int(header["epoch"])
+
+    async def snapshot(self) -> Tuple[int, bytes]:
+        header, payload = await self._request({"op": "snapshot"})
+        return int(header["epoch"]), payload
+
+    async def stats(self) -> Dict[str, Any]:
+        header, _ = await self._request({"op": "stats"})
+        return header

@@ -1,0 +1,52 @@
+"""Exceptions of the :mod:`repro.server` front door.
+
+Three failure families are distinguished, mirroring where the fault lies:
+
+* :class:`ProtocolError` — the *bytes* are wrong: a frame with a bad magic,
+  an unsupported protocol version, a header that is not valid JSON, or a
+  frame larger than the negotiated cap (:class:`FrameTooLargeError`).
+  Subclasses :class:`~repro.serialization.SerializationError`, so callers
+  (and the CLI's one-line error path) that already handle malformed wire
+  payloads handle malformed frames without new plumbing.
+* :class:`ConnectionFailedError` — the *transport* is wrong: the server is
+  not listening, refused the connection, or hung up mid-request (e.g. a
+  drain closed the socket under the client).
+* :class:`RemoteOperationError` — the bytes and transport are fine but the
+  *server* rejected the operation, answering an error frame; carries the
+  server's machine-readable ``code`` next to its message.
+"""
+
+from __future__ import annotations
+
+from repro.serialization import SerializationError
+
+
+class ServeError(Exception):
+    """Base class for every :mod:`repro.server` failure."""
+
+
+class ProtocolError(ServeError, SerializationError):
+    """A malformed frame: bad magic, bad version, or an unparseable header."""
+
+
+class FrameTooLargeError(ProtocolError):
+    """A frame exceeding the connection's maximum frame size."""
+
+
+class ConnectionFailedError(ServeError, ConnectionError):
+    """The server cannot be reached, or it hung up mid-conversation."""
+
+
+class RemoteOperationError(ServeError, ValueError):
+    """The server answered an error frame for a well-formed request.
+
+    Attributes
+    ----------
+    code:
+        The server's machine-readable error code (``"capability"``,
+        ``"config"``, ``"protocol"``, ``"shutting-down"``, ``"server"``).
+    """
+
+    def __init__(self, message: str, code: str = "server") -> None:
+        super().__init__(message)
+        self.code = code

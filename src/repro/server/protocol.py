@@ -1,0 +1,248 @@
+"""Length-prefixed framing for the ingest/query front door.
+
+One frame is one request or one response::
+
+    offset  size       field
+    0       4          magic  b"RPRQ" (request) / b"RPRS" (response)
+    4       2          protocol version, uint16 little-endian
+    6       4          header length H, uint32 little-endian
+    10      4          payload length P, uint32 little-endian
+    14      H          header, UTF-8 JSON (sorted keys)
+    14+H    P          payload, raw bytes
+
+The preamble deliberately mirrors the sketch wire format of
+:mod:`repro.serialization` (magic + version + length-prefixed JSON header),
+and the payload **is** an existing versioned encoding — no new
+serialization is invented:
+
+* ``snapshot`` responses carry a verbatim ``RPSK`` / ``RPWD`` payload
+  (:meth:`repro.api.SketchSession.to_bytes`), restorable anywhere with
+  :meth:`~repro.api.SketchSession.from_bytes`;
+* ``ingest`` requests and ``inner_product`` queries carry raw
+  little-endian arrays in exactly the convention of the wire format's
+  array payloads (``int64`` indices followed by ``float64`` deltas);
+* everything else travels in the JSON header.
+
+The header's ``op`` field names the operation; see :data:`REQUEST_OPS`.
+Responses answer with ``ok`` (bool), the operation's result fields, and —
+on every query — the ``epoch`` of the read replica that answered, so
+clients always know the staleness of what they read.
+
+Both sides enforce a maximum frame size (:data:`DEFAULT_MAX_FRAME_BYTES`);
+an oversized frame raises :class:`~repro.server.errors.FrameTooLargeError`
+before any allocation is attempted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.server.errors import FrameTooLargeError, ProtocolError
+
+#: 4-byte magics distinguishing the two frame directions
+REQUEST_MAGIC = b"RPRQ"
+RESPONSE_MAGIC = b"RPRS"
+
+#: current protocol version (the ``uint16`` following the magic)
+PROTOCOL_VERSION = 1
+
+#: magic, version, header length, payload length
+FRAME_PREAMBLE = struct.Struct("<4sHII")
+
+#: default cap on one frame's total size (preamble + header + payload)
+DEFAULT_MAX_FRAME_BYTES = 64 << 20
+
+#: the operations a request frame may carry
+REQUEST_OPS = frozenset(
+    {"ping", "ingest", "query", "stats", "snapshot", "flush"}
+)
+
+
+def encode_frame(
+    magic: bytes,
+    header: Dict[str, Any],
+    payload: bytes = b"",
+    *,
+    max_frame_bytes: Optional[int] = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """Encode one frame; raises :class:`FrameTooLargeError` over the cap."""
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    total = FRAME_PREAMBLE.size + len(header_bytes) + len(payload)
+    if max_frame_bytes is not None and total > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame of {total} bytes exceeds the maximum frame size of "
+            f"{max_frame_bytes} bytes; split the batch into smaller frames"
+        )
+    return b"".join((
+        FRAME_PREAMBLE.pack(
+            magic, PROTOCOL_VERSION, len(header_bytes), len(payload)
+        ),
+        header_bytes,
+        payload,
+    ))
+
+
+def decode_preamble(
+    data: bytes,
+    expected_magic: bytes,
+    *,
+    max_frame_bytes: Optional[int] = DEFAULT_MAX_FRAME_BYTES,
+) -> Tuple[int, int]:
+    """Validate a 14-byte preamble; returns ``(header_len, payload_len)``."""
+    if len(data) != FRAME_PREAMBLE.size:
+        raise ProtocolError(
+            f"frame preamble is {FRAME_PREAMBLE.size} bytes, got {len(data)}"
+        )
+    magic, version, header_len, payload_len = FRAME_PREAMBLE.unpack(data)
+    if magic != expected_magic:
+        raise ProtocolError(
+            f"bad frame magic {magic!r}; expected {expected_magic!r}"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version}; this build speaks "
+            f"version {PROTOCOL_VERSION}"
+        )
+    total = FRAME_PREAMBLE.size + header_len + payload_len
+    if max_frame_bytes is not None and total > max_frame_bytes:
+        raise FrameTooLargeError(
+            f"frame of {total} bytes exceeds the maximum frame size of "
+            f"{max_frame_bytes} bytes"
+        )
+    return int(header_len), int(payload_len)
+
+
+def parse_frame_header(raw: bytes) -> Dict[str, Any]:
+    """Decode a frame's JSON header; malformed JSON is a protocol error."""
+    try:
+        header = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame header: {exc}") from exc
+    if not isinstance(header, dict):
+        raise ProtocolError(
+            f"frame header must be a JSON object, got "
+            f"{type(header).__name__}"
+        )
+    return header
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    expected_magic: bytes,
+    *,
+    max_frame_bytes: Optional[int] = DEFAULT_MAX_FRAME_BYTES,
+) -> Optional[Tuple[Dict[str, Any], bytes]]:
+    """Read one frame from an asyncio stream.
+
+    Returns ``(header, payload)``, or ``None`` on a clean end-of-stream at
+    a frame boundary (the peer closed between frames).  A connection that
+    dies *inside* a frame raises :class:`ProtocolError`.
+    """
+    try:
+        preamble = await reader.readexactly(FRAME_PREAMBLE.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-preamble ({len(exc.partial)} of "
+            f"{FRAME_PREAMBLE.size} bytes)"
+        ) from exc
+    header_len, payload_len = decode_preamble(
+        preamble, expected_magic, max_frame_bytes=max_frame_bytes
+    )
+    try:
+        raw_header = await reader.readexactly(header_len)
+        payload = await reader.readexactly(payload_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return parse_frame_header(raw_header), payload
+
+
+# --------------------------------------------------------------------------- #
+# update-batch payloads
+# --------------------------------------------------------------------------- #
+def pack_updates(indices: Any, deltas: Any = None) -> Tuple[bytes, int]:
+    """Encode an update batch as raw little-endian arrays.
+
+    The payload is ``count`` ``int64`` indices followed by ``count``
+    ``float64`` deltas (unit increments when ``deltas`` is ``None``), the
+    exact array convention of the sketch wire format.  Returns
+    ``(payload, count)``.
+    """
+    indices = np.ascontiguousarray(np.asarray(indices, dtype=np.int64))
+    if indices.ndim != 1:
+        raise ProtocolError(
+            f"update indices must be one-dimensional, got shape "
+            f"{indices.shape}"
+        )
+    if deltas is None:
+        deltas = np.ones(indices.size, dtype=np.float64)
+    elif np.isscalar(deltas):
+        deltas = np.full(indices.size, float(deltas), dtype=np.float64)
+    else:
+        deltas = np.ascontiguousarray(np.asarray(deltas, dtype=np.float64))
+        if deltas.shape != indices.shape:
+            raise ProtocolError(
+                f"deltas shape {deltas.shape} does not match indices shape "
+                f"{indices.shape}"
+            )
+    little = "<i8", "<f8"
+    payload = (
+        indices.astype(little[0], copy=False).tobytes()
+        + deltas.astype(little[1], copy=False).tobytes()
+    )
+    return payload, int(indices.size)
+
+
+def unpack_updates(payload: bytes, count: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Decode a :func:`pack_updates` payload back into ``(indices, deltas)``."""
+    count = int(count)
+    if count < 0:
+        raise ProtocolError(f"update count must be non-negative, got {count}")
+    expected = count * 16
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"update payload of {len(payload)} bytes does not match "
+            f"count={count} (expected {expected} bytes)"
+        )
+    indices = np.frombuffer(payload, dtype="<i8", count=count).astype(
+        np.int64, copy=True
+    )
+    deltas = np.frombuffer(payload, dtype="<f8", count=count,
+                           offset=count * 8).astype(np.float64, copy=True)
+    return indices, deltas
+
+
+def pack_vector(vector: Any) -> Tuple[bytes, int]:
+    """Encode a dense float64 vector (the ``inner_product`` query payload)."""
+    vector = np.ascontiguousarray(np.asarray(vector, dtype=np.float64))
+    if vector.ndim != 1:
+        raise ProtocolError(
+            f"query vectors must be one-dimensional, got shape {vector.shape}"
+        )
+    return vector.astype("<f8", copy=False).tobytes(), int(vector.size)
+
+
+def unpack_vector(payload: bytes, count: int) -> np.ndarray:
+    """Decode a :func:`pack_vector` payload."""
+    count = int(count)
+    if len(payload) != count * 8:
+        raise ProtocolError(
+            f"vector payload of {len(payload)} bytes does not match "
+            f"count={count} (expected {count * 8} bytes)"
+        )
+    return np.frombuffer(payload, dtype="<f8", count=count).astype(
+        np.float64, copy=True
+    )
+
+
+def error_header(message: str, code: str = "server") -> Dict[str, Any]:
+    """The header of an error response frame."""
+    return {"ok": False, "error": str(message), "code": code}

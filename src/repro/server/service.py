@@ -1,0 +1,817 @@
+"""The asyncio ingest/query front door, split HTAP-style.
+
+One :class:`ReproServer` owns exactly one **writer** and any number of
+**readers**:
+
+* the writer path owns the live :class:`~repro.api.SketchSession` (with its
+  warm sharded-ingest pool and windowed pane ring, when configured) and is
+  the *only* code that mutates it — ingest frames are validated on the
+  event loop, enqueued on a **bounded** queue (a full queue backpressures
+  the ingesting connection instead of buffering without limit), and applied
+  by a single writer task on a dedicated executor thread;
+* the reader path answers every query from a **read replica**: a session
+  restored via :meth:`~repro.api.SketchSession.from_bytes` from the
+  writer's latest snapshot payload and refreshed on a configurable cadence
+  (every ``snapshot_interval`` seconds of dirtiness, or every
+  ``snapshot_updates`` applied updates, whichever comes first).  Queries
+  therefore **never touch the ingest session**; every query response
+  carries the replica's ``epoch`` so clients know exactly how stale their
+  read is, and the ``snapshot`` operation returns the verbatim payload the
+  current replica was restored from — answers are bit-identical to a local
+  ``from_bytes`` restore of that payload.
+
+Per-connection traffic is accounted through the
+:class:`~repro.distributed.network.CommunicationLog` (declared words next
+to true serialized bytes — the same reconciliation discipline the
+simulated distributed layer uses), surfaced by the ``stats`` operation.
+
+Graceful shutdown (:meth:`ReproServer.drain`, wired to ``SIGTERM`` by
+``repro serve``): stop accepting connections, reject new operations with a
+``shutting-down`` error, apply every batch already accepted, take a final
+snapshot, checkpoint to the configured ``store://`` URI, release the
+writer session's worker pool, and close every connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.api.config import SketchConfig
+from repro.api.errors import CapabilityError, ConfigError
+from repro.api.session import SketchSession
+from repro.distributed.network import CommunicationLog
+from repro.serialization import SerializationError
+from repro.server.config import ServerConfig
+from repro.server.errors import (
+    FrameTooLargeError,
+    ProtocolError,
+)
+from repro.server.protocol import (
+    REQUEST_MAGIC,
+    REQUEST_OPS,
+    RESPONSE_MAGIC,
+    encode_frame,
+    error_header,
+    read_frame,
+    unpack_updates,
+    unpack_vector,
+)
+from repro.store import SketchStore, format_store_uri
+from repro.store.uri import parse_store_uri
+
+
+class _Published(NamedTuple):
+    """One immutable read-replica publication (swapped atomically)."""
+
+    epoch: int
+    replica: SketchSession
+    payload: bytes
+    items: int
+
+
+class _Drain(NamedTuple):
+    """Writer-queue sentinel: apply nothing further, settle and stop."""
+
+    future: asyncio.Future
+
+
+class _Flush(NamedTuple):
+    """Writer-queue sentinel: refresh the replica now, resolve with epoch."""
+
+    future: asyncio.Future
+
+
+class _Batch(NamedTuple):
+    """One accepted ingest batch, in arrival order."""
+
+    indices: np.ndarray
+    deltas: np.ndarray
+
+
+class ReproServer:
+    """The asyncio TCP service over one writer session and its replicas.
+
+    >>> server = ReproServer(ServerConfig(sketch=config, port=0))
+    >>> await server.start()
+    >>> server.port                      # the bound port
+    >>> ...
+    >>> summary = await server.drain()   # graceful shutdown
+
+    The server is single-writer by construction: every mutation of the
+    ingest session happens on one executor thread, in arrival order.
+    """
+
+    def __init__(self, config: ServerConfig) -> None:
+        self._config = config
+        self._session: Optional[SketchSession] = None
+        self._restored_from_store = False
+        self._published: Optional[_Published] = None
+        self._epoch = 0
+        self._queue: Optional[asyncio.Queue] = None
+        self._writer_task: Optional[asyncio.Task] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-writer"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._draining = False
+        self._drain_summary: Optional[Dict[str, Any]] = None
+        self._drain_lock: Optional[asyncio.Lock] = None
+
+        # accounting
+        self._accepted_updates = 0
+        self._applied_updates = 0
+        self._applied_batches = 0
+        self._rejected_batches = 0
+        self._last_reject: Optional[str] = None
+        self._pending_updates = 0
+        self._dirty_since: Optional[float] = None
+        self._conn_serial = 0
+        self._conn_logs: Dict[str, CommunicationLog] = {}
+        self._conn_writers: set = set()
+        self._lifetime: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def host(self) -> str:
+        return self._config.host
+
+    @property
+    def port(self) -> int:
+        """The actually-bound TCP port (resolves ``port=0``)."""
+        if self._server is None:
+            return self._config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def epoch(self) -> int:
+        """The epoch of the currently-published read replica."""
+        return self._published.epoch if self._published else 0
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def restored_from_store(self) -> bool:
+        """Whether the writer session was restored from the store on boot."""
+        return self._restored_from_store
+
+    @property
+    def sketch_config(self) -> Optional[SketchConfig]:
+        """The writer session's (possibly store-restored) sketch config."""
+        return self._session.config if self._session is not None else None
+
+    async def start(self) -> "ReproServer":
+        """Boot the writer session, publish epoch 0, and start listening."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._session = self._boot_session()
+        if not self._session.config.portable:
+            raise ConfigError(
+                "serving requires an explicit integer seed: the read "
+                "replicas are restored from snapshot payloads, which only "
+                "seeded sketches can produce"
+            )
+        if self._config.shards > 1 and not self._session.spec.linear:
+            raise ConfigError(
+                f"sketch {self._session.config.name!r} is not linear and "
+                "cannot apply ingest batches with shards > 1"
+            )
+        self._drain_lock = asyncio.Lock()
+        self._queue = asyncio.Queue(maxsize=self._config.queue_depth)
+        await self._refresh_replica(force=True, first=True)
+        self._writer_task = asyncio.create_task(
+            self._writer_loop(), name="repro-server-writer"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._config.host, self._config.port
+        )
+        return self
+
+    def _boot_session(self) -> SketchSession:
+        """The writer session: store-restored when possible, fresh otherwise."""
+        if self._config.store is not None:
+            reference = parse_store_uri(self._config.store)
+            if Path(reference.path).exists():
+                with SketchStore(reference.path) as store:
+                    names = {entry.name for entry in store.list()}
+                if reference.name in names:
+                    session = SketchSession.open(self._config.store)
+                    self._restored_from_store = True
+                    return session
+            if self._config.sketch is None:
+                raise ConfigError(
+                    f"store URI {self._config.store!r} names no existing "
+                    "snapshot and no sketch config was given; pass the "
+                    "sketch to create on first boot"
+                )
+        return SketchSession.from_config(self._config.sketch)
+
+    async def drain(self) -> Dict[str, Any]:
+        """Gracefully shut down; returns a summary (idempotent).
+
+        Ordering: stop accepting connections → reject new operations →
+        apply every already-accepted batch → final snapshot → checkpoint to
+        the store (when configured) → release the writer session (worker
+        pool, shared memory) → close every connection.
+        """
+        async with self._drain_lock:
+            if self._drain_summary is not None:
+                return self._drain_summary
+            self._draining = True
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            if self._writer_task is not None and not self._writer_task.done():
+                future: asyncio.Future = (
+                    asyncio.get_running_loop().create_future()
+                )
+                await self._queue.put(_Drain(future))
+                await future
+                await self._writer_task
+            checkpoint = await self._checkpoint()
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._session.close)
+            self._executor.shutdown(wait=True)
+            for writer in list(self._conn_writers):
+                writer.close()
+            self._drain_summary = {
+                "updates_accepted": self._accepted_updates,
+                "updates_applied": self._applied_updates,
+                "batches_applied": self._applied_batches,
+                "batches_rejected": self._rejected_batches,
+                "final_epoch": self._epoch,
+                "items_processed": (
+                    self._published.items if self._published else 0
+                ),
+                "checkpoint": checkpoint,
+            }
+            return self._drain_summary
+
+    async def _checkpoint(self) -> Optional[str]:
+        if self._config.store is None:
+            return None
+        reference = parse_store_uri(self._config.store)
+        destination = format_store_uri(reference.path, reference.name)
+        loop = asyncio.get_running_loop()
+        return str(
+            await loop.run_in_executor(
+                self._executor, self._session.save, destination
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # writer path
+    # ------------------------------------------------------------------ #
+    async def _writer_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            timeout = None
+            if self._dirty_since is not None:
+                due = self._dirty_since + self._config.snapshot_interval
+                timeout = max(0.005, due - loop.time())
+            try:
+                if timeout is None:
+                    item = await self._queue.get()
+                else:
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+            except asyncio.TimeoutError:
+                await self._refresh_replica()
+                continue
+            if isinstance(item, _Drain):
+                await self._refresh_replica()
+                item.future.set_result(self._epoch)
+                return
+            if isinstance(item, _Flush):
+                await self._refresh_replica()
+                item.future.set_result(self._epoch)
+                continue
+            applied = await loop.run_in_executor(
+                self._executor, self._apply_batch, item.indices, item.deltas
+            )
+            if applied:
+                self._applied_batches += 1
+                self._applied_updates += applied
+                self._pending_updates += applied
+                if self._dirty_since is None:
+                    self._dirty_since = loop.time()
+                if self._pending_updates >= self._config.snapshot_updates:
+                    await self._refresh_replica()
+
+    def _apply_batch(self, indices: np.ndarray, deltas: np.ndarray) -> int:
+        """Apply one batch on the writer thread; never raises into the loop."""
+        try:
+            self._session.ingest(
+                indices,
+                deltas,
+                shards=self._config.shards if self._config.shards > 1 else None,
+            )
+            return int(indices.size)
+        except Exception as exc:  # noqa: BLE001 - keep the writer alive
+            self._rejected_batches += 1
+            self._last_reject = f"{type(exc).__name__}: {exc}"
+            return 0
+
+    async def _refresh_replica(self, *, force: bool = False,
+                               first: bool = False) -> None:
+        """Snapshot the writer session and swap in a fresh read replica."""
+        if not force and self._pending_updates == 0:
+            self._dirty_since = None
+            return
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            self._executor, self._session.to_bytes
+        )
+        items = await loop.run_in_executor(
+            self._executor, lambda: int(self._session.items_processed)
+        )
+        replica = await loop.run_in_executor(
+            self._executor, SketchSession.from_bytes, payload
+        )
+        if not first:
+            self._epoch += 1
+        self._published = _Published(self._epoch, replica, payload, items)
+        self._pending_updates = 0
+        self._dirty_since = None
+
+    # ------------------------------------------------------------------ #
+    # reader path (one handler per connection)
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peer = writer.get_extra_info("peername")
+        self._conn_serial += 1
+        conn_id = (
+            f"{peer[0]}:{peer[1]}" if isinstance(peer, tuple) and len(peer) >= 2
+            else f"conn-{self._conn_serial}"
+        )
+        log = CommunicationLog()
+        self._conn_logs[conn_id] = log
+        self._conn_writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(
+                        reader, REQUEST_MAGIC,
+                        max_frame_bytes=self._config.max_frame_bytes,
+                    )
+                except FrameTooLargeError as exc:
+                    await self._respond(
+                        writer, error_header(str(exc), "frame-too-large")
+                    )
+                    return
+                except ProtocolError as exc:
+                    await self._respond(
+                        writer, error_header(str(exc), "protocol")
+                    )
+                    return
+                if frame is None:
+                    return
+                header, payload = frame
+                response_header, response_payload, words = (
+                    await self._dispatch(header, payload)
+                )
+                sent = await self._respond(
+                    writer, response_header, response_payload
+                )
+                if sent is None:
+                    return
+                op = header.get("op")
+                log.record(
+                    sender=conn_id,
+                    payload_words=words,
+                    description=op if isinstance(op, str) else "?",
+                    payload_bytes=len(payload) + sent,
+                )
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._fold_connection(conn_id, log)
+            self._conn_writers.discard(writer)
+            writer.close()
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        header: Dict[str, Any],
+        payload: bytes = b"",
+    ) -> Optional[int]:
+        """Send one response frame; returns its size, or ``None`` if gone."""
+        try:
+            frame = encode_frame(
+                RESPONSE_MAGIC, header, payload,
+                max_frame_bytes=self._config.max_frame_bytes,
+            )
+        except FrameTooLargeError as exc:
+            frame = encode_frame(
+                RESPONSE_MAGIC, error_header(str(exc), "frame-too-large")
+            )
+        try:
+            writer.write(frame)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return None
+        return len(frame)
+
+    async def _dispatch(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        """Route one request; returns ``(header, payload, declared_words)``."""
+        op = header.get("op")
+        if op not in REQUEST_OPS:
+            return (
+                error_header(
+                    f"unknown operation {op!r}; known operations: "
+                    f"{sorted(REQUEST_OPS)}",
+                    "protocol",
+                ),
+                b"",
+                0,
+            )
+        if self._draining and op not in ("stats", "ping"):
+            return (
+                error_header(
+                    "server is shutting down; no further "
+                    f"{op} operations are accepted",
+                    "shutting-down",
+                ),
+                b"",
+                0,
+            )
+        handler = getattr(self, f"_op_{op}")
+        try:
+            return await handler(header, payload)
+        except ProtocolError as exc:
+            return error_header(str(exc), "protocol"), b"", 0
+        except CapabilityError as exc:
+            return error_header(str(exc), "capability"), b"", 0
+        except (ConfigError, SerializationError, ValueError, KeyError) as exc:
+            detail = exc.args[0] if exc.args else exc
+            return error_header(str(detail), "config"), b"", 0
+        except Exception as exc:  # noqa: BLE001 - never kill the connection
+            return (
+                error_header(f"{type(exc).__name__}: {exc}", "server"),
+                b"",
+                0,
+            )
+
+    async def _op_ping(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        return {"ok": True, "op": "ping", "epoch": self.epoch}, b"", 0
+
+    async def _op_ingest(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        if "count" not in header:
+            raise ProtocolError("ingest frames must carry a 'count' field")
+        indices, deltas = unpack_updates(payload, header["count"])
+        self._validate_keys(indices)
+        if indices.size:
+            await self._queue.put(_Batch(indices, deltas))
+            self._accepted_updates += indices.size
+        return (
+            {
+                "ok": True,
+                "op": "ingest",
+                "accepted": int(indices.size),
+                "epoch": self.epoch,
+                "queued_batches": self._queue.qsize(),
+            },
+            b"",
+            2 * int(indices.size),  # one index word + one delta word each
+        )
+
+    def _validate_keys(self, indices: np.ndarray) -> None:
+        """Reject out-of-range keys eagerly, on the submitting connection."""
+        if not indices.size:
+            return
+        low = int(indices.min())
+        if low < 0:
+            raise ConfigError(f"update keys must be non-negative, got {low}")
+        dimension = self._session.dimension
+        if dimension is not None:
+            high = int(indices.max())
+            if high >= dimension:
+                raise ConfigError(
+                    f"update key {high} is out of range for dimension "
+                    f"{dimension}"
+                )
+
+    async def _op_query(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        published = self._published
+        kind = header.get("kind", "point")
+        params = dict(header.get("params") or {})
+        if kind == "inner_product":
+            if "vector_length" not in header:
+                raise ProtocolError(
+                    "inner_product queries carry the vector as the frame "
+                    "payload and must declare 'vector_length'"
+                )
+            params["vector"] = unpack_vector(
+                payload, header["vector_length"]
+            )
+        result = self._run_query(published.replica, kind, params)
+        return (
+            {
+                "ok": True,
+                "op": "query",
+                "kind": kind,
+                "epoch": published.epoch,
+                "items": published.items,
+                "result": result,
+            },
+            b"",
+            0,
+        )
+
+    @staticmethod
+    def _run_query(replica: SketchSession, kind: str, params: Dict[str, Any]):
+        """Answer one query on the replica, JSON-safe result out."""
+        if kind == "point":
+            index = params.get("index")
+            if index is None:
+                raise ProtocolError("point queries need params.index")
+            if isinstance(index, list):
+                estimates = replica.query(
+                    kind="point", index=np.asarray(index, dtype=np.int64)
+                )
+                return [float(value) for value in estimates]
+            return float(replica.query(kind="point", index=int(index)))
+        if kind == "heavy_hitters":
+            allowed = {
+                "threshold", "phi", "total_mass", "relative_to_bias",
+                "top_k", "candidates",
+            }
+            unknown = sorted(set(params) - allowed)
+            if unknown:
+                raise ProtocolError(
+                    f"unknown heavy_hitters parameter(s) {unknown}"
+                )
+            if params.get("candidates") is not None:
+                params["candidates"] = np.asarray(
+                    params["candidates"], dtype=np.int64
+                )
+            hitters = replica.query(kind="heavy_hitters", **params)
+            return [
+                [int(h.index), float(h.estimate), float(h.score)]
+                for h in hitters
+            ]
+        if kind == "range":
+            if "low" not in params or "high" not in params:
+                raise ProtocolError("range queries need params.low and .high")
+            return float(
+                replica.query(
+                    kind="range",
+                    low=int(params["low"]),
+                    high=int(params["high"]),
+                )
+            )
+        if kind == "inner_product":
+            return float(
+                replica.query(kind="inner_product", vector=params["vector"])
+            )
+        raise ProtocolError(
+            f"unknown query kind {kind!r}; known kinds: point, "
+            "heavy_hitters, range, inner_product"
+        )
+
+    async def _op_snapshot(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        published = self._published
+        from repro.serialization import payload_word_count
+        from repro.streaming.windows import is_window_payload
+
+        words = (
+            0 if is_window_payload(published.payload)
+            else payload_word_count(published.payload)
+        )
+        return (
+            {
+                "ok": True,
+                "op": "snapshot",
+                "epoch": published.epoch,
+                "items": published.items,
+            },
+            published.payload,
+            words,
+        )
+
+    async def _op_flush(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Flush(future))
+        epoch = await future
+        published = self._published
+        return (
+            {
+                "ok": True,
+                "op": "flush",
+                "epoch": int(epoch),
+                "items": published.items,
+            },
+            b"",
+            0,
+        )
+
+    # ------------------------------------------------------------------ #
+    # accounting
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _summarize_log(log: CommunicationLog) -> Dict[str, int]:
+        summary = {
+            "messages": log.message_count,
+            "ingest_bytes": 0,
+            "ingest_updates": 0,
+            "query_bytes": 0,
+            "queries": 0,
+            "other_bytes": 0,
+        }
+        for message in log.messages:
+            if message.description == "ingest":
+                summary["ingest_bytes"] += message.payload_bytes
+                summary["ingest_updates"] += message.payload_words // 2
+            elif message.description == "query":
+                summary["query_bytes"] += message.payload_bytes
+                summary["queries"] += 1
+            else:
+                summary["other_bytes"] += message.payload_bytes
+        return summary
+
+    def _fold_connection(self, conn_id: str, log: CommunicationLog) -> None:
+        self._conn_logs.pop(conn_id, None)
+        self._lifetime[conn_id] = self._summarize_log(log)
+
+    async def _op_stats(
+        self, header: Dict[str, Any], payload: bytes
+    ) -> Tuple[Dict[str, Any], bytes, int]:
+        live = {
+            conn_id: self._summarize_log(log)
+            for conn_id, log in self._conn_logs.items()
+        }
+        connections = dict(self._lifetime)
+        connections.update(live)
+        totals = {
+            "ingest_bytes": 0, "ingest_updates": 0, "query_bytes": 0,
+            "queries": 0, "other_bytes": 0, "messages": 0,
+        }
+        for summary in connections.values():
+            for key in totals:
+                totals[key] += summary.get(key, 0)
+        return (
+            {
+                "ok": True,
+                "op": "stats",
+                "epoch": self.epoch,
+                "draining": self._draining,
+                "updates_accepted": self._accepted_updates,
+                "updates_applied": self._applied_updates,
+                "batches_applied": self._applied_batches,
+                "batches_rejected": self._rejected_batches,
+                "last_reject": self._last_reject,
+                "queued_batches": self._queue.qsize(),
+                "snapshot_items": (
+                    self._published.items if self._published else 0
+                ),
+                "connections": connections,
+                "totals": totals,
+            },
+            b"",
+            0,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# running a server
+# --------------------------------------------------------------------------- #
+async def serve_until_signalled(
+    config: ServerConfig,
+    *,
+    on_ready=None,
+    signals: Tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+) -> Dict[str, Any]:
+    """Run a server until SIGTERM/SIGINT, then drain; returns the summary.
+
+    ``on_ready`` (if given) is called with the started :class:`ReproServer`
+    once it is accepting connections — ``repro serve`` prints its boot
+    banner from there.
+    """
+    server = ReproServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed: List[int] = []
+    for signum in signals:
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    try:
+        if on_ready is not None:
+            on_ready(server)
+        await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+    return await server.drain()
+
+
+class ServerHandle:
+    """A server running on its own event-loop thread, for synchronous callers.
+
+    The sync :class:`~repro.server.Client`, the load-generator benchmark and
+    the examples need a live TCP server without owning an event loop;
+    :meth:`start` boots one on a daemon thread and :meth:`stop` drains it::
+
+        handle = ServerHandle.start(ServerConfig(sketch=config))
+        with Client(handle.host, handle.port) as client:
+            ...
+        summary = handle.stop()
+    """
+
+    def __init__(self) -> None:
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+        self._server: Optional[ReproServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._summary: Optional[Dict[str, Any]] = None
+        self._port: Optional[int] = None
+
+    @classmethod
+    def start(cls, config: ServerConfig, *, timeout: float = 30.0) -> "ServerHandle":
+        handle = cls()
+        handle._thread = threading.Thread(
+            target=handle._run, args=(config,), daemon=True,
+            name="repro-server",
+        )
+        handle._thread.start()
+        if not handle._ready.wait(timeout):
+            raise RuntimeError("server thread did not come up in time")
+        if handle._boot_error is not None:
+            raise handle._boot_error
+        return handle
+
+    def _run(self, config: ServerConfig) -> None:
+        asyncio.run(self._main(config))
+
+    async def _main(self, config: ServerConfig) -> None:
+        try:
+            server = await ReproServer(config).start()
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()
+            self._boot_error = exc
+            self._ready.set()
+            return
+        self._server = server
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._port = server.port
+        self._ready.set()
+        await self._stop_event.wait()
+        self._summary = await server.drain()
+
+    @property
+    def server(self) -> ReproServer:
+        return self._server
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    def begin_drain(self) -> None:
+        """Initiate a graceful drain without waiting for it to finish."""
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+
+    def stop(self, *, timeout: float = 30.0) -> Optional[Dict[str, Any]]:
+        """Drain the server and join its thread; returns the drain summary."""
+        self.begin_drain()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self._thread.is_alive():  # pragma: no cover - stuck drain
+                raise RuntimeError("server thread did not drain in time")
+        return self._summary

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 import traceback
 import weakref
@@ -368,6 +369,15 @@ class ShardedIngestPool:
 
         self._round = 0
         self._closed = False
+        # cross-thread close coordination: a close() racing an in-flight
+        # ingest round must abort the round and only release the shared
+        # segments once the round's thread has stopped touching them
+        self._state_lock = threading.Lock()
+        self._close_requested = False
+        self._round_active = False
+        self._round_thread: Optional[int] = None
+        self._round_done = threading.Event()
+        self._round_done.set()
         self._updates: Optional[SharedCounterBlock] = None
         self._updates_capacity = 0
         self._blocks: List[SharedCounterBlock] = []
@@ -423,17 +433,53 @@ class ShardedIngestPool:
         return names
 
     def close(self) -> None:
-        """Terminate the workers and unlink every shared segment (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
+        """Terminate the workers and unlink every shared segment.
+
+        Idempotent and safe to call from any thread, including while
+        another thread has an ingest round in flight: the round is aborted
+        (its :meth:`ingest` call raises ``RuntimeError``), and by the time
+        ``close`` returns every worker is gone and every shared-memory
+        segment has been released.  The round's own thread performs the
+        actual teardown — the shared blocks stay mapped until it has
+        stopped touching them.
+        """
+        while True:
+            with self._state_lock:
+                if self._closed:
+                    return
+                if (self._round_active
+                        and threading.get_ident() != self._round_thread):
+                    # a round is in flight on another thread: ask it to
+                    # abort (it checks between ack polls) and wait for its
+                    # teardown rather than unlinking memory under it
+                    self._close_requested = True
+                    waiter = self._round_done
+                else:
+                    self._closed = True
+                    force = self._close_requested
+                    waiter = None
+            if waiter is None:
+                self._teardown(force=force)
+                return
+            waiter.wait(timeout=60.0)
+
+    def _teardown(self, *, force: bool = False) -> None:
+        """Release workers, pipes and segments (callers mark ``_closed``).
+
+        ``force`` skips the polite close handshake and terminates the
+        workers outright — used when aborting an in-flight round, where a
+        busy worker would not read its task pipe for a while.
+        """
         self._finalizer.detach()
-        for conn in self._task_conns:
-            try:
-                conn.send(("close",))
-            except (BrokenPipeError, OSError):
-                pass
+        if not force:
+            for conn in self._task_conns:
+                try:
+                    conn.send(("close",))
+                except (BrokenPipeError, OSError):
+                    pass
         for process in self._processes:
+            if force:
+                process.terminate()
             process.join(timeout=2.0)
             if process.is_alive():  # pragma: no cover - stuck worker
                 process.terminate()
@@ -512,8 +558,37 @@ class ShardedIngestPool:
         (bit-identical for integer weights, up to summation order
         otherwise).
         """
-        if self._closed:
-            raise ValueError("cannot ingest through a closed pool")
+        with self._state_lock:
+            if self._closed or self._close_requested:
+                raise ValueError("cannot ingest through a closed pool")
+            self._round_active = True
+            self._round_thread = threading.get_ident()
+            self._round_done.clear()
+        try:
+            return self._ingest_round(
+                indices, deltas, target=target, shards=shards,
+                batch_size=batch_size,
+            )
+        finally:
+            with self._state_lock:
+                self._round_active = False
+                self._round_thread = None
+                teardown_needed = self._close_requested and not self._closed
+                if teardown_needed:
+                    self._closed = True
+            if teardown_needed:
+                self._teardown(force=True)
+            self._round_done.set()
+
+    def _ingest_round(
+        self,
+        indices,
+        deltas,
+        *,
+        target: LinearSketch,
+        shards: Optional[int],
+        batch_size: Optional[int],
+    ) -> ShardedIngestReport:
         if not isinstance(target, LinearSketch):
             raise TypeError(
                 "sharded ingestion folds into a LinearSketch target, got "
@@ -603,7 +678,19 @@ class ShardedIngestPool:
             received = 0
             while received < count:
                 connection = self._ack_conns[worker_id]
-                while not connection.poll(0.1):
+                while True:
+                    if self._close_requested:
+                        raise self._abort(
+                            "the pool was closed while a round was in "
+                            "flight"
+                        )
+                    try:
+                        if connection.poll(0.1):
+                            break
+                    except (OSError, ValueError):
+                        raise self._abort(
+                            f"worker {worker_id} ack pipe closed mid-round"
+                        ) from None
                     if not self._processes[worker_id].is_alive():
                         raise self._abort(
                             f"worker {worker_id} died (exit code "

@@ -45,6 +45,7 @@ from repro.serialization import (
     SerializationError,
     decode_state,
     encode_state,
+    reconstruction_errors,
     sketch_from_state,
 )
 from repro.streaming.sharded import (
@@ -835,13 +836,14 @@ class SlidingWindowSketch:
         """Decode a container produced by :meth:`to_bytes`."""
         header, payloads = decode_window_container(data)
         pane_states = [decode_state(chunk) for chunk in payloads]
-        return cls.from_state({
-            "kind": "window",
-            "window_version": int(header.get("window_version", 1)),
-            "spec": header.get("spec", {}),
-            "meta": header.get("meta", {}),
-            "panes": pane_states,
-        })
+        with reconstruction_errors("window container"):
+            return cls.from_state({
+                "kind": "window",
+                "window_version": int(header.get("window_version", 1)),
+                "spec": header.get("spec", {}),
+                "meta": header.get("meta", {}),
+                "panes": pane_states,
+            })
 
     def size_in_bytes(self) -> int:
         """Exact size of the serialized window container."""

@@ -1,0 +1,234 @@
+"""Corrupt and truncated wire payloads raise clean typed errors.
+
+One test class per decode entry point — ``SketchSession.from_bytes``,
+``SketchSession.open``, and store ``get`` — plus the CLI's one-line exit-2
+contract.  The invariant under test: no matter where a payload is cut or
+which byte is flipped, the caller sees :class:`SerializationError` (or
+another ``ValueError`` with a user-facing message), never a raw
+``struct.error`` / ``KeyError`` / ``IndexError`` from the decoding
+internals.
+"""
+
+import io
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.api import SketchConfig, SketchSession
+from repro.cli import main
+from repro.serialization import SerializationError, _PREAMBLE, WIRE_MAGIC, WIRE_VERSION
+from repro.store import SketchStore
+
+DIMENSION = 500
+CLEAN_ERRORS = (SerializationError, ValueError)
+
+
+@pytest.fixture(scope="module")
+def sketch_payload():
+    session = SketchSession.from_config(
+        SketchConfig("count_min", dimension=DIMENSION, width=64, depth=3,
+                     seed=1)
+    )
+    session.ingest([1, 2, 3, 2])
+    return session.to_bytes()
+
+
+@pytest.fixture(scope="module")
+def window_payload():
+    session = SketchSession.from_config(
+        SketchConfig(
+            "count_min", dimension=DIMENSION, width=64, depth=3, seed=1,
+            window={"mode": "sliding", "panes": 3, "pane_size": 10,
+                    "by": "count"},
+        )
+    )
+    session.ingest(np.arange(25) % DIMENSION)
+    return session.to_bytes()
+
+
+def _header_span(payload):
+    """The ``[start, end)`` byte range of the payload's JSON header."""
+    _, _, header_len = _PREAMBLE.unpack_from(payload, 0)
+    return _PREAMBLE.size, _PREAMBLE.size + header_len
+
+
+def _corrupt_header_field(payload, mutate):
+    """Re-encode the payload with its parsed JSON header altered."""
+    start, end = _header_span(payload)
+    header = json.loads(payload[start:end].decode("utf-8"))
+    mutate(header)
+    header_bytes = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return (
+        _PREAMBLE.pack(WIRE_MAGIC, WIRE_VERSION, len(header_bytes))
+        + header_bytes
+        + payload[end:]
+    )
+
+
+class TestFromBytes:
+    """Entry point 1: ``SketchSession.from_bytes`` (both payload families)."""
+
+    @pytest.mark.parametrize("family", ["sketch", "window"])
+    def test_truncation_at_every_offset_is_a_clean_error(
+        self, family, sketch_payload, window_payload
+    ):
+        payload = sketch_payload if family == "sketch" else window_payload
+        for cut in range(len(payload)):
+            with pytest.raises(CLEAN_ERRORS):
+                SketchSession.from_bytes(payload[:cut])
+
+    @pytest.mark.parametrize("family", ["sketch", "window"])
+    def test_single_byte_corruption_never_leaks_a_raw_error(
+        self, family, sketch_payload, window_payload
+    ):
+        payload = sketch_payload if family == "sketch" else window_payload
+        for position in range(len(payload)):
+            mutated = bytearray(payload)
+            mutated[position] ^= 0xFF
+            mutated = bytes(mutated)
+            if mutated == payload:  # pragma: no cover - xor never no-ops
+                continue
+            try:
+                SketchSession.from_bytes(mutated)
+            except CLEAN_ERRORS:
+                pass
+            # a flipped byte inside counter data can still decode — that is
+            # fine; the contract is only about *how* decoding fails
+
+    def test_missing_required_state_field_is_serialization_error(
+        self, sketch_payload
+    ):
+        # drop the arrays manifest: reconstruction would KeyError on the
+        # missing counter table without the entry-point guard
+        mutated = _corrupt_header_field(
+            sketch_payload, lambda header: header.pop("arrays")
+        )
+        with pytest.raises(SerializationError, match="corrupt"):
+            SketchSession.from_bytes(mutated)
+
+    def test_manifest_entry_with_bad_dtype_is_serialization_error(
+        self, sketch_payload
+    ):
+        def mutate(header):
+            header["arrays"][0]["dtype"] = ["not", "a", "dtype"]
+
+        with pytest.raises(SerializationError, match="dtype"):
+            SketchSession.from_bytes(_corrupt_header_field(sketch_payload, mutate))
+
+    def test_missing_kind_is_serialization_error(self, sketch_payload):
+        mutated = _corrupt_header_field(
+            sketch_payload, lambda header: header.pop("kind")
+        )
+        with pytest.raises(SerializationError, match="kind"):
+            SketchSession.from_bytes(mutated)
+
+    def test_not_struct_error(self, sketch_payload):
+        # the headline regression: a short payload must not surface the
+        # struct module's own exception type
+        for cut in (0, 3, 7, 9):
+            with pytest.raises(SerializationError):
+                try:
+                    SketchSession.from_bytes(sketch_payload[:cut])
+                except struct.error:  # pragma: no cover - the old behavior
+                    pytest.fail("struct.error leaked from from_bytes")
+
+
+class TestSessionOpen:
+    """Entry point 2: ``SketchSession.open`` (path / file object forms)."""
+
+    def test_truncated_file_is_a_clean_error(self, sketch_payload, tmp_path):
+        target = tmp_path / "cut.rpsk"
+        target.write_bytes(sketch_payload[: len(sketch_payload) // 2])
+        with pytest.raises(CLEAN_ERRORS):
+            SketchSession.open(str(target))
+
+    def test_corrupt_header_file_object_is_a_clean_error(self, sketch_payload):
+        mutated = _corrupt_header_field(
+            sketch_payload, lambda header: header.pop("arrays")
+        )
+        with pytest.raises(SerializationError):
+            SketchSession.open(io.BytesIO(mutated))
+
+    def test_garbage_file_is_a_clean_error(self, tmp_path):
+        target = tmp_path / "garbage.bin"
+        target.write_bytes(b"\x00" * 64)
+        with pytest.raises(SerializationError):
+            SketchSession.open(str(target))
+
+
+class TestStoreGet:
+    """Entry point 3: store ``get`` over a tampered catalog row."""
+
+    @staticmethod
+    def _store_with_tampered_payload(tmp_path, payload, mutated):
+        path = tmp_path / "catalog.db"
+        with SketchStore(path) as store:
+            store.put("victim", payload)
+            # tamper behind the catalog's back, like on-disk corruption would
+            store._connection.execute(
+                "UPDATE snapshots SET payload = ? WHERE sketch_id = "
+                "(SELECT sketch_id FROM sketches WHERE name = 'victim')",
+                (mutated,),
+            )
+            store._connection.commit()
+        return path
+
+    def test_truncated_stored_payload_is_a_clean_error(
+        self, sketch_payload, tmp_path
+    ):
+        path = self._store_with_tampered_payload(
+            tmp_path, sketch_payload, sketch_payload[:20]
+        )
+        with SketchStore(path) as store:
+            with pytest.raises(CLEAN_ERRORS):
+                store.get("victim")
+
+    def test_corrupt_stored_payload_is_a_clean_error(
+        self, sketch_payload, tmp_path
+    ):
+        mutated = _corrupt_header_field(
+            sketch_payload, lambda header: header.pop("arrays")
+        )
+        path = self._store_with_tampered_payload(
+            tmp_path, sketch_payload, mutated
+        )
+        with SketchStore(path) as store:
+            with pytest.raises(SerializationError):
+                store.get("victim")
+
+
+class TestCliContract:
+    """The CLI reports corrupt payloads as one ``error:`` line, exit 2."""
+
+    def _run(self, *argv):
+        buffer = io.StringIO()
+        exit_code = main(list(argv), out=buffer)
+        return exit_code, buffer.getvalue()
+
+    def test_sketch_load_of_truncated_file_exits_two(
+        self, sketch_payload, tmp_path
+    ):
+        target = tmp_path / "cut.rpsk"
+        target.write_bytes(sketch_payload[:25])
+        exit_code, output = self._run("sketch", "load", str(target))
+        assert exit_code == 2
+        assert output.startswith("error: ")
+        assert len(output.strip().splitlines()) == 1
+
+    def test_store_get_of_corrupt_snapshot_exits_two(
+        self, sketch_payload, tmp_path
+    ):
+        mutated = _corrupt_header_field(
+            sketch_payload, lambda header: header.pop("arrays")
+        )
+        path = TestStoreGet._store_with_tampered_payload(
+            tmp_path, sketch_payload, mutated
+        )
+        exit_code, output = self._run("store", "get", str(path), "victim")
+        assert exit_code == 2
+        assert output.startswith("error: ")
+        assert len(output.strip().splitlines()) == 1

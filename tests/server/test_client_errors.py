@@ -1,0 +1,204 @@
+"""Client error paths: connect refused, mid-shutdown, oversized frames.
+
+The satellite contract: every transport or protocol failure surfaces as
+one of the typed errors of :mod:`repro.server.errors` — never a raw
+``OSError``/``struct.error`` — and a draining server answers a clean
+``shutting-down`` rejection rather than hanging up silently.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.server import (
+    Client,
+    ConnectionFailedError,
+    FrameTooLargeError,
+    RemoteOperationError,
+    ServerConfig,
+    ServerHandle,
+)
+from repro.api import SketchConfig
+from repro.server.protocol import FRAME_PREAMBLE, PROTOCOL_VERSION, RESPONSE_MAGIC
+
+
+def sketch_config():
+    return SketchConfig("count_min", dimension=2_000, width=256, depth=5,
+                        seed=11)
+
+
+def _free_port():
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestConnectRefused:
+    def test_sync_client_raises_connection_failed(self):
+        port = _free_port()  # nothing is listening here
+        with pytest.raises(ConnectionFailedError, match="cannot connect"):
+            Client("127.0.0.1", port, timeout=2.0)
+
+    def test_async_client_raises_connection_failed(self):
+        port = _free_port()
+
+        async def scenario():
+            from repro.server import AsyncClient
+
+            with pytest.raises(ConnectionFailedError, match="cannot connect"):
+                await AsyncClient.connect("127.0.0.1", port)
+
+        asyncio.run(scenario())
+
+
+class TestServerMidShutdown:
+    def test_operations_rejected_with_shutting_down_code(self):
+        handle = ServerHandle.start(ServerConfig(sketch=sketch_config()))
+        client = Client(handle.host, handle.port)
+        try:
+            client.ingest([1])
+            handle.begin_drain()
+            # the connection may be closed under us (drain closes sockets)
+            # or answer a clean shutting-down rejection while draining —
+            # both are typed; what must never happen is a raw OSError
+            deadline = 100
+            saw_typed_refusal = False
+            for _ in range(deadline):
+                try:
+                    client.ingest([2])
+                except RemoteOperationError as error:
+                    assert error.code == "shutting-down"
+                    saw_typed_refusal = True
+                    break
+                except ConnectionFailedError:
+                    saw_typed_refusal = True
+                    break
+            assert saw_typed_refusal
+        finally:
+            client.close()
+            handle.stop()
+
+    def test_connection_closed_by_drain_is_connection_failed(self):
+        handle = ServerHandle.start(ServerConfig(sketch=sketch_config()))
+        client = Client(handle.host, handle.port)
+        try:
+            client.ping()
+            handle.stop()  # full drain: connections are closed
+            with pytest.raises((ConnectionFailedError, RemoteOperationError)):
+                client.ping()
+        finally:
+            client.close()
+
+
+class TestOversizedFrames:
+    def test_client_refuses_to_send_oversized_frame(self):
+        handle = ServerHandle.start(ServerConfig(sketch=sketch_config()))
+        try:
+            with Client(handle.host, handle.port,
+                        max_frame_bytes=1024) as client:
+                with pytest.raises(FrameTooLargeError, match="maximum frame"):
+                    client.ingest(list(range(1000)))
+                # the connection survives: nothing was sent
+                assert client.ping() == 0
+        finally:
+            handle.stop()
+
+    def test_server_rejects_oversized_frame_with_clean_error(self):
+        config = ServerConfig(sketch=sketch_config(), max_frame_bytes=4096)
+        handle = ServerHandle.start(config)
+        try:
+            with Client(handle.host, handle.port) as client:
+                with pytest.raises(FrameTooLargeError, match="maximum frame"):
+                    client.ingest(list(range(10_000)))
+        finally:
+            handle.stop()
+
+    def test_client_rejects_oversized_response_before_allocation(self):
+        # a hostile/buggy "server" advertising a huge response frame
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        try:
+            client = Client("127.0.0.1", port, max_frame_bytes=1 << 20)
+            server_side, _ = listener.accept()
+            try:
+                import threading
+
+                def answer_huge():
+                    server_side.recv(1 << 16)
+                    server_side.sendall(FRAME_PREAMBLE.pack(
+                        RESPONSE_MAGIC, PROTOCOL_VERSION, 16, 1 << 30
+                    ))
+
+                thread = threading.Thread(target=answer_huge, daemon=True)
+                thread.start()
+                with pytest.raises(FrameTooLargeError):
+                    client.ping()
+                thread.join(timeout=5)
+            finally:
+                server_side.close()
+                client.close()
+        finally:
+            listener.close()
+
+
+class TestGarbageResponses:
+    def test_bad_response_magic_is_protocol_error(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        try:
+            client = Client("127.0.0.1", port)
+            server_side, _ = listener.accept()
+            try:
+                import threading
+
+                from repro.server import ProtocolError
+
+                def answer_garbage():
+                    server_side.recv(1 << 16)
+                    server_side.sendall(b"HTTP/1.1 400 Bad Request\r\n\r\n")
+
+                thread = threading.Thread(target=answer_garbage, daemon=True)
+                thread.start()
+                with pytest.raises(ProtocolError, match="magic"):
+                    client.ping()
+                thread.join(timeout=5)
+            finally:
+                server_side.close()
+                client.close()
+        finally:
+            listener.close()
+
+    def test_server_hanging_up_mid_response_is_connection_failed(self):
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        port = listener.getsockname()[1]
+        try:
+            client = Client("127.0.0.1", port)
+            server_side, _ = listener.accept()
+            try:
+                import threading
+
+                def hang_up_mid_frame():
+                    server_side.recv(1 << 16)
+                    server_side.sendall(FRAME_PREAMBLE.pack(
+                        RESPONSE_MAGIC, PROTOCOL_VERSION, 100, 0
+                    ))  # promises a 100-byte header, sends nothing
+                    server_side.close()
+
+                thread = threading.Thread(target=hang_up_mid_frame,
+                                          daemon=True)
+                thread.start()
+                with pytest.raises(ConnectionFailedError, match="closed"):
+                    client.ping()
+                thread.join(timeout=5)
+            finally:
+                server_side.close()
+                client.close()
+        finally:
+            listener.close()

@@ -1,0 +1,121 @@
+"""Frame protocol unit tests: round-trips, caps, and malformed frames."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.server.errors import FrameTooLargeError, ProtocolError
+from repro.server.protocol import (
+    FRAME_PREAMBLE,
+    PROTOCOL_VERSION,
+    REQUEST_MAGIC,
+    RESPONSE_MAGIC,
+    decode_preamble,
+    encode_frame,
+    pack_updates,
+    pack_vector,
+    parse_frame_header,
+    unpack_updates,
+    unpack_vector,
+)
+
+
+class TestFrameRoundTrip:
+    def test_encode_then_decode_recovers_header_and_payload(self):
+        header = {"op": "ingest", "count": 3}
+        payload = b"\x01\x02\x03"
+        frame = encode_frame(REQUEST_MAGIC, header, payload)
+        header_len, payload_len = decode_preamble(
+            frame[: FRAME_PREAMBLE.size], REQUEST_MAGIC
+        )
+        start = FRAME_PREAMBLE.size
+        assert parse_frame_header(frame[start:start + header_len]) == header
+        assert frame[start + header_len:] == payload
+        assert payload_len == len(payload)
+
+    def test_preamble_carries_protocol_version(self):
+        frame = encode_frame(RESPONSE_MAGIC, {"ok": True})
+        _, version, _, _ = FRAME_PREAMBLE.unpack_from(frame, 0)
+        assert version == PROTOCOL_VERSION
+
+    def test_header_encoding_is_deterministic(self):
+        a = encode_frame(REQUEST_MAGIC, {"b": 1, "a": 2})
+        b = encode_frame(REQUEST_MAGIC, {"a": 2, "b": 1})
+        assert a == b
+
+
+class TestFrameValidation:
+    def test_wrong_magic_is_protocol_error(self):
+        frame = encode_frame(REQUEST_MAGIC, {"op": "ping"})
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_preamble(frame[: FRAME_PREAMBLE.size], RESPONSE_MAGIC)
+
+    def test_unsupported_version_is_protocol_error(self):
+        preamble = FRAME_PREAMBLE.pack(REQUEST_MAGIC, 99, 2, 0)
+        with pytest.raises(ProtocolError, match="version"):
+            decode_preamble(preamble, REQUEST_MAGIC)
+
+    def test_oversized_frame_refused_on_encode(self):
+        with pytest.raises(FrameTooLargeError, match="maximum frame size"):
+            encode_frame(
+                REQUEST_MAGIC, {"op": "ingest"}, b"x" * 100,
+                max_frame_bytes=64,
+            )
+
+    def test_oversized_frame_refused_on_decode_before_allocation(self):
+        preamble = FRAME_PREAMBLE.pack(REQUEST_MAGIC, PROTOCOL_VERSION,
+                                       10, 1 << 30)
+        with pytest.raises(FrameTooLargeError):
+            decode_preamble(preamble, REQUEST_MAGIC, max_frame_bytes=1 << 20)
+
+    def test_unparseable_header_is_protocol_error_not_struct_error(self):
+        with pytest.raises(ProtocolError):
+            try:
+                parse_frame_header(b"\xff\xfe not json")
+            except (struct.error, UnicodeDecodeError):  # pragma: no cover
+                pytest.fail("raw decoding error leaked")
+
+    def test_non_object_header_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="object"):
+            parse_frame_header(b"[1, 2]")
+
+
+class TestUpdatePayloads:
+    def test_round_trip_indices_and_deltas(self):
+        indices = np.array([5, 0, 9], dtype=np.int64)
+        deltas = np.array([1.5, -2.0, 3.0])
+        payload, count = pack_updates(indices, deltas)
+        assert count == 3
+        out_indices, out_deltas = unpack_updates(payload, count)
+        np.testing.assert_array_equal(out_indices, indices)
+        np.testing.assert_array_equal(out_deltas, deltas)
+
+    def test_unit_increments_when_deltas_omitted(self):
+        payload, count = pack_updates([1, 2])
+        _, deltas = unpack_updates(payload, count)
+        np.testing.assert_array_equal(deltas, [1.0, 1.0])
+
+    def test_scalar_delta_broadcasts(self):
+        payload, count = pack_updates([1, 2, 3], 2.5)
+        _, deltas = unpack_updates(payload, count)
+        np.testing.assert_array_equal(deltas, [2.5, 2.5, 2.5])
+
+    def test_mismatched_count_is_protocol_error(self):
+        payload, count = pack_updates([1, 2, 3])
+        with pytest.raises(ProtocolError, match="does not match"):
+            unpack_updates(payload, count + 1)
+
+    def test_shape_mismatch_is_protocol_error(self):
+        with pytest.raises(ProtocolError, match="shape"):
+            pack_updates([1, 2, 3], [1.0, 2.0])
+
+    def test_vector_round_trip(self):
+        vector = np.linspace(-1, 1, 17)
+        payload, length = pack_vector(vector)
+        np.testing.assert_array_equal(unpack_vector(payload, length), vector)
+
+    def test_truncated_vector_is_protocol_error(self):
+        payload, length = pack_vector(np.ones(4))
+        with pytest.raises(ProtocolError):
+            unpack_vector(payload[:-3], length)

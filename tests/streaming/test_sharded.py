@@ -257,6 +257,54 @@ class TestShardedIngestPool:
         assert pool.closed
         assert_segments_released(names)
 
+    def test_close_during_inflight_ingest_aborts_and_releases_memory(self):
+        # regression: close() from another thread used to race the round —
+        # _collect_acks polled a concurrently-closed pipe (raw OSError) and
+        # the fold could touch unlinked shared memory.  The contract now:
+        # the in-flight round aborts with the pool's usual typed
+        # RuntimeError (or the next round is refused with ValueError if the
+        # close lands between rounds), and by the time close() returns
+        # every shared segment is released.
+        import threading
+
+        from repro.api import SketchConfig, SketchSession
+
+        session = SketchSession.from_config(
+            SketchConfig("count_min", dimension=100_000, width=256, depth=4,
+                         seed=SEED)
+        )
+        rng = np.random.default_rng(7)
+        batch = rng.integers(0, 100_000, size=1_000_000).astype(np.int64)
+        errors = []
+
+        def keep_ingesting():
+            try:
+                while True:
+                    session.ingest(batch, shards=4)
+            except (RuntimeError, ValueError) as error:
+                errors.append(error)
+
+        thread = threading.Thread(target=keep_ingesting, daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10.0
+        pool = None
+        while time.monotonic() < deadline:
+            pool = session._pool
+            if pool is not None and pool._round_active:
+                break
+            time.sleep(0.002)
+        assert pool is not None, "sharded pool never came up"
+        names = pool.segment_names()
+        assert names, "pool reported no live segments"
+
+        session.close()
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "ingest thread did not abort"
+        assert pool.closed
+        assert errors, "in-flight ingest survived a concurrent close"
+        assert isinstance(errors[0], (RuntimeError, ValueError))
+        assert_segments_released(names)
+
     def test_updates_segment_grows_geometrically(self):
         target = make_sketch("count_min", DIMENSION, WIDTH, DEPTH, seed=SEED)
         rng = np.random.default_rng(3)
