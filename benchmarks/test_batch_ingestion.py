@@ -3,14 +3,22 @@
 The paper's streaming model applies one ``(index, delta)`` update at a time;
 the batched ingestion path replays the same stream in order through
 ``update_batch`` chunks, reaching an equivalent state (bit-identical counters
-for the linear sketches on this unit-delta stream) at numpy speed.  This
-benchmark replays the scaled-down Hudong edge stream of the Figure 6
-experiment both ways and records the speedup; the acceptance bar for the
-fully vectorised (linear) sketches is 10×.
+on this unit-delta stream — for *every* algorithm, conservative-update kinds
+included) at numpy speed.  This benchmark replays the scaled-down Hudong
+edge stream of the Figure 6 experiment both ways and records the speedup.
+
+Acceptance bars at full size: 10× for the fully vectorised linear sketches,
+and — since segmented conservative-update batching
+(:mod:`repro.sketches._cu_batch`) retired the per-run python loop — 10× for
+CM-CU and CML-CU as well.
 
 Set ``REPRO_BENCH_SMOKE=1`` to run a reduced-size configuration with a
 relaxed speedup bar — that is what the CI benchmark-smoke job runs to catch
-throughput regressions cheaply.
+throughput regressions cheaply.  Set ``REPRO_BENCH_ALGOS`` to a
+comma-separated subset of algorithm names to restrict the replay — the CI
+``cu-smoke`` job sets ``REPRO_BENCH_ALGOS=count_min_cu,count_min_log_cu``
+(without ``REPRO_BENCH_SMOKE``) to enforce the CU bar on the full-size
+trace without paying for the linear replays.
 """
 
 import os
@@ -32,7 +40,7 @@ WIDTH = 256 if SMOKE else 2_048
 DEPTH = 9
 BATCH_SIZE = 8_192
 
-#: algorithms replayed both ways; the linear ones must hit the speedup bar
+#: algorithms replayed both ways; every one must hit its speedup bar
 ALGORITHMS = (
     "count_min",
     "count_sketch",
@@ -43,10 +51,28 @@ ALGORITHMS = (
     "count_min_log_cu",
 )
 
-#: required speedup for the fully vectorised linear sketches (the
-#: conservative-update variants keep a per-run python loop and are only
-#: required not to regress)
+_only = os.environ.get("REPRO_BENCH_ALGOS", "")
+if _only:
+    _requested = tuple(name.strip() for name in _only.split(",") if name.strip())
+    _unknown = set(_requested) - set(ALGORITHMS)
+    if _unknown:
+        raise ValueError(
+            f"REPRO_BENCH_ALGOS names unknown algorithms {sorted(_unknown)}; "
+            f"benchmarked algorithms: {list(ALGORITHMS)}"
+        )
+    ALGORITHMS = _requested
+
+#: required speedup for the fully vectorised linear sketches
 LINEAR_SPEEDUP_BAR = 3.0 if SMOKE else 10.0
+
+#: required speedup for the conservative-update kinds through the segmented
+#: engine; the smoke geometry (width 256) runs under much heavier collision
+#: pressure (shorter conflict-free segments), hence the lower smoke bar
+CU_SPEEDUP_BAR = 2.0 if SMOKE else 10.0
+
+#: batched replays per algorithm; the batch leg finishes in tens of
+#: milliseconds, where scheduler noise is material — keep the best of a few
+BATCH_REPEATS = 3
 
 
 @pytest.fixture(scope="module")
@@ -61,18 +87,20 @@ def test_batch_replay_speedup_and_equivalence(fig6_stream):
     rows = []
     for algorithm in ALGORITHMS:
         scalar = make_sketch(algorithm, DIMENSION, WIDTH, DEPTH, seed=17)
-        batched = make_sketch(algorithm, DIMENSION, WIDTH, DEPTH, seed=17)
 
         start = time.perf_counter()
         for index, delta in zip(indices.tolist(), deltas.tolist()):
             scalar.update(index, delta)
         scalar_seconds = time.perf_counter() - start
 
-        start = time.perf_counter()
-        for begin in range(0, indices.size, BATCH_SIZE):
-            stop = begin + BATCH_SIZE
-            batched.update_batch(indices[begin:stop], deltas[begin:stop])
-        batch_seconds = time.perf_counter() - start
+        batch_seconds = float("inf")
+        for _ in range(BATCH_REPEATS):
+            batched = make_sketch(algorithm, DIMENSION, WIDTH, DEPTH, seed=17)
+            start = time.perf_counter()
+            for begin in range(0, indices.size, BATCH_SIZE):
+                stop = begin + BATCH_SIZE
+                batched.update_batch(indices[begin:stop], deltas[begin:stop])
+            batch_seconds = min(batch_seconds, time.perf_counter() - start)
 
         identical = bool(np.array_equal(scalar.table, batched.table))
         speedup = scalar_seconds / batch_seconds
@@ -85,19 +113,11 @@ def test_batch_replay_speedup_and_equivalence(fig6_stream):
         # equivalence: unit deltas make every sum exact, so even the batched
         # scatter-adds must reproduce the scalar counters bit for bit
         assert identical, f"{algorithm}: batched state diverged from scalar"
-        if get_spec(algorithm).linear:
-            assert speedup >= LINEAR_SPEEDUP_BAR, (
-                f"{algorithm}: batched replay only {speedup:.1f}x faster "
-                f"(bar: {LINEAR_SPEEDUP_BAR:.0f}x)"
-            )
-        elif not SMOKE:
-            # the semi-vectorised conservative path gains only ~1.1x (its
-            # per-run loop is inherent to order-dependent updates); guard
-            # against gross regressions with headroom for timing noise, and
-            # only at full size — smoke runs on noisy shared CI runners
-            assert speedup >= 0.7, (
-                f"{algorithm}: batched replay regressed ({speedup:.2f}x)"
-            )
+        bar = LINEAR_SPEEDUP_BAR if get_spec(algorithm).linear else CU_SPEEDUP_BAR
+        assert speedup >= bar, (
+            f"{algorithm}: batched replay only {speedup:.1f}x faster "
+            f"(bar: {bar:.0f}x)"
+        )
 
     lines = [
         f"batch ingestion on the Figure 6 stream "
@@ -121,6 +141,8 @@ def test_batch_replay_speedup_and_equivalence(fig6_stream):
         )
     print()
     print("\n".join(lines))
-    if not SMOKE:
+    # a REPRO_BENCH_ALGOS-restricted run (the CI cu-smoke job) must not
+    # clobber the recorded full-suite table
+    if not SMOKE and not _only:
         RESULTS_DIR.mkdir(parents=True, exist_ok=True)
         (RESULTS_DIR / "batch_ingestion.txt").write_text("\n".join(lines) + "\n")

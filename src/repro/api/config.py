@@ -62,9 +62,12 @@ class SketchConfig:
         A :class:`~repro.streaming.windows.WindowSpec` (or its
         :meth:`~repro.streaming.windows.WindowSpec.to_dict` form) selecting
         **windowed ingestion**: queries are answered over the most recent
-        panes only.  Requires a *linear* algorithm (the pane ring rides
-        ``merge``/``scale``; conservative-update sketches raise
-        :class:`~repro.api.CapabilityError`) and an explicit integer seed.
+        panes only.  Sliding and decay windows require a *linear* algorithm
+        (the pane ring rides ``merge``/``scale``); tumbling windows — whose
+        single pane resets at each boundary and never merges — also accept
+        the *exact-batchable* conservative-update kinds.  Anything else
+        raises :class:`~repro.api.CapabilityError` naming the missing
+        capability.  All windowing requires an explicit integer seed.
         ``None`` (the default) keeps whole-stream semantics.
     **options:
         Algorithm-specific keyword arguments, validated against the spec's
@@ -130,14 +133,31 @@ class SketchConfig:
                     f"window must be a WindowSpec (or its to_dict() form), "
                     f"got {type(window).__name__}"
                 )
-            if not spec.linear:
+            if not spec.linear and not (
+                window.mode == "tumbling" and spec.exact_batch
+            ):
                 from repro.api.errors import CapabilityError
 
+                if window.mode == "decay":
+                    reason = (
+                        "decay windows fade history through scale(), which "
+                        "the conservative-update sketches do not support"
+                    )
+                else:
+                    reason = (
+                        "the sliding pane ring relies on the pane-merge "
+                        "algebra (merge/scale), which the conservative-"
+                        "update sketches do not support"
+                    )
+                hint = (
+                    "; tumbling windows (panes are independent and never "
+                    "merge) accept exact-batchable sketches"
+                    if spec.exact_batch
+                    else ""
+                )
                 raise CapabilityError(
-                    f"sketch {name!r} is not a linear sketch and cannot be "
-                    "windowed: the pane ring relies on the pane-merge "
-                    "algebra (merge/scale), which the conservative-update "
-                    "sketches do not support"
+                    f"sketch {name!r} is not a linear sketch and cannot use "
+                    f"a {window.mode} window: {reason}{hint}"
                 )
             if seed is None:
                 raise ConfigError(

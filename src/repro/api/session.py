@@ -342,8 +342,11 @@ class SketchSession:
         linear sketches with integer seeds only); when omitted, ingests of
         at least ``auto_shard_threshold`` updates shard automatically on
         multi-core machines — windowed sessions shard *within* a pane and
-        fold the result back at pane granularity.  Returns ``self`` for
-        chaining.
+        fold the result back at pane granularity.  The conservative-update
+        kinds cannot shard, but the same threshold auto-chunks their
+        ingests through the exact segmented batch path instead, so a huge
+        CU stream needs no special-casing by the caller.  Returns ``self``
+        for chaining.
         """
         if timestamps is not None and self._window is None:
             raise ConfigError(
@@ -517,6 +520,8 @@ class SketchSession:
             )
             return self
         if batch_size is None:
+            batch_size = self._auto_batch_size(int(indices.size))
+        if batch_size is None:
             self._sketch.update_batch(indices, deltas)
         else:
             batch_size = require_positive_int(batch_size, "batch_size")
@@ -524,6 +529,27 @@ class SketchSession:
                 stop = start + batch_size
                 self._sketch.update_batch(indices[start:stop], deltas[start:stop])
         return self
+
+    def _auto_batch_size(self, updates: int) -> Optional[int]:
+        """Chunk size for large exact-batchable non-linear ingests, or ``None``.
+
+        The conservative-update kinds cannot shard (non-linear), but their
+        segmented batch path is exact, so a huge CU ingest is auto-chunked
+        through ``update_batch`` at :data:`~repro.streaming.sharded.
+        DEFAULT_BATCH_SIZE` — the CU analogue of auto-sharding: transient
+        gather/segmentation state stays bounded and the per-chunk radix
+        sort stays in cache, with stream order (and hence the final state)
+        unchanged.  Below the threshold, or for linear kinds, the whole
+        batch goes down in one vectorised call.
+        """
+        if (
+            self._auto_shard_threshold is not None
+            and updates >= self._auto_shard_threshold
+            and self.spec.exact_batch
+            and not self.spec.linear
+        ):
+            return DEFAULT_BATCH_SIZE
+        return None
 
     def _resolve_shards(self, updates: int, shards: Union[int, None]) -> int:
         if shards is not None:

@@ -20,7 +20,13 @@ by a Bernoulli draw so the update is unbiased in counter space.  Unit
 increments with ``Δ = 1`` reduce to (a numerically equivalent form of) the
 original probabilistic increment.
 
-Like CM-CU this sketch is not linear and cannot be merged.
+Like CM-CU this sketch is not linear and cannot be merged
+(:meth:`merge` raises :class:`~repro.api.CapabilityError`), but it *is*
+exact-batchable: batches flush through the conflict-free segments of
+:mod:`repro.sketches._cu_batch`, folding the randomised-rounding draws per
+segment through the sketch's own generator in the scalar draw order — the
+batched table **and** the serialised RNG state are bit-identical to scalar
+replay.
 """
 
 from __future__ import annotations
@@ -30,6 +36,7 @@ import math
 import numpy as np
 
 from repro.serialization import register_serializable
+from repro.sketches import _cu_batch
 from repro.sketches._tables import HashedCounterTable
 from repro.sketches.base import SCAN_BLOCK, Sketch
 from repro.utils.rng import RandomSource, as_rng, derive_seed
@@ -62,6 +69,9 @@ class CountMinLogCU(Sketch):
         )
         self._rows = np.arange(depth)
         self._rng = as_rng(derive_seed(seed, 303))
+        # lazily-built exact conversion tables for the segmented batch path;
+        # derived state only (never serialized — rebuilt on first batch)
+        self._codec = None
 
     # ------------------------------------------------------------------ #
     # log-counter arithmetic
@@ -112,53 +122,64 @@ class CountMinLogCU(Sketch):
         self._items_processed += 1
 
     def update_batch(self, indices, deltas=None) -> "CountMinLogCU":
-        """Chunked semi-vectorised batch ingestion preserving stream order.
+        """Segmented vectorised batch ingestion preserving stream order.
 
-        The bucket columns of the whole chunk are gathered once up front; the
-        per-update loop then applies exactly the arithmetic of :meth:`update`
-        in stream order, drawing from the same RNG in the same sequence, so
-        the batched path reaches a bit-identical state.  (Unlike CM-CU,
+        The updates flush through the conflict-free segments of
+        :mod:`repro.sketches._cu_batch`, applying exactly the arithmetic of
+        :meth:`update` in stream order and consuming the randomised-rounding
+        draws in the scalar sequence (one block draw per chunk, indexed in
+        run order, unused tail rewound), so the batched path reaches a
+        bit-identical state — table *and* generator.  (Unlike CM-CU,
         consecutive equal indices are *not* coalesced: merging them would
-        change the randomised-rounding draws.)
+        change the draw sequence.)  Work proceeds one :data:`SCAN_BLOCK`
+        chunk at a time so transient memory stays O(depth × block) however
+        large the batch.
         """
         idx, d = self._check_batch(indices, deltas)
         if np.any(d < 0):
             raise ValueError(
                 "Count-Min-Log only supports non-negative increments"
             )
+        # zero-delta updates consume no draw on the scalar path either;
+        # drop them before anything touches the generator
+        live = d != 0
+        if not live.all():
+            idx = idx[live]
+            d = d[live]
         if idx.size == 0:
             return self
+        codec = self._codec
+        if codec is None:
+            codec = self._codec = _cu_batch.LogCounterCodec(
+                self.base, self._log_base
+            )
         table = self._table.table
-        rows = self._rows
-        applied = 0
-        # gather bucket columns one SCAN_BLOCK chunk at a time so transient
-        # memory stays O(depth × block) however large the batch
+        table_cells = self.depth * self.width
         for begin in range(0, idx.size, SCAN_BLOCK):
             stop = begin + SCAN_BLOCK
             cols = self._table.bucket_columns(idx[begin:stop])
-            chunk_deltas = d[begin:stop]
-            for j in range(chunk_deltas.size):
-                delta = float(chunk_deltas[j])
-                if delta == 0:
-                    continue
-                update_cols = cols[:, j]
-                counters = table[rows, update_cols]
-                current_value = self.counter_to_value(float(np.min(counters)))
-                target_counter = self._randomised_round(
-                    self.value_to_counter(current_value + delta)
-                )
-                table[rows, update_cols] = np.maximum(counters, target_counter)
-                applied += 1
-        self._items_processed += applied
+            cells = _cu_batch.flat_cells(cols, self.width)
+            bounds = _cu_batch.segment_bounds(cells, table_cells)
+            _cu_batch.apply_log_conservative(
+                table, cells, d[begin:stop], bounds, codec, self._rng
+            )
+        self._items_processed += int(idx.size)
         return self
 
     def fit(self, x) -> "CountMinLogCU":
-        """Ingest a frequency vector by weighted conservative updates per item."""
+        """Ingest a frequency vector by weighted conservative updates per item.
+
+        Replays the non-zero coordinates in increasing index order with
+        their full weight, through the segmented batch path — the draw
+        sequence (and hence the resulting table and generator state) is
+        exactly the scalar loop's.
+        """
         arr = self._check_vector(x)
         if np.any(arr < 0):
             raise ValueError("CML-CU requires a non-negative frequency vector")
-        for index in np.flatnonzero(arr):
-            self.update(int(index), float(arr[index]))
+        indices = np.flatnonzero(arr)
+        if indices.size:
+            self.update_batch(indices, arr[indices])
         return self
 
     # ------------------------------------------------------------------ #
@@ -176,9 +197,14 @@ class CountMinLogCU(Sketch):
 
     def merge(self, other) -> "CountMinLogCU":
         """CML-CU is not a linear sketch; merging is undefined."""
-        raise TypeError(
+        # local import: repro.api.errors is below the sketch layer only at
+        # runtime (the registry imports this module at api import time)
+        from repro.api.errors import CapabilityError
+
+        raise CapabilityError(
             "Count-Min-Log with conservative update is not linear and cannot "
-            "be merged"
+            "be merged; use CountMin, CountMedian, CountSketch or the "
+            "bias-aware sketches in the distributed model"
         )
 
     def size_in_words(self) -> int:

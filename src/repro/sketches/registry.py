@@ -52,6 +52,12 @@ class SketchSpec:
 
     * ``linear`` — mergeable/scalable; required for distributed aggregation
       and sharded ingestion;
+    * ``exact_batch`` — batched ingestion (``update_batch``/``fit``)
+      reproduces scalar replay exactly (bit-identical for integer deltas).
+      Every linear sketch is exact-batchable; the conservative-update kinds
+      are exact-batchable *without* being linear (segmented CU batching
+      preserves stream order), which is what lets tumbling-mode windows —
+      whose panes are independent and never merge — accept them;
     * ``streaming`` — supports one-update-at-a-time ingestion (``update``);
     * ``unbounded`` — supports hashed-key mode (``dimension=None``): the
       algorithm needs no O(n) data-independent structure, so arbitrary
@@ -69,6 +75,9 @@ class SketchSpec:
     factory: SketchFactory
     #: whether the sketch is linear (mergeable in the distributed model)
     linear: bool
+    #: whether batched ingestion reproduces scalar replay exactly; true for
+    #: every linear sketch and for the segmented conservative-update kinds
+    exact_batch: bool = False
     #: whether the sketch is one of the paper's contributions (vs a baseline)
     bias_aware: bool = False
     #: whether the sketch supports single-update streaming ingestion
@@ -144,6 +153,7 @@ class SketchSpec:
             "name": self.name,
             "label": self.label,
             "linear": self.linear,
+            "exact_batch": self.exact_batch,
             "bias_aware": self.bias_aware,
             "streaming": self.streaming,
             "unbounded": self.unbounded,
@@ -160,6 +170,7 @@ def register_sketch(
     label: str,
     factory: SketchFactory,
     linear: bool,
+    exact_batch: Optional[bool] = None,
     bias_aware: bool = False,
     streaming: bool = True,
     unbounded: bool = False,
@@ -167,7 +178,14 @@ def register_sketch(
     kwargs_schema: Optional[Mapping[str, type]] = None,
     overwrite: bool = False,
 ) -> SketchSpec:
-    """Register a sketch constructor under ``name`` and return its spec."""
+    """Register a sketch constructor under ``name`` and return its spec.
+
+    ``exact_batch`` defaults to ``linear``: a linear sketch's batched
+    ingestion is a scatter-add and trivially reproduces scalar replay.
+    Non-linear kinds whose ``update_batch`` preserves stream order exactly
+    (the segmented conservative-update kinds) pass ``exact_batch=True``
+    explicitly.
+    """
     if not name:
         raise ValueError("sketch name must be non-empty")
     if name in _REGISTRY and not overwrite:
@@ -184,6 +202,7 @@ def register_sketch(
         label=label,
         factory=factory,
         linear=linear,
+        exact_batch=linear if exact_batch is None else exact_batch,
         bias_aware=bias_aware,
         streaming=streaming,
         unbounded=unbounded,
@@ -300,6 +319,7 @@ register_sketch(
     "CM-CU (conservative update)",
     lambda n, s, d, seed, **kw: CountMinCU(n, s, d, seed=seed, **kw),
     linear=False,
+    exact_batch=True,
     unbounded=True,
 )
 register_sketch(
@@ -307,6 +327,7 @@ register_sketch(
     "CML-CU (Count-Min-Log, conservative update)",
     lambda n, s, d, seed, **kw: CountMinLogCU(n, s, d, seed=seed, **kw),
     linear=False,
+    exact_batch=True,
     unbounded=True,
     kwargs_schema={"base": float},
 )

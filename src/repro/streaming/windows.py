@@ -18,10 +18,15 @@ sketches are **linear**, a windowed summary falls out of existing machinery:
   by a constant factor at every pane boundary, so old updates fade instead of
   being evicted.
 
-Everything rests on linearity (a sketch of a stream equals the merge of
-sketches of its panes), so the conservative-update sketches — whose state is
-order-dependent and unmergeable — are rejected with
-:class:`~repro.api.CapabilityError` up front.
+Sliding and decay windows rest on linearity (a sketch of a stream equals the
+merge of sketches of its panes), so they reject the conservative-update
+sketches — whose state is order-dependent and unmergeable — with
+:class:`~repro.api.CapabilityError` up front.  **Tumbling** windows do not:
+their single pane resets at every boundary and never merges, so any
+*exact-batchable* sketch (``SketchSpec.exact_batch`` — including CM-CU and
+CML-CU via segmented conservative-update batching) can tumble; only the
+pane-granular sharded path stays linear-only, because folding shard results
+into the open pane is itself a merge.
 
 Window state is a first-class portable artifact: :meth:`SlidingWindowSketch.
 to_bytes` encodes the window spec, the ring bookkeeping and every live pane
@@ -273,9 +278,12 @@ class SlidingWindowSketch:
     :class:`~repro.api.SketchConfig` whose ``window`` field carries the
     :class:`WindowSpec` (or pass ``spec`` explicitly).
 
-    The engine requires a **linear** algorithm (pane merging and decay ride
-    ``merge``/``scale``) with an **explicit integer seed** (panes must share
-    hash functions to merge, and window state must be reconstructible).
+    Sliding and decay modes require a **linear** algorithm (pane merging and
+    decay ride ``merge``/``scale``); tumbling mode also accepts
+    **exact-batchable** non-linear algorithms (the conservative-update
+    kinds), whose single pane never merges.  Every mode requires an
+    **explicit integer seed** (panes must share hash functions, and window
+    state must be reconstructible).
     """
 
     def __init__(
@@ -303,12 +311,25 @@ class SlidingWindowSketch:
             raise ConfigError(
                 f"window spec must be a WindowSpec, got {type(spec).__name__}"
             )
-        if not config.spec.linear:
+        if not config.spec.linear and not (
+            spec.mode == "tumbling" and config.spec.exact_batch
+        ):
             raise CapabilityError(
-                f"sketch {config.name!r} is not a linear sketch and cannot be "
-                "windowed: the pane ring relies on the pane-merge algebra "
-                "(merge/scale), which the conservative-update sketches do "
-                "not support"
+                f"sketch {config.name!r} is not a linear sketch and cannot "
+                f"use a {spec.mode} window: "
+                + (
+                    "decay windows fade history through scale()"
+                    if spec.mode == "decay"
+                    else "the sliding pane ring relies on the pane-merge "
+                    "algebra (merge/scale)"
+                )
+                + ", which the conservative-update sketches do not support"
+                + (
+                    "; tumbling windows (panes are independent and never "
+                    "merge) accept exact-batchable sketches"
+                    if config.spec.exact_batch
+                    else ""
+                )
             )
         if not config.portable:
             raise ConfigError(
@@ -623,6 +644,13 @@ class SlidingWindowSketch:
         if shards is None and shard_resolver is not None:
             resolved = shard_resolver(int(indices.size))
             shards = resolved if resolved > 1 else None
+        if shards is not None and shards > 1 and not self._config.spec.linear:
+            # tumbling panes admit exact-batchable non-linear sketches, but
+            # folding shard results into the open pane is itself a merge
+            raise CapabilityError(
+                f"sketch {self._config.name!r} is not a linear sketch and "
+                "cannot be sharded; merging shard results requires linearity"
+            )
         if shards is not None and shards > 1:
             # the shard state folds straight into the open pane through
             # shared memory — no serialization at pane close

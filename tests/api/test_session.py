@@ -455,3 +455,29 @@ class TestPersistence:
         session.ingest(vector)
         with pytest.raises(ValueError, match="seed"):
             session.to_bytes()
+
+
+class TestConservativeAutoBatching:
+    """Above the auto threshold, CU ingests chunk through the exact batch
+    path (the non-linear analogue of auto-sharding) — the result must be
+    byte-identical to one monolithic update_batch call."""
+
+    @pytest.mark.parametrize("name", ["count_min_cu", "count_min_log_cu"])
+    def test_large_cu_ingest_auto_chunks_identically(self, name):
+        rng = np.random.default_rng(8)
+        indices = rng.integers(0, 300, size=20_000)
+        cfg = SketchConfig(name, dimension=300, width=32, depth=3, seed=5)
+        auto = SketchSession.from_config(cfg, auto_shard_threshold=1_000)
+        whole = SketchSession.from_config(cfg, auto_shard_threshold=None)
+        auto.ingest(indices)
+        whole.ingest(indices)
+        assert auto.to_bytes() == whole.to_bytes()
+        # chunked, not sharded: CU kinds never reach the worker pool
+        assert auto.last_shard_report is None
+        assert auto.shard_pool is None
+
+    def test_linear_kinds_do_not_auto_chunk(self):
+        cfg = SketchConfig("count_min", dimension=300, width=32, depth=3,
+                           seed=5)
+        session = SketchSession.from_config(cfg, auto_shard_threshold=1_000)
+        assert session._auto_batch_size(50_000) is None

@@ -44,10 +44,19 @@ class TestConservativeUpdate:
             sketch.fit(np.array([1.0, -2.0] + [0.0] * 8))
 
     def test_merge_raises_type_error(self, small_count_vector):
-        """CM-CU is not linear — the library refuses to merge it."""
+        """CM-CU is not linear — the library refuses to merge it.
+
+        The refusal is the typed :class:`CapabilityError` (a ``TypeError``
+        subclass, so legacy ``except TypeError`` callers keep working) and
+        names the linear replacements.
+        """
+        from repro.api.errors import CapabilityError
+
         a = CountMinCU(small_count_vector.size, 32, 4, seed=1).fit(small_count_vector)
         b = CountMinCU(small_count_vector.size, 32, 4, seed=1).fit(small_count_vector)
         with pytest.raises(TypeError, match="not linear"):
+            a.merge(b)
+        with pytest.raises(CapabilityError, match="CountMin"):
             a.merge(b)
 
     def test_order_dependence_is_possible_but_estimates_stay_upper_bounds(self, rng):

@@ -83,9 +83,14 @@ class TestCountMinLogEstimation:
             sketch.fit(np.array([-1.0] + [0.0] * 19))
 
     def test_merge_raises_type_error(self):
+        from repro.api.errors import CapabilityError
+
         a = CountMinLogCU(20, 8, 2, seed=0)
         b = CountMinLogCU(20, 8, 2, seed=0)
         with pytest.raises(TypeError, match="not linear"):
+            a.merge(b)
+        # the typed taxonomy: a CapabilityError subclassing TypeError
+        with pytest.raises(CapabilityError, match="CountMin"):
             a.merge(b)
 
     def test_zero_delta_is_a_noop(self):

@@ -156,3 +156,20 @@ class TestDeterministicListings:
 
         names = registered_kinds()
         assert names == sorted(names)
+
+
+class TestExactBatchCapability:
+    def test_linear_kinds_are_exact_batchable_by_default(self):
+        for name in available_sketches():
+            spec = get_spec(name)
+            if spec.linear:
+                assert spec.exact_batch, name
+
+    def test_cu_kinds_are_exact_batchable_without_linearity(self):
+        for name in ("count_min_cu", "count_min_log_cu"):
+            spec = get_spec(name)
+            assert spec.exact_batch and not spec.linear, name
+
+    def test_describe_reports_exact_batch(self):
+        assert get_spec("count_min_cu").describe()["exact_batch"] is True
+        assert get_spec("count_min").describe()["exact_batch"] is True

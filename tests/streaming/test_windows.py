@@ -382,3 +382,76 @@ class TestSessionIntegration:
         direct = self.make_session(mode="sliding", panes=2, pane_size=50)
         direct.ingest(indices)
         assert session.to_bytes() == direct.to_bytes()
+
+
+class TestTumblingConservativeUpdate:
+    """Tumbling panes never merge, so exact-batchable CU kinds can tumble."""
+
+    CU_KINDS = ["count_min_cu", "count_min_log_cu"]
+
+    @pytest.mark.parametrize("name", CU_KINDS)
+    def test_tumbling_cu_window_matches_open_pane_replay(self, name):
+        window = SlidingWindowSketch(
+            config(name, mode="tumbling", pane_size=25)
+        )
+        rng = np.random.default_rng(4)
+        indices = rng.integers(0, DIMENSION, size=60)
+        window.update_batch(indices)
+        assert window.pane_count == 1          # the ring never grows
+        assert window.items_in_window == 10    # 60 = 2 full panes + 10 open
+        # the open pane summarises exactly the updates since the last
+        # boundary: replay them into a fresh sketch and compare state
+        reference = config(name).build()
+        reference.update_batch(indices[50:])
+        probe = np.arange(0, DIMENSION, 17)
+        np.testing.assert_array_equal(
+            window.query_batch(probe), reference.query_batch(probe)
+        )
+
+    @pytest.mark.parametrize("name", CU_KINDS)
+    def test_tumbling_cu_round_trips_through_wire_format(self, name):
+        window = SlidingWindowSketch(
+            config(name, mode="tumbling", pane_size=40)
+        )
+        rng = np.random.default_rng(9)
+        window.update_batch(rng.integers(0, DIMENSION, size=90))
+        restored = SlidingWindowSketch.from_bytes(window.to_bytes())
+        probe = np.arange(0, DIMENSION, 13)
+        np.testing.assert_array_equal(
+            window.query_batch(probe), restored.query_batch(probe)
+        )
+        # the restored window continues bit-identically (CML-CU replays the
+        # same randomised-rounding draws after restore)
+        more = rng.integers(0, DIMENSION, size=35)
+        window.update_batch(more)
+        restored.update_batch(more)
+        assert window.to_bytes() == restored.to_bytes()
+
+    @pytest.mark.parametrize("name", CU_KINDS)
+    def test_sliding_and_decay_still_reject_cu_kinds(self, name):
+        with pytest.raises(CapabilityError, match="pane-merge algebra"):
+            config(name, mode="sliding", panes=2, pane_size=10)
+        with pytest.raises(CapabilityError, match="scale"):
+            config(name, mode="decay", pane_size=10, decay=0.5)
+        # the rejection names the capability that would unlock windowing
+        with pytest.raises(CapabilityError, match="tumbling"):
+            config(name, mode="sliding", panes=2, pane_size=10)
+
+    @pytest.mark.parametrize("name", CU_KINDS)
+    def test_tumbling_cu_window_cannot_shard(self, name):
+        window = SlidingWindowSketch(
+            config(name, mode="tumbling", pane_size=100)
+        )
+        with pytest.raises(CapabilityError, match="cannot be sharded"):
+            window.update_batch(np.arange(10), shards=4)
+
+    @pytest.mark.parametrize("name", CU_KINDS)
+    def test_tumbling_cu_session_end_to_end(self, name):
+        session = SketchSession.from_config(
+            config(name, mode="tumbling", pane_size=30)
+        )
+        rng = np.random.default_rng(2)
+        session.ingest(rng.integers(0, DIMENSION, size=75))
+        assert session.windowed
+        assert session.items_in_window == 15
+        assert session.query(kind="point", index=3) >= 0.0
